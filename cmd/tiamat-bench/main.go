@@ -1,0 +1,86 @@
+// Command tiamat-bench regenerates the reproduction experiments indexed
+// in DESIGN.md and records them in EXPERIMENTS.md. Each experiment prints
+// the table/series the paper's corresponding claim implies.
+//
+// Usage:
+//
+//	tiamat-bench [-quick] [id ...]
+//
+// With no ids, every experiment runs. Ids: E1 E2 E3 E4 E5 E6 E7 E8 E9
+// E10 T1 T2 X1 X2.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"tiamat/internal/harness"
+)
+
+type experiment struct {
+	id   string
+	desc string
+	run  func(harness.Scale) (*harness.Table, error)
+}
+
+func main() {
+	quick := flag.Bool("quick", false, "run reduced-scale experiments")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+
+	experiments := []experiment{
+		{"E1", "Figure 1 logical spaces", func(harness.Scale) (*harness.Table, error) { return harness.E1Figure1() }},
+		{"E2", "responder-list cache vs multicast", harness.E2ResponderList},
+		{"E3", "lease reclamation vs orphans", harness.E3LeaseReclaim},
+		{"E4", "web client/proxy application", harness.E4WebProxy},
+		{"E5", "fractal render farm application", harness.E5Fractal},
+		{"E6", "scalability vs LIME-style federation", harness.E6FederatedVsTiamat},
+		{"E7", "replication cost vs L2imbo-style DTS", harness.E7ReplicaCost},
+		{"E8", "lookup cost vs Peers-style flooding", harness.E8FloodVsList},
+		{"E9", "availability vs centralised space", harness.E9Availability},
+		{"E10", "goodput under churn", harness.E10Churn},
+		{"T1", "local operation micro-costs", harness.T1LocalOps},
+		{"T2", "lease negotiation micro-costs", harness.T2LeaseNegotiation},
+		{"X1", "backbone relay routing (future work)", harness.X1Backbone},
+		{"X2", "adaptive discovery (future work)", harness.X2AdaptiveDiscovery},
+		{"AB1", "ablation: contact fanout", harness.AB1ContactFanout},
+	}
+
+	if *list {
+		for _, e := range experiments {
+			fmt.Printf("%-4s %s\n", e.id, e.desc)
+		}
+		return
+	}
+
+	want := map[string]bool{}
+	for _, a := range flag.Args() {
+		want[strings.ToUpper(a)] = true
+	}
+	scale := harness.Full
+	if *quick {
+		scale = harness.Quick
+	}
+
+	failed := false
+	for _, e := range experiments {
+		if len(want) > 0 && !want[e.id] {
+			continue
+		}
+		start := time.Now()
+		table, err := e.run(scale)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.id, err)
+			failed = true
+			continue
+		}
+		table.Fprint(os.Stdout)
+		fmt.Printf("  (%s completed in %v)\n\n", e.id, time.Since(start).Round(time.Millisecond))
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

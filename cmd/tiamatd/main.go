@@ -1,0 +1,115 @@
+// Command tiamatd runs a standalone Tiamat node on a real network: TCP
+// unicast for operations plus UDP-multicast or static-peer discovery.
+// Other nodes (and the tsh shell) coordinate with it through the logical
+// tuple space.
+//
+// Usage:
+//
+//	tiamatd [-listen 127.0.0.1:0] [-group 239.77.7.3:7703]
+//	        [-peers host:port,host:port] [-persistent]
+//	        [-stats 10s] [-pda]
+//
+// The daemon registers two demo eval functions, "echo" (returns its
+// argument tuple tagged "echoed") and "sum" (sums its integer fields into
+// ("sum", total)), so remote eval can be exercised out of the box.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"tiamat"
+	"tiamat/lease"
+	"tiamat/transport/netudp"
+	"tiamat/tuple"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:0", "TCP listen address (the node's identity)")
+	group := flag.String("group", "", "UDP multicast group for discovery, e.g. 239.77.7.3:7703")
+	peers := flag.String("peers", "", "comma-separated static peer addresses (multicast fallback)")
+	persistent := flag.Bool("persistent", false, "advertise this space as persistent")
+	statsEvery := flag.Duration("stats", 0, "print stats at this interval (0 = off)")
+	pda := flag.Bool("pda", false, "use constrained PDA-class lease capacities")
+	flag.Parse()
+
+	var staticPeers []string
+	if *peers != "" {
+		staticPeers = strings.Split(*peers, ",")
+	}
+	tr, err := netudp.New(netudp.Config{
+		Listen:      *listen,
+		Group:       *group,
+		StaticPeers: staticPeers,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cfg := tiamat.Config{
+		Endpoint:            tr,
+		Persistent:          *persistent,
+		ContinuousDiscovery: true,
+	}
+	if *pda {
+		cfg.Leases = lease.ConstrainedCapacity()
+	}
+	inst, err := tiamat.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer inst.Close()
+
+	inst.RegisterEval("echo", func(_ context.Context, args tuple.Tuple) (tuple.Tuple, error) {
+		return tuple.T(tuple.String("echoed"), tuple.Nested(args)), nil
+	})
+	inst.RegisterEval("sum", func(_ context.Context, args tuple.Tuple) (tuple.Tuple, error) {
+		var total int64
+		for i := 0; i < args.Arity(); i++ {
+			if v, err := args.IntAt(i); err == nil {
+				total += v
+			}
+		}
+		return tuple.T(tuple.String("sum"), tuple.Int(total)), nil
+	})
+
+	fmt.Printf("tiamatd listening on %s", inst.Addr())
+	if *group != "" {
+		fmt.Printf(" (multicast %s)", *group)
+	}
+	if len(staticPeers) > 0 {
+		fmt.Printf(" (peers %s)", *peers)
+	}
+	fmt.Println()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+
+	var ticker *time.Ticker
+	var tick <-chan time.Time
+	if *statsEvery > 0 {
+		ticker = time.NewTicker(*statsEvery)
+		defer ticker.Stop()
+		tick = ticker.C
+	}
+	for {
+		select {
+		case <-sig:
+			fmt.Println("shutting down")
+			return
+		case <-tick:
+			s := inst.LeaseManager().Stats()
+			fmt.Printf("tuples=%d bytes=%d leases{active=%d granted=%d refused=%d expired=%d revoked=%d} responders=%d\n",
+				inst.LocalSpace().Count(), inst.LocalSpace().Bytes(),
+				s.Active, s.Granted, s.Refused, s.Expired, s.Revoked,
+				len(inst.ResponderList()))
+		}
+	}
+}

@@ -1,0 +1,231 @@
+// Command tsh is an interactive tuple shell: it joins the network as its
+// own Tiamat instance and exposes the six Linda operations (plus
+// discovery and direct remote variants) on the command line.
+//
+// Usage:
+//
+//	tsh [-listen 127.0.0.1:0] [-group 239.77.7.3:7703] [-peers a,b]
+//	    [-lease 5s] [-remotes 16]
+//
+// Commands:
+//
+//	out ("tag", 42, true)          place a tuple (local space)
+//	out@ADDR ("tag", 1)            place a tuple at a specific space
+//	rd ("tag", ?int)               blocking read from the logical space
+//	rdp ("tag", ?any)              nonblocking read
+//	in ("tag", ?int)               blocking take
+//	inp ("tag", ?int)              nonblocking take
+//	eval NAME ("arg", 1)           run a registered function locally
+//	eval@ADDR NAME ("arg", 1)      run it at a specific space
+//	spaces                         discover visible spaces
+//	list                           dump the local space
+//	stats                          lease-manager statistics
+//	help, quit
+package main
+
+import (
+	"bufio"
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"tiamat"
+	"tiamat/lease"
+	"tiamat/transport/netudp"
+	"tiamat/tuple"
+	"tiamat/wire"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:0", "TCP listen address")
+	group := flag.String("group", "", "UDP multicast group")
+	peers := flag.String("peers", "", "comma-separated static peers")
+	leaseDur := flag.Duration("lease", 5*time.Second, "default operation lease duration")
+	remotes := flag.Int("remotes", 16, "default remote-contact budget")
+	flag.Parse()
+
+	var staticPeers []string
+	if *peers != "" {
+		staticPeers = strings.Split(*peers, ",")
+	}
+	tr, err := netudp.New(netudp.Config{Listen: *listen, Group: *group, StaticPeers: staticPeers})
+	if err != nil {
+		log.Fatal(err)
+	}
+	inst, err := tiamat.New(tiamat.Config{Endpoint: tr, ContinuousDiscovery: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer inst.Close()
+	fmt.Printf("tsh attached as %s (lease %v, %d remotes)\n", inst.Addr(), *leaseDur, *remotes)
+
+	terms := lease.Terms{Duration: *leaseDur, MaxRemotes: *remotes, MaxBytes: 1 << 20}
+	req := lease.Flexible(terms)
+	sh := &shell{inst: inst, req: req}
+
+	scanner := bufio.NewScanner(os.Stdin)
+	fmt.Print("> ")
+	for scanner.Scan() {
+		line := strings.TrimSpace(scanner.Text())
+		if line != "" {
+			if quit := sh.exec(line); quit {
+				return
+			}
+		}
+		fmt.Print("> ")
+	}
+}
+
+type shell struct {
+	inst *tiamat.Instance
+	req  lease.Requester
+}
+
+// exec runs one command line; it returns true on quit.
+func (sh *shell) exec(line string) bool {
+	cmd, rest, _ := strings.Cut(line, " ")
+	rest = strings.TrimSpace(rest)
+	ctx := context.Background()
+
+	target, direct := cutTarget(cmd)
+	switch target {
+	case "out":
+		t, err := tuple.ParseTuple(rest)
+		if err != nil {
+			fmt.Println("error:", err)
+			return false
+		}
+		if direct != "" {
+			err = sh.inst.OutAt(wire.Addr(direct), t, sh.req)
+		} else {
+			err = sh.inst.Out(t, sh.req)
+		}
+		report(err, "ok")
+
+	case "rd", "rdp", "in", "inp":
+		p, err := tuple.ParseTemplate(rest)
+		if err != nil {
+			fmt.Println("error:", err)
+			return false
+		}
+		res, ok, err := sh.runRead(ctx, target, direct, p)
+		switch {
+		case err != nil:
+			fmt.Println("error:", err)
+		case !ok:
+			fmt.Println("no match")
+		default:
+			fmt.Printf("%v (from %s)\n", res.Tuple, res.From)
+		}
+
+	case "eval":
+		name, tupleText, found := strings.Cut(rest, " ")
+		if !found {
+			fmt.Println("usage: eval NAME (args...)")
+			return false
+		}
+		args, err := tuple.ParseTuple(strings.TrimSpace(tupleText))
+		if err != nil {
+			fmt.Println("error:", err)
+			return false
+		}
+		if direct != "" {
+			err = sh.inst.EvalAt(wire.Addr(direct), name, args, sh.req)
+		} else {
+			err = sh.inst.Eval(name, args, sh.req)
+		}
+		report(err, "eval started")
+
+	case "spaces":
+		ctx, cancel := context.WithTimeout(ctx, 2*time.Second)
+		infos, err := sh.inst.Spaces(ctx)
+		cancel()
+		if err != nil {
+			fmt.Println("error:", err)
+			return false
+		}
+		for _, info := range infos {
+			flags := ""
+			if info.Persistent {
+				flags = " [persistent]"
+			}
+			fmt.Printf("%s%s\n", info.Addr, flags)
+		}
+
+	case "list":
+		for _, t := range sh.inst.LocalSpace().Snapshot() {
+			fmt.Println(t)
+		}
+
+	case "stats":
+		s := sh.inst.LeaseManager().Stats()
+		fmt.Printf("tuples=%d bytes=%d leases=%+v responders=%v\n",
+			sh.inst.LocalSpace().Count(), sh.inst.LocalSpace().Bytes(), s, sh.inst.ResponderList())
+
+	case "help":
+		fmt.Println("commands: out out@ADDR rd rdp in inp eval eval@ADDR spaces list stats help quit")
+
+	case "quit", "exit":
+		return true
+
+	default:
+		fmt.Printf("unknown command %q (try help)\n", cmd)
+	}
+	return false
+}
+
+// runRead dispatches the four read/take forms, logical or direct.
+func (sh *shell) runRead(ctx context.Context, op, direct string, p tuple.Template) (tiamat.Result, bool, error) {
+	if direct != "" {
+		a := wire.Addr(direct)
+		switch op {
+		case "rd":
+			res, err := sh.inst.RdAt(ctx, a, p, sh.req)
+			return res, err == nil, ignoreNoMatch(err)
+		case "rdp":
+			return sh.inst.RdpAt(ctx, a, p, sh.req)
+		case "in":
+			res, err := sh.inst.InAt(ctx, a, p, sh.req)
+			return res, err == nil, ignoreNoMatch(err)
+		default:
+			return sh.inst.InpAt(ctx, a, p, sh.req)
+		}
+	}
+	switch op {
+	case "rd":
+		res, err := sh.inst.Rd(ctx, p, sh.req)
+		return res, err == nil, ignoreNoMatch(err)
+	case "rdp":
+		return sh.inst.Rdp(ctx, p, sh.req)
+	case "in":
+		res, err := sh.inst.In(ctx, p, sh.req)
+		return res, err == nil, ignoreNoMatch(err)
+	default:
+		return sh.inst.Inp(ctx, p, sh.req)
+	}
+}
+
+// cutTarget splits "out@host:port" into ("out", "host:port").
+func cutTarget(cmd string) (op, target string) {
+	op, target, _ = strings.Cut(cmd, "@")
+	return op, target
+}
+
+func ignoreNoMatch(err error) error {
+	if err == tiamat.ErrNoMatch {
+		return nil
+	}
+	return err
+}
+
+func report(err error, ok string) {
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println(ok)
+}

@@ -1,0 +1,152 @@
+package main
+
+import (
+	"context"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"tiamat"
+	"tiamat/lease"
+	"tiamat/transport/memnet"
+	"tiamat/tuple"
+)
+
+// newShell builds a shell over a simulated two-node network so every
+// command path (local and remote) can be exercised without sockets.
+func newShell(t *testing.T) (*shell, *tiamat.Instance) {
+	t.Helper()
+	net := memnet.New()
+	t.Cleanup(net.Close)
+	epA, err := net.Attach("local")
+	if err != nil {
+		t.Fatal(err)
+	}
+	epB, err := net.Attach("peer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.ConnectAll()
+	local, err := tiamat.New(tiamat.Config{Endpoint: epA})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { local.Close() })
+	peer, err := tiamat.New(tiamat.Config{Endpoint: epB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { peer.Close() })
+	req := lease.Flexible(lease.Terms{Duration: 2 * time.Second, MaxRemotes: 8, MaxBytes: 1 << 16})
+	return &shell{inst: local, req: req}, peer
+}
+
+// capture runs f with stdout redirected and returns what it printed.
+func capture(t *testing.T, f func()) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	defer func() { os.Stdout = old }()
+	f()
+	w.Close()
+	buf := make([]byte, 1<<16)
+	n, _ := r.Read(buf)
+	return string(buf[:n])
+}
+
+func TestShellOutAndReads(t *testing.T) {
+	sh, _ := newShell(t)
+	if out := capture(t, func() { sh.exec(`out ("note", 42)`) }); !strings.Contains(out, "ok") {
+		t.Fatalf("out: %q", out)
+	}
+	if out := capture(t, func() { sh.exec(`rdp ("note", ?int)`) }); !strings.Contains(out, "42") {
+		t.Fatalf("rdp: %q", out)
+	}
+	if out := capture(t, func() { sh.exec(`in ("note", ?int)`) }); !strings.Contains(out, "42") {
+		t.Fatalf("in: %q", out)
+	}
+	if out := capture(t, func() { sh.exec(`inp ("note", ?int)`) }); !strings.Contains(out, "no match") {
+		t.Fatalf("second inp: %q", out)
+	}
+	if out := capture(t, func() { sh.exec(`rd ("absent", ?int)`) }); !strings.Contains(out, "no match") {
+		t.Fatalf("rd absent: %q", out)
+	}
+}
+
+func TestShellDirectOps(t *testing.T) {
+	sh, peer := newShell(t)
+	if out := capture(t, func() { sh.exec(`out@peer ("direct", 1)`) }); !strings.Contains(out, "ok") {
+		t.Fatalf("out@: %q", out)
+	}
+	p, err := tuple.ParseTemplate(`("direct", ?int)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := peer.LocalSpace().Rdp(p); !ok {
+		t.Fatal("tuple not at peer")
+	}
+	if out := capture(t, func() { sh.exec(`rdp@peer ("direct", ?int)`) }); !strings.Contains(out, "from peer") {
+		t.Fatalf("rdp@: %q", out)
+	}
+	if out := capture(t, func() { sh.exec(`inp@peer ("direct", ?int)`) }); !strings.Contains(out, "from peer") {
+		t.Fatalf("inp@: %q", out)
+	}
+}
+
+func TestShellSpacesListStatsHelp(t *testing.T) {
+	sh, _ := newShell(t)
+	sh.exec(`out ("x", 1)`)
+	if out := capture(t, func() { sh.exec("spaces") }); !strings.Contains(out, "local") || !strings.Contains(out, "peer") {
+		t.Fatalf("spaces: %q", out)
+	}
+	if out := capture(t, func() { sh.exec("list") }); !strings.Contains(out, `"x"`) {
+		t.Fatalf("list: %q", out)
+	}
+	if out := capture(t, func() { sh.exec("stats") }); !strings.Contains(out, "tuples=") {
+		t.Fatalf("stats: %q", out)
+	}
+	if out := capture(t, func() { sh.exec("help") }); !strings.Contains(out, "commands:") {
+		t.Fatalf("help: %q", out)
+	}
+	if out := capture(t, func() { sh.exec("wat") }); !strings.Contains(out, "unknown command") {
+		t.Fatalf("unknown: %q", out)
+	}
+}
+
+func TestShellEval(t *testing.T) {
+	sh, peer := newShell(t)
+	sh.inst.RegisterEval("tag", func(_ context.Context, args tuple.Tuple) (tuple.Tuple, error) {
+		return args, nil
+	})
+	_ = peer
+	if out := capture(t, func() { sh.exec(`eval tag ("v", 9)`) }); !strings.Contains(out, "eval started") {
+		t.Fatalf("eval: %q", out)
+	}
+	if out := capture(t, func() { sh.exec(`eval missing-args`) }); !strings.Contains(out, "usage") {
+		t.Fatalf("eval usage: %q", out)
+	}
+	if out := capture(t, func() { sh.exec(`eval nope ("x")`) }); !strings.Contains(out, "error") {
+		t.Fatalf("eval unknown fn: %q", out)
+	}
+}
+
+func TestShellParseErrorsAndQuit(t *testing.T) {
+	sh, _ := newShell(t)
+	if out := capture(t, func() { sh.exec(`out (borked`) }); !strings.Contains(out, "error") {
+		t.Fatalf("bad tuple: %q", out)
+	}
+	if out := capture(t, func() { sh.exec(`rd (borked`) }); !strings.Contains(out, "error") {
+		t.Fatalf("bad template: %q", out)
+	}
+	if !sh.exec("quit") || !sh.exec("exit") {
+		t.Fatal("quit/exit did not signal termination")
+	}
+	if sh.exec("help") {
+		t.Fatal("help signalled termination")
+	}
+}

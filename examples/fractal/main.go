@@ -1,0 +1,130 @@
+// Command fractal runs the paper's second application (§3.2): a
+// Mandelbrot render farm coordinated through the tuple space with no
+// load-balancing server. It renders once with a single worker, again
+// with four, prints the speedup, renders an ASCII preview, and shows a
+// worker failing mid-job without perturbing the master.
+//
+//	go run ./examples/fractal
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"tiamat/internal/apps/fractal"
+	"tiamat/internal/core"
+	"tiamat/lease"
+	"tiamat/transport/memnet"
+	"tiamat/wire"
+)
+
+func mustInstance(netw *memnet.Network, addr wire.Addr) *core.Instance {
+	ep, err := netw.Attach(addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	inst, err := core.New(core.Config{
+		Endpoint:            ep,
+		ContinuousDiscovery: true,
+		RediscoverInterval:  50 * time.Millisecond,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return inst
+}
+
+const shades = " .:-=+*#%@"
+
+func preview(img [][]byte, width, height int) {
+	stepY := len(img) / height
+	if stepY == 0 {
+		stepY = 1
+	}
+	for y := 0; y < len(img); y += stepY {
+		row := img[y]
+		stepX := len(row) / width
+		if stepX == 0 {
+			stepX = 1
+		}
+		line := make([]byte, 0, width)
+		for x := 0; x < len(row); x += stepX {
+			line = append(line, shades[int(row[x])*(len(shades)-1)/255])
+		}
+		fmt.Println(string(line))
+	}
+}
+
+func main() {
+	netw := memnet.New()
+	defer netw.Close()
+	masterInst := mustInstance(netw, "master")
+	defer masterInst.Close()
+	master := fractal.NewMaster(masterInst)
+	master.Terms = lease.Terms{Duration: 5 * time.Second, MaxRemotes: 32, MaxBytes: 8 << 20}
+	master.Retries = 5
+
+	var workers []*fractal.Worker
+	for i := 0; i < 4; i++ {
+		inst := mustInstance(netw, wire.Addr(fmt.Sprintf("worker%d", i)))
+		defer inst.Close()
+		w := fractal.NewWorker(inst)
+		w.Terms = lease.Terms{Duration: 500 * time.Millisecond, MaxRemotes: 32, MaxBytes: 8 << 20}
+		// Model each worker as a modest remote device: a fixed per-row
+		// latency in addition to the actual computation, so speedup is
+		// visible even on a single-core host.
+		w.Delay = 5 * time.Millisecond
+		workers = append(workers, w)
+	}
+	netw.ConnectAll()
+
+	p := fractal.Params{Width: 96, Height: 96, MaxIter: 1000}
+	ctx := context.Background()
+
+	// One worker.
+	workers[0].Start()
+	t0 := time.Now()
+	if _, err := master.Render(ctx, p); err != nil {
+		log.Fatal(err)
+	}
+	one := time.Since(t0)
+	fmt.Printf("1 worker:  %v\n", one.Round(time.Millisecond))
+
+	// Four workers — scaled up without touching the master.
+	for _, w := range workers[1:] {
+		w.Start()
+	}
+	t0 = time.Now()
+	img, err := master.Render(ctx, p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	four := time.Since(t0)
+	fmt.Printf("4 workers: %v (speedup %.1fx)\n", four.Round(time.Millisecond), float64(one)/float64(four))
+	for i, w := range workers {
+		fmt.Printf("  worker%d computed %d rows\n", i, w.Computed())
+	}
+
+	// Fail one worker mid-job: the master's re-issue recovers the rows.
+	done := make(chan error, 1)
+	go func() {
+		_, err := master.Render(ctx, p)
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	workers[1].Stop()
+	netw.Isolate("worker1")
+	if err := <-done; err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("render completed despite worker1 failing mid-job")
+
+	fmt.Println()
+	preview(img, 72, 24)
+	for _, w := range workers {
+		w.Stop()
+	}
+	fmt.Println("fractal example complete")
+}

@@ -1,0 +1,108 @@
+// Command leases walks through Tiamat's fine-grained resource management
+// (paper §2.5, §3.1.1): negotiation between lease requesters and the
+// lease manager, clamped offers on a constrained device, budget
+// exhaustion, storage reclamation, revocation as a last resort, and
+// resource factories.
+//
+//	go run ./examples/leases
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"time"
+
+	"tiamat"
+	"tiamat/lease"
+	"tiamat/transport/memnet"
+	"tiamat/tuple"
+)
+
+func main() {
+	netw := memnet.New()
+	defer netw.Close()
+	ep, err := netw.Attach("pda")
+	if err != nil {
+		log.Fatal(err)
+	}
+	// A PDA-class device: tiny lease capacities.
+	inst, err := tiamat.New(tiamat.Config{
+		Endpoint: ep,
+		Leases: lease.Capacity{
+			MaxActive:     8,
+			MaxDuration:   2 * time.Second,
+			MaxRemotes:    2,
+			MaxBytes:      256,
+			MaxTotalBytes: 1024,
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer inst.Close()
+	mgr := inst.LeaseManager()
+	ctx := context.Background()
+
+	// 1. Negotiation: the manager clamps an ambitious proposal.
+	offer := mgr.Offer(lease.OpOut, lease.Terms{Duration: time.Hour, MaxRemotes: 100, MaxBytes: 1 << 20})
+	fmt.Printf("proposed {1h, 100 remotes, 1MiB}; device offers %v\n", offer)
+
+	// 2. A demanding requester refuses the clamped offer: the operation
+	// fails, as the model requires (§3.1.1).
+	err = inst.Out(tuple.T(tuple.String("big")), lease.Exactly(lease.Terms{Duration: time.Hour}))
+	fmt.Printf("strict requester: out failed with %v\n", err)
+
+	// 3. A flexible requester takes what it can get.
+	if err := inst.Out(tuple.T(tuple.String("note"), tuple.String("pick me up")),
+		lease.Flexible(lease.Terms{Duration: time.Second, MaxBytes: 64})); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("flexible requester: tuple stored under a 1s lease")
+
+	// 4. Byte budgets: a tuple larger than the offered budget is refused.
+	huge := tuple.T(tuple.Bytes(make([]byte, 2048)))
+	err = inst.Out(huge, lease.Flexible(lease.Terms{Duration: time.Second, MaxBytes: 2048}))
+	fmt.Printf("oversized tuple: %v\n", err)
+
+	// 5. Expiry reclaims storage.
+	time.Sleep(1100 * time.Millisecond)
+	if _, ok, _ := inst.Rdp(ctx, tuple.Tmpl(tuple.String("note"), tuple.FormalString()), nil); ok {
+		log.Fatal("expired note survived")
+	}
+	fmt.Println("after 1.1s: note reclaimed by lease expiry")
+
+	// 6. Blocking reads are leased too: the in returns nothing at expiry.
+	start := time.Now()
+	_, err = inst.In(ctx, tuple.Tmpl(tuple.String("never")), lease.Flexible(lease.Terms{Duration: 400 * time.Millisecond}))
+	if !errors.Is(err, tiamat.ErrNoMatch) {
+		log.Fatalf("unexpected: %v", err)
+	}
+	fmt.Printf("blocking in returned nothing after %v (ErrNoMatch)\n", time.Since(start).Round(10*time.Millisecond))
+
+	// 7. Revocation as a last resort (§2.5): under pressure the manager
+	// may reclaim leases; the instance drops the covered tuples.
+	for i := 0; i < 3; i++ {
+		if err := inst.Out(tuple.T(tuple.String("bulk"), tuple.Int(int64(i))),
+			lease.Flexible(lease.Terms{Duration: 2 * time.Second, MaxBytes: 64})); err != nil {
+			log.Fatal(err)
+		}
+	}
+	revoked := mgr.Revoke(2)
+	fmt.Printf("pressure: revoked %d leases; stats now %+v\n", revoked, mgr.Stats())
+
+	// 8. Resource factories (§3.1.1): managed resources are allocated
+	// through the lease manager.
+	mgr.RegisterResource(lease.ResSockets, 2)
+	rel1, _ := mgr.Acquire(lease.ResSockets, 1)
+	rel2, _ := mgr.Acquire(lease.ResSockets, 1)
+	if _, err := mgr.Acquire(lease.ResSockets, 1); err != nil {
+		fmt.Printf("socket factory exhausted: %v\n", err)
+	}
+	rel1()
+	rel2()
+	used, capacity := mgr.InUse(lease.ResSockets)
+	fmt.Printf("sockets after release: %d/%d in use\n", used, capacity)
+	fmt.Println("leases example complete")
+}

@@ -1,0 +1,111 @@
+// Command quickstart demonstrates the core Tiamat model in two minutes:
+// two instances on a simulated network form an opportunistic logical
+// tuple space, exchange tuples anonymously, keep working while isolated,
+// and have their storage reclaimed by lease expiry.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"tiamat"
+	"tiamat/lease"
+	"tiamat/transport/memnet"
+	"tiamat/tuple"
+)
+
+func main() {
+	// A simulated broadcast domain: visibility is explicit and mutable,
+	// exactly like devices wandering in and out of radio range.
+	net := memnet.New()
+	defer net.Close()
+
+	epA, err := net.Attach("alice")
+	if err != nil {
+		log.Fatal(err)
+	}
+	epB, err := net.Attach("bob")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	alice, err := tiamat.New(tiamat.Config{Endpoint: epA})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer alice.Close()
+	bob, err := tiamat.New(tiamat.Config{Endpoint: epB})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer bob.Close()
+
+	ctx := context.Background()
+	greetingT := tuple.Tmpl(tuple.String("greeting"), tuple.FormalString())
+
+	// 1. Isolation: each instance has a working local space (paper §2.2).
+	if err := alice.Out(tuple.T(tuple.String("greeting"), tuple.String("hello from alice")), nil); err != nil {
+		log.Fatal(err)
+	}
+	if _, ok, _ := bob.Rdp(ctx, greetingT, nil); ok {
+		log.Fatal("bob should not see alice's tuple while isolated")
+	}
+	fmt.Println("isolated: bob sees nothing, alice's tuple is local")
+
+	// 2. Visibility: the logical space becomes the union of both spaces.
+	net.SetVisible("alice", "bob", true)
+	res, ok, err := bob.Rdp(ctx, greetingT, nil)
+	if err != nil || !ok {
+		log.Fatalf("bob rdp after visibility: ok=%v err=%v", ok, err)
+	}
+	msg, _ := res.Tuple.StringAt(1)
+	fmt.Printf("visible: bob read %q from %s\n", msg, res.From)
+
+	// 3. Anonymous take: bob consumes the tuple; it is removed at alice.
+	if _, ok, _ = bob.Inp(ctx, greetingT, nil); !ok {
+		log.Fatal("take failed")
+	}
+	if _, ok, _ = alice.Rdp(ctx, greetingT, nil); ok {
+		log.Fatal("tuple still at alice after take")
+	}
+	fmt.Println("take: tuple consumed exactly once across the logical space")
+
+	// 4. Blocking with leases: a bounded wait returns nothing at expiry.
+	start := time.Now()
+	_, err = bob.In(ctx, tuple.Tmpl(tuple.String("never")), lease.Flexible(lease.Terms{
+		Duration: 300 * time.Millisecond, MaxRemotes: 4,
+	}))
+	fmt.Printf("leases: blocking in gave up after %v with %v\n", time.Since(start).Round(time.Millisecond), err)
+
+	// 5. Storage reclamation: an out lease expires and the tuple is gone.
+	if err := alice.Out(tuple.T(tuple.String("ephemeral")), lease.Flexible(lease.Terms{
+		Duration: 200 * time.Millisecond, MaxBytes: 64,
+	})); err != nil {
+		log.Fatal(err)
+	}
+	time.Sleep(300 * time.Millisecond)
+	if _, ok, _ := alice.Rdp(ctx, tuple.Tmpl(tuple.String("ephemeral")), nil); ok {
+		log.Fatal("expired tuple survived")
+	}
+	fmt.Println("reclaim: expired tuple removed from the space")
+
+	// 6. Space handles (paper §2.4): read another space's info tuple and
+	// address it directly.
+	infos, err := alice.Spaces(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("discovery: alice sees %d spaces\n", len(infos))
+	if err := alice.OutAt("bob", tuple.T(tuple.String("direct"), tuple.Int(1)), nil); err != nil {
+		log.Fatal(err)
+	}
+	if _, ok := bob.LocalSpace().Rdp(tuple.Tmpl(tuple.String("direct"), tuple.FormalInt())); !ok {
+		log.Fatal("direct out missing at bob")
+	}
+	fmt.Println("direct: tuple placed in bob's space explicitly")
+	fmt.Println("quickstart complete")
+}

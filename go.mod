@@ -1,0 +1,3 @@
+module tiamat
+
+go 1.22

@@ -1,0 +1,270 @@
+// Package fractal reproduces the paper's second sample application
+// (§3.2): a fractal (Mandelbrot) generator whose dedicated load-balancing
+// server is replaced by coordination through the tuple space. A master
+// places row-computation tasks as identified tuples; anonymous workers
+// take tasks, compute, and attach the same identity to their results.
+// Workers can be added or removed at any time without perturbing the
+// master — measured by experiment E5.
+//
+// Coordination tuples:
+//
+//	("frac-task",   job int, row int, w int, h int, maxIter int)
+//	("frac-result", job int, row int, pixels bytes)
+package fractal
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tiamat/internal/core"
+	"tiamat/lease"
+	"tiamat/tuple"
+)
+
+// Tuple type tags.
+const (
+	taskTag   = "frac-task"
+	resultTag = "frac-result"
+)
+
+// Params describes a render job.
+type Params struct {
+	Width, Height int
+	MaxIter       int
+	// Region of the complex plane (defaults to the classic view).
+	XMin, XMax, YMin, YMax float64
+}
+
+// withDefaults fills zero fields.
+func (p Params) withDefaults() Params {
+	if p.Width <= 0 {
+		p.Width = 256
+	}
+	if p.Height <= 0 {
+		p.Height = 256
+	}
+	if p.MaxIter <= 0 {
+		p.MaxIter = 64
+	}
+	if p.XMin == 0 && p.XMax == 0 {
+		p.XMin, p.XMax = -2.2, 1.0
+	}
+	if p.YMin == 0 && p.YMax == 0 {
+		p.YMin, p.YMax = -1.4, 1.4
+	}
+	return p
+}
+
+// RenderRow computes one scan line: the iteration count (clamped to 255)
+// for each pixel. This is the ground-truth kernel shared by the workers
+// and the direct (no-middleware) baseline.
+func RenderRow(p Params, row int) []byte {
+	p = p.withDefaults()
+	out := make([]byte, p.Width)
+	cy := p.YMin + (p.YMax-p.YMin)*float64(row)/float64(p.Height)
+	for x := 0; x < p.Width; x++ {
+		cx := p.XMin + (p.XMax-p.XMin)*float64(x)/float64(p.Width)
+		var zx, zy float64
+		n := 0
+		for ; n < p.MaxIter; n++ {
+			zx, zy = zx*zx-zy*zy+cx, 2*zx*zy+cy
+			if zx*zx+zy*zy > 4 {
+				break
+			}
+		}
+		if n > 255 {
+			n = 255
+		}
+		out[x] = byte(n)
+	}
+	return out
+}
+
+// RenderDirect computes the whole image single-threaded: the speedup
+// baseline for experiment E5.
+func RenderDirect(p Params) [][]byte {
+	p = p.withDefaults()
+	img := make([][]byte, p.Height)
+	for row := range img {
+		img[row] = RenderRow(p, row)
+	}
+	return img
+}
+
+// Master farms a render job out through the tuple space.
+type Master struct {
+	inst    *core.Instance
+	nextJob atomic.Int64
+	// Terms bound each coordination operation; Duration also sets how
+	// long one collection attempt waits before re-issuing missing tasks.
+	Terms lease.Terms
+	// Retries is how many times missing tasks are re-issued before the
+	// render is abandoned. A worker that takes a task and then departs
+	// loses that row; re-issue recovers it (rows are idempotent).
+	Retries int
+}
+
+// NewMaster wraps an instance as a render master.
+func NewMaster(inst *core.Instance) *Master {
+	return &Master{
+		inst:    inst,
+		Terms:   lease.Terms{Duration: 10 * time.Second, MaxRemotes: 32, MaxBytes: 4 << 20},
+		Retries: 3,
+	}
+}
+
+// ErrIncomplete reports a render whose rows did not all arrive within
+// their leases.
+var ErrIncomplete = errors.New("fractal: render incomplete")
+
+// Render distributes the job and assembles the image. It blocks until
+// every row has been computed or ctx/leases/retries give out. Tasks
+// taken by workers that depart before answering are re-issued up to
+// Retries times (row computations are idempotent, so a duplicate result
+// is simply ignored and left to expire with its lease).
+func (m *Master) Render(ctx context.Context, p Params) ([][]byte, error) {
+	p = p.withDefaults()
+	job := m.nextJob.Add(1)
+	issue := func(row int) error {
+		task := tuple.T(
+			tuple.String(taskTag), tuple.Int(job), tuple.Int(int64(row)),
+			tuple.Int(int64(p.Width)), tuple.Int(int64(p.Height)), tuple.Int(int64(p.MaxIter)),
+		)
+		if err := m.inst.Out(task, lease.Flexible(m.Terms)); err != nil {
+			return fmt.Errorf("fractal: placing task %d: %w", row, err)
+		}
+		return nil
+	}
+	for row := 0; row < p.Height; row++ {
+		if err := issue(row); err != nil {
+			return nil, err
+		}
+	}
+	img := make([][]byte, p.Height)
+	received := make([]bool, p.Height)
+	resP := tuple.Tmpl(tuple.String(resultTag), tuple.Int(job), tuple.FormalInt(), tuple.FormalBytes())
+	done, attempts := 0, 0
+	for done < p.Height {
+		res, err := m.inst.In(ctx, resP, lease.Flexible(m.Terms))
+		if err != nil {
+			if !errors.Is(err, core.ErrNoMatch) {
+				return nil, err
+			}
+			attempts++
+			if attempts > m.Retries {
+				return nil, fmt.Errorf("%w: %d/%d rows", ErrIncomplete, done, p.Height)
+			}
+			// Re-issue whatever is still missing: the original task may
+			// have departed with its worker.
+			for row, ok := range received {
+				if !ok {
+					if err := issue(row); err != nil {
+						return nil, err
+					}
+				}
+			}
+			continue
+		}
+		row, err := res.Tuple.IntAt(2)
+		if err != nil || row < 0 || int(row) >= p.Height {
+			return nil, fmt.Errorf("fractal: bad result row: %v", err)
+		}
+		if received[row] {
+			continue // duplicate from a re-issued task
+		}
+		pixels, err := res.Tuple.BytesAt(3)
+		if err != nil {
+			return nil, err
+		}
+		img[row] = pixels
+		received[row] = true
+		done++
+	}
+	return img, nil
+}
+
+// Worker takes tasks from the space and computes rows. The region
+// parameters beyond width/height/maxIter use defaults; masters needing
+// custom regions embed them by convention in the job setup (kept simple
+// as in the paper's description).
+type Worker struct {
+	inst     *core.Instance
+	computed atomic.Int64
+	// Terms bound each service cycle.
+	Terms lease.Terms
+	// Delay adds simulated per-row latency (a slower device, or compute
+	// happening off-box). Scaling experiments use it so speedup is
+	// observable even when the harness itself runs on a single core.
+	Delay time.Duration
+
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+	once   sync.Once
+}
+
+// NewWorker wraps an instance as a render worker.
+func NewWorker(inst *core.Instance) *Worker {
+	return &Worker{inst: inst, Terms: lease.Terms{Duration: 2 * time.Second, MaxRemotes: 32, MaxBytes: 4 << 20}}
+}
+
+// Computed reports rows computed by this worker.
+func (w *Worker) Computed() int64 { return w.computed.Load() }
+
+// Start launches the worker loop.
+func (w *Worker) Start() {
+	ctx, cancel := context.WithCancel(context.Background())
+	w.cancel = cancel
+	w.wg.Add(1)
+	go func() {
+		defer w.wg.Done()
+		w.run(ctx)
+	}()
+}
+
+// Stop halts the worker.
+func (w *Worker) Stop() {
+	w.once.Do(func() {
+		if w.cancel != nil {
+			w.cancel()
+		}
+		w.wg.Wait()
+	})
+}
+
+func (w *Worker) run(ctx context.Context) {
+	taskP := tuple.Tmpl(
+		tuple.String(taskTag), tuple.FormalInt(), tuple.FormalInt(),
+		tuple.FormalInt(), tuple.FormalInt(), tuple.FormalInt(),
+	)
+	for ctx.Err() == nil {
+		res, err := w.inst.In(ctx, taskP, lease.Flexible(w.Terms))
+		if err != nil {
+			if errors.Is(err, core.ErrNoMatch) {
+				continue
+			}
+			return
+		}
+		job, _ := res.Tuple.IntAt(1)
+		row, _ := res.Tuple.IntAt(2)
+		width, _ := res.Tuple.IntAt(3)
+		height, _ := res.Tuple.IntAt(4)
+		maxIter, _ := res.Tuple.IntAt(5)
+		if w.Delay > 0 {
+			select {
+			case <-time.After(w.Delay):
+			case <-ctx.Done():
+				return
+			}
+		}
+		pixels := RenderRow(Params{Width: int(width), Height: int(height), MaxIter: int(maxIter)}, int(row))
+		out := tuple.T(tuple.String(resultTag), tuple.Int(job), tuple.Int(row), tuple.Bytes(pixels))
+		if err := w.inst.OutBack(core.Result{Tuple: out, From: res.From}, lease.Flexible(w.Terms)); err != nil {
+			continue
+		}
+		w.computed.Add(1)
+	}
+}

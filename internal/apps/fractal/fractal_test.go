@@ -1,0 +1,212 @@
+package fractal
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"tiamat/internal/core"
+	"tiamat/lease"
+	"tiamat/transport/memnet"
+	"tiamat/wire"
+)
+
+func smallParams() Params {
+	return Params{Width: 32, Height: 16, MaxIter: 32}
+}
+
+type rig struct {
+	net     *memnet.Network
+	master  *Master
+	workers []*Worker
+}
+
+func newRig(t *testing.T, nWorkers int) *rig {
+	t.Helper()
+	net := memnet.New()
+	t.Cleanup(net.Close)
+	mk := func(addr wire.Addr) *core.Instance {
+		ep, err := net.Attach(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inst, err := core.New(core.Config{
+			Endpoint:            ep,
+			ContinuousDiscovery: true,
+			RediscoverInterval:  20 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { inst.Close() })
+		return inst
+	}
+	r := &rig{net: net}
+	r.master = NewMaster(mk("master"))
+	r.master.Terms = lease.Terms{Duration: 10 * time.Second, MaxRemotes: 32, MaxBytes: 4 << 20}
+	for k := 0; k < nWorkers; k++ {
+		w := NewWorker(mk(wire.Addr(fmt.Sprintf("worker%d", k))))
+		w.Terms = lease.Terms{Duration: 300 * time.Millisecond, MaxRemotes: 32, MaxBytes: 4 << 20}
+		r.workers = append(r.workers, w)
+		t.Cleanup(w.Stop)
+	}
+	net.ConnectAll()
+	return r
+}
+
+func TestRenderRowDeterministic(t *testing.T) {
+	p := smallParams()
+	a := RenderRow(p, 5)
+	b := RenderRow(p, 5)
+	if len(a) != p.Width {
+		t.Fatalf("row width = %d", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("RenderRow not deterministic")
+		}
+	}
+	// The Mandelbrot set interior must saturate at MaxIter for a pixel
+	// known to be inside (center row, around x for c ~ -0.1+0i).
+	inside := RenderRow(Params{Width: 4, Height: 3, MaxIter: 50, XMin: -0.2, XMax: 0, YMin: -0.01, YMax: 0.01}, 1)
+	if inside[2] != 50 {
+		t.Fatalf("interior pixel iterations = %d, want 50", inside[2])
+	}
+}
+
+func TestRenderDirectMatchesRows(t *testing.T) {
+	p := smallParams()
+	img := RenderDirect(p)
+	if len(img) != p.Height {
+		t.Fatalf("height = %d", len(img))
+	}
+	for row := range img {
+		want := RenderRow(p, row)
+		for x := range want {
+			if img[row][x] != want[x] {
+				t.Fatalf("pixel (%d,%d) differs", x, row)
+			}
+		}
+	}
+}
+
+func TestDistributedRenderMatchesDirect(t *testing.T) {
+	r := newRig(t, 2)
+	for _, w := range r.workers {
+		w.Start()
+	}
+	p := smallParams()
+	img, err := r.master.Render(context.Background(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := RenderDirect(p)
+	for row := range want {
+		if img[row] == nil {
+			t.Fatalf("row %d missing", row)
+		}
+		for x := range want[row] {
+			if img[row][x] != want[row][x] {
+				t.Fatalf("pixel (%d,%d): got %d want %d", x, row, img[row][x], want[row][x])
+			}
+		}
+	}
+	// Computed() increments after each result's delivery ack, a moment
+	// after the master has the row; poll briefly.
+	deadline := time.Now().Add(2 * time.Second)
+	var computed int64
+	for time.Now().Before(deadline) {
+		computed = 0
+		for _, w := range r.workers {
+			computed += w.Computed()
+		}
+		if computed == int64(p.Height) {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if computed != int64(p.Height) {
+		t.Fatalf("workers computed %d rows, want %d", computed, p.Height)
+	}
+}
+
+func TestWorkSharedAmongWorkers(t *testing.T) {
+	r := newRig(t, 4)
+	for _, w := range r.workers {
+		// Per-row latency makes rows slow relative to coordination, so
+		// the take protocol demonstrably spreads them even on a loaded
+		// single-core test host.
+		w.Delay = 2 * time.Millisecond
+		w.Start()
+	}
+	p := Params{Width: 64, Height: 32, MaxIter: 128}
+	if _, err := r.master.Render(context.Background(), p); err != nil {
+		t.Fatal(err)
+	}
+	busy := 0
+	for _, w := range r.workers {
+		if w.Computed() > 0 {
+			busy++
+		}
+	}
+	if busy < 2 {
+		t.Fatalf("only %d workers participated", busy)
+	}
+}
+
+func TestWorkersComeAndGoMidJob(t *testing.T) {
+	// Paper §3.2: "the number of entities performing calculations could
+	// be increased and decreased without perturbing the clients".
+	r := newRig(t, 2)
+	// Short collection attempts so lost tasks are re-issued quickly.
+	r.master.Terms = lease.Terms{Duration: 500 * time.Millisecond, MaxRemotes: 32, MaxBytes: 4 << 20}
+	r.master.Retries = 10
+	r.workers[0].Start()
+	done := make(chan error, 1)
+	go func() {
+		// A deliberately slow job so membership changes mid-flight.
+		_, err := r.master.Render(context.Background(), Params{Width: 64, Height: 64, MaxIter: 20000})
+		done <- err
+	}()
+	// Let the first worker make some progress, then fail it and bring a
+	// replacement in — the master must not notice.
+	spin := time.Now().Add(10 * time.Second)
+	for r.workers[0].Computed() < 3 {
+		if time.Now().After(spin) {
+			t.Fatal("first worker never made progress")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	r.workers[0].Stop()
+	r.net.Isolate("worker0")
+	r.workers[1].Start()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("render never completed across membership change")
+	}
+	if r.workers[1].Computed() == 0 {
+		t.Fatal("replacement worker never participated")
+	}
+}
+
+func TestRenderIncompleteWithoutWorkers(t *testing.T) {
+	r := newRig(t, 0)
+	r.master.Terms = lease.Terms{Duration: 150 * time.Millisecond, MaxRemotes: 8, MaxBytes: 1 << 20}
+	_, err := r.master.Render(context.Background(), Params{Width: 8, Height: 4, MaxIter: 8})
+	if !errors.Is(err, ErrIncomplete) {
+		t.Fatalf("err = %v, want ErrIncomplete", err)
+	}
+}
+
+func TestParamsDefaults(t *testing.T) {
+	p := Params{}.withDefaults()
+	if p.Width <= 0 || p.Height <= 0 || p.MaxIter <= 0 || p.XMin >= p.XMax || p.YMin >= p.YMax {
+		t.Fatalf("defaults invalid: %+v", p)
+	}
+}

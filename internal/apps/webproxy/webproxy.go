@@ -1,0 +1,273 @@
+// Package webproxy reproduces the paper's first sample application
+// (§3.2): a web client and proxy server coordinating through the logical
+// tuple space instead of direct connections.
+//
+// Clients place identified request tuples into the space and block for a
+// response tuple with the same identifier. Proxies block for request
+// tuples, obtain the page, and place the response back. The coordination
+// tuples are:
+//
+//	("http-req",  id int, url string)
+//	("http-resp", id int, status int, body bytes)
+//
+// Because the coordination is anonymous, proxies can be added for load or
+// to replace failures without clients noticing, and a disconnected client
+// can keep issuing requests that are served when a proxy becomes visible
+// — the paper's headline benefits, measured by experiment E4.
+package webproxy
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tiamat/internal/core"
+	"tiamat/lease"
+	"tiamat/tuple"
+)
+
+// Tuple type tags.
+const (
+	reqTag  = "http-req"
+	respTag = "http-resp"
+)
+
+// Fetcher obtains a page body for a URL. ContentStore provides a
+// deterministic in-memory implementation for tests and benchmarks;
+// HTTPFetcher does real HTTP.
+type Fetcher interface {
+	Fetch(ctx context.Context, url string) (status int, body []byte, err error)
+}
+
+// HTTPFetcher fetches over real HTTP using the standard library client.
+type HTTPFetcher struct {
+	// Client overrides the default http.Client when non-nil.
+	Client *http.Client
+}
+
+// Fetch implements Fetcher.
+func (f HTTPFetcher) Fetch(ctx context.Context, url string) (int, []byte, error) {
+	client := f.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return 0, nil, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return 0, nil, err
+	}
+	return resp.StatusCode, body, nil
+}
+
+// ContentStore is a synthetic origin: URL → body, with optional
+// per-fetch latency to model origin work.
+type ContentStore struct {
+	mu      sync.RWMutex
+	pages   map[string][]byte
+	latency time.Duration
+	fetches atomic.Int64
+}
+
+// NewContentStore returns an empty origin with the given simulated
+// per-fetch latency.
+func NewContentStore(latency time.Duration) *ContentStore {
+	return &ContentStore{pages: make(map[string][]byte), latency: latency}
+}
+
+// Put publishes a page.
+func (s *ContentStore) Put(url string, body []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.pages[url] = append([]byte(nil), body...)
+}
+
+// Fetches reports how many fetches the origin has served.
+func (s *ContentStore) Fetches() int64 { return s.fetches.Load() }
+
+// Fetch implements Fetcher: 404s unknown URLs.
+func (s *ContentStore) Fetch(ctx context.Context, url string) (int, []byte, error) {
+	if s.latency > 0 {
+		select {
+		case <-time.After(s.latency):
+		case <-ctx.Done():
+			return 0, nil, ctx.Err()
+		}
+	}
+	s.fetches.Add(1)
+	s.mu.RLock()
+	body, ok := s.pages[url]
+	s.mu.RUnlock()
+	if !ok {
+		return http.StatusNotFound, nil, nil
+	}
+	return http.StatusOK, append([]byte(nil), body...), nil
+}
+
+// Client issues web requests through the tuple space. It needs no
+// knowledge of which (or how many) proxies exist.
+type Client struct {
+	inst   *core.Instance
+	nextID atomic.Int64
+	// Terms bound each request's coordination effort.
+	Terms lease.Terms
+}
+
+// NewClient wraps a Tiamat instance as a web client.
+func NewClient(inst *core.Instance) *Client {
+	c := &Client{inst: inst, Terms: lease.Terms{Duration: 30 * time.Second, MaxRemotes: 16, MaxBytes: 1 << 20}}
+	// Distinct clients on distinct instances may reuse ids safely since
+	// ids are paired with response matching per client instance; still,
+	// salt the sequence with the address hash to keep traces readable.
+	c.nextID.Store(int64(hashString(string(inst.Addr()))) << 20)
+	return c
+}
+
+func hashString(s string) uint32 {
+	var h uint32 = 2166136261
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint32(s[i])) * 16777619
+	}
+	return h & 0x7ff
+}
+
+// Response is a completed web request.
+type Response struct {
+	Status int
+	Body   []byte
+}
+
+// ErrRequestFailed reports a request whose lease expired unanswered.
+var ErrRequestFailed = errors.New("webproxy: request not answered within lease")
+
+// Get performs a blocking GET through the space: out the request tuple,
+// then in the matching response.
+func (c *Client) Get(ctx context.Context, url string) (Response, error) {
+	id := c.nextID.Add(1)
+	req := tuple.T(tuple.String(reqTag), tuple.Int(id), tuple.String(url))
+	if err := c.inst.Out(req, lease.Flexible(c.Terms)); err != nil {
+		return Response{}, fmt.Errorf("webproxy: placing request: %w", err)
+	}
+	p := tuple.Tmpl(tuple.String(respTag), tuple.Int(id), tuple.FormalInt(), tuple.FormalBytes())
+	res, err := c.inst.In(ctx, p, lease.Flexible(c.Terms))
+	if err != nil {
+		if errors.Is(err, core.ErrNoMatch) {
+			return Response{}, ErrRequestFailed
+		}
+		return Response{}, err
+	}
+	status, err := res.Tuple.IntAt(2)
+	if err != nil {
+		return Response{}, err
+	}
+	body, err := res.Tuple.BytesAt(3)
+	if err != nil {
+		return Response{}, err
+	}
+	return Response{Status: int(status), Body: body}, nil
+}
+
+// Proxy serves requests from the space. Any number of proxies may run
+// concurrently; the first-responder-wins take protocol ensures each
+// request is served exactly once.
+type Proxy struct {
+	inst    *core.Instance
+	fetcher Fetcher
+	served  atomic.Int64
+	lastErr atomic.Value
+	// Terms bound each service cycle.
+	Terms lease.Terms
+
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+	once   sync.Once
+}
+
+// NewProxy wraps a Tiamat instance as a proxy using fetcher for origin
+// access.
+func NewProxy(inst *core.Instance, fetcher Fetcher) *Proxy {
+	return &Proxy{
+		inst:    inst,
+		fetcher: fetcher,
+		Terms:   lease.Terms{Duration: 2 * time.Second, MaxRemotes: 16, MaxBytes: 1 << 20},
+	}
+}
+
+// Served reports how many requests this proxy has completed.
+func (p *Proxy) Served() int64 { return p.served.Load() }
+
+// LastError reports the most recent response-delivery failure, if any
+// (diagnostics).
+func (p *Proxy) LastError() string {
+	if v, ok := p.lastErr.Load().(string); ok {
+		return v
+	}
+	return ""
+}
+
+// Start launches the service loop.
+func (p *Proxy) Start() {
+	ctx, cancel := context.WithCancel(context.Background())
+	p.cancel = cancel
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		p.run(ctx)
+	}()
+}
+
+// Stop halts the proxy (simulating failure or departure).
+func (p *Proxy) Stop() {
+	p.once.Do(func() {
+		if p.cancel != nil {
+			p.cancel()
+		}
+		p.wg.Wait()
+	})
+}
+
+func (p *Proxy) run(ctx context.Context) {
+	reqP := tuple.Tmpl(tuple.String(reqTag), tuple.FormalInt(), tuple.FormalString())
+	for ctx.Err() == nil {
+		res, err := p.inst.In(ctx, reqP, lease.Flexible(p.Terms))
+		if err != nil {
+			if errors.Is(err, core.ErrNoMatch) {
+				continue // lease expired idle; look again
+			}
+			return // closed or cancelled
+		}
+		id, err := res.Tuple.IntAt(1)
+		if err != nil {
+			continue
+		}
+		url, err := res.Tuple.StringAt(2)
+		if err != nil {
+			continue
+		}
+		status, body, err := p.fetcher.Fetch(ctx, url)
+		if err != nil {
+			status = http.StatusBadGateway
+			body = nil
+		}
+		resp := tuple.T(tuple.String(respTag), tuple.Int(id), tuple.Int(int64(status)), tuple.Bytes(body))
+		// Deliver to the requester's space when possible so its blocking
+		// in finds the response locally; fall back per routing policy.
+		if err := p.inst.OutBack(core.Result{Tuple: resp, From: res.From}, lease.Flexible(p.Terms)); err != nil {
+			p.lastErr.Store(err.Error())
+			continue
+		}
+		p.served.Add(1)
+	}
+}

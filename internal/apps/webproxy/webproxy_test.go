@@ -1,0 +1,271 @@
+package webproxy
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"tiamat/internal/core"
+	"tiamat/lease"
+	"tiamat/transport/memnet"
+	"tiamat/wire"
+)
+
+// testRig builds a client instance plus n proxy instances over a
+// simulated network, all mutually visible, using the real clock and
+// continuous discovery so late visibility changes are picked up.
+type testRig struct {
+	net     *memnet.Network
+	client  *Client
+	clInst  *core.Instance
+	proxies []*Proxy
+	origin  *ContentStore
+}
+
+func newTestRig(t *testing.T, nProxies int, originLatency time.Duration) *testRig {
+	t.Helper()
+	net := memnet.New()
+	t.Cleanup(net.Close)
+	origin := NewContentStore(originLatency)
+	mk := func(addr wire.Addr) *core.Instance {
+		ep, err := net.Attach(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inst, err := core.New(core.Config{
+			Endpoint:            ep,
+			ContinuousDiscovery: true,
+			RediscoverInterval:  20 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { inst.Close() })
+		return inst
+	}
+	r := &testRig{net: net, origin: origin}
+	r.clInst = mk("client")
+	r.client = NewClient(r.clInst)
+	r.client.Terms = lease.Terms{Duration: 5 * time.Second, MaxRemotes: 16, MaxBytes: 1 << 20}
+	for k := 0; k < nProxies; k++ {
+		inst := mk(wire.Addr(fmt.Sprintf("proxy%d", k)))
+		p := NewProxy(inst, origin)
+		p.Terms = lease.Terms{Duration: 300 * time.Millisecond, MaxRemotes: 16, MaxBytes: 1 << 20}
+		r.proxies = append(r.proxies, p)
+		t.Cleanup(p.Stop)
+	}
+	net.ConnectAll()
+	return r
+}
+
+func TestGetThroughSingleProxy(t *testing.T) {
+	r := newTestRig(t, 1, 0)
+	r.origin.Put("http://example.test/a", []byte("hello world"))
+	r.proxies[0].Start()
+
+	resp, err := r.client.Get(context.Background(), "http://example.test/a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != http.StatusOK || string(resp.Body) != "hello world" {
+		t.Fatalf("resp = %d %q", resp.Status, resp.Body)
+	}
+	// Served() lags the client's Get by the ack round-trip; poll briefly.
+	deadline := time.Now().Add(2 * time.Second)
+	for r.proxies[0].Served() != 1 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if r.proxies[0].Served() != 1 {
+		t.Fatalf("served = %d", r.proxies[0].Served())
+	}
+}
+
+func TestUnknownURL404(t *testing.T) {
+	r := newTestRig(t, 1, 0)
+	r.proxies[0].Start()
+	resp, err := r.client.Get(context.Background(), "http://example.test/missing")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != http.StatusNotFound {
+		t.Fatalf("status = %d", resp.Status)
+	}
+}
+
+func TestRequestsLoadBalanceAcrossProxies(t *testing.T) {
+	// Paper §3.2: "proxy servers can be dynamically added without the
+	// clients' knowledge ... for the purposes of load balancing".
+	r := newTestRig(t, 3, 0)
+	r.origin.Put("http://example.test/a", []byte("x"))
+	for _, p := range r.proxies {
+		p.Start()
+	}
+	const n = 30
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for k := 0; k < n; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := r.client.Get(context.Background(), "http://example.test/a"); err != nil {
+				errs <- err
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	// Served() is incremented after the response ack round-trip, a
+	// moment after the client's Get returns; poll briefly.
+	deadline := time.Now().Add(2 * time.Second)
+	var total int64
+	for time.Now().Before(deadline) {
+		total = 0
+		for _, p := range r.proxies {
+			total += p.Served()
+		}
+		if total == n {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if total != n {
+		t.Fatalf("served %d requests, want %d (no duplicates, no losses)", total, n)
+	}
+	if got := r.origin.Fetches(); got != n {
+		t.Fatalf("origin fetched %d times, want %d (each request exactly once)", got, n)
+	}
+}
+
+func TestProxyFailureInvisibleToClient(t *testing.T) {
+	// Paper §3.2: proxies can be replaced "in the case of failure ...
+	// neither of these actions is visible to, nor perturbs, the clients".
+	r := newTestRig(t, 2, 0)
+	r.origin.Put("http://example.test/a", []byte("x"))
+	r.proxies[0].Start()
+	if _, err := r.client.Get(context.Background(), "http://example.test/a"); err != nil {
+		t.Fatal(err)
+	}
+	// The serving proxy dies; a replacement takes over.
+	r.proxies[0].Stop()
+	r.net.Isolate("proxy0")
+	r.proxies[1].Start()
+	resp, err := r.client.Get(context.Background(), "http://example.test/a")
+	if err != nil {
+		t.Fatalf("request after failover: %v", err)
+	}
+	if resp.Status != http.StatusOK {
+		t.Fatalf("status = %d", resp.Status)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for r.proxies[1].Served() != 1 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if r.proxies[1].Served() != 1 {
+		t.Fatalf("replacement served %d", r.proxies[1].Served())
+	}
+}
+
+func TestDisconnectedClientRequestServedOnReconnect(t *testing.T) {
+	// Paper §3.2: "the client can still make requests even in the
+	// absence of any servers ... once a server becomes visible it will
+	// see the tuple (assuming the lease has not expired)".
+	r := newTestRig(t, 1, 0)
+	r.origin.Put("http://example.test/a", []byte("x"))
+	r.proxies[0].Start()
+	r.net.Isolate("client") // between networks
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := r.client.Get(context.Background(), "http://example.test/a")
+		done <- err
+	}()
+	// The request tuple sits in the client's local space.
+	time.Sleep(50 * time.Millisecond)
+	select {
+	case err := <-done:
+		t.Fatalf("request completed while disconnected: %v", err)
+	default:
+	}
+	r.net.ConnectAll() // server becomes visible
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("queued request never served after reconnect")
+	}
+}
+
+func TestRequestFailsWhenLeaseExpiresUnserved(t *testing.T) {
+	r := newTestRig(t, 0, 0) // no proxies at all
+	r.client.Terms = lease.Terms{Duration: 100 * time.Millisecond, MaxRemotes: 4, MaxBytes: 1 << 20}
+	_, err := r.client.Get(context.Background(), "http://example.test/a")
+	if !errors.Is(err, ErrRequestFailed) {
+		t.Fatalf("err = %v, want ErrRequestFailed", err)
+	}
+}
+
+func TestHTTPFetcherAgainstRealServer(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		fmt.Fprintf(w, "served %s", req.URL.Path)
+	}))
+	defer srv.Close()
+	status, body, err := HTTPFetcher{}.Fetch(context.Background(), srv.URL+"/page")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status != http.StatusOK || string(body) != "served /page" {
+		t.Fatalf("fetch = %d %q", status, body)
+	}
+	if _, _, err := (HTTPFetcher{}).Fetch(context.Background(), "http://127.0.0.1:1/x"); err == nil {
+		t.Fatal("fetch from dead origin succeeded")
+	}
+}
+
+func TestProxyThroughRealHTTPEndToEnd(t *testing.T) {
+	// Full §3.2 wiring with a real HTTP origin: tuple space in the
+	// middle, actual sockets at the edge.
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		fmt.Fprint(w, "origin content")
+	}))
+	defer srv.Close()
+
+	net := memnet.New()
+	defer net.Close()
+	cep, _ := net.Attach("client")
+	pep, _ := net.Attach("proxy")
+	net.ConnectAll()
+	ci, err := core.New(core.Config{Endpoint: cep})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ci.Close()
+	pi, err := core.New(core.Config{Endpoint: pep})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pi.Close()
+
+	proxy := NewProxy(pi, HTTPFetcher{})
+	proxy.Terms = lease.Terms{Duration: 300 * time.Millisecond, MaxRemotes: 8, MaxBytes: 1 << 20}
+	proxy.Start()
+	defer proxy.Stop()
+
+	client := NewClient(ci)
+	resp, err := client.Get(context.Background(), srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(resp.Body) != "origin content" {
+		t.Fatalf("body = %q", resp.Body)
+	}
+}

@@ -1,0 +1,184 @@
+// Package central is a miniature TSpaces/JavaSpaces-style baseline (paper
+// §4.2): one server node owns the only tuple space and clients perform
+// every operation through it over the network. It exists so experiments
+// can measure what the paper argues qualitatively — that a centralised
+// architecture fails whenever the server is not visible, which mobile
+// environments make routine.
+package central
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"tiamat/internal/store"
+	"tiamat/trace"
+	"tiamat/transport"
+	"tiamat/tuple"
+	"tiamat/wire"
+)
+
+// ErrServerUnavailable reports that the server could not be reached.
+var ErrServerUnavailable = errors.New("central: server unavailable")
+
+// Server hosts the single tuple space.
+type Server struct {
+	ep    transport.Endpoint
+	space *store.Store
+	wg    sync.WaitGroup
+	once  sync.Once
+}
+
+// NewServer starts a server on the endpoint.
+func NewServer(ep transport.Endpoint) *Server {
+	s := &Server{ep: ep, space: store.New()}
+	s.wg.Add(1)
+	go s.loop()
+	return s
+}
+
+// Count reports live tuples on the server.
+func (s *Server) Count() int { return s.space.Count() }
+
+// Close stops the server.
+func (s *Server) Close() {
+	s.once.Do(func() {
+		_ = s.ep.Close()
+		s.wg.Wait()
+		_ = s.space.Close()
+	})
+}
+
+func (s *Server) loop() {
+	defer s.wg.Done()
+	for m := range s.ep.Recv() {
+		switch m.Type {
+		case wire.TOut:
+			_, err := s.space.Out(m.Tuple, zeroTime())
+			ack := &wire.Message{Type: wire.TAck, ID: m.ID, From: s.ep.Addr(), OK: err == nil}
+			if err != nil {
+				ack.Err = err.Error()
+			}
+			_ = s.ep.Send(m.From, ack)
+		case wire.TOp:
+			var t tuple.Tuple
+			var ok bool
+			if m.Op.Removes() {
+				t, ok = s.space.Inp(m.Template)
+			} else {
+				t, ok = s.space.Rdp(m.Template)
+			}
+			_ = s.ep.Send(m.From, &wire.Message{
+				Type: wire.TResult, ID: m.ID, From: s.ep.Addr(), Found: ok, Tuple: t,
+			})
+		}
+	}
+}
+
+// Client performs operations against the server.
+type Client struct {
+	ep     transport.Endpoint
+	server wire.Addr
+	met    *trace.Metrics
+
+	mu     sync.Mutex
+	nextID uint64
+	calls  map[uint64]chan *wire.Message
+	wg     sync.WaitGroup
+	once   sync.Once
+}
+
+// NewClient attaches a client to the server address.
+func NewClient(ep transport.Endpoint, server wire.Addr, met *trace.Metrics) *Client {
+	if met == nil {
+		met = &trace.Metrics{}
+	}
+	c := &Client{ep: ep, server: server, met: met, calls: make(map[uint64]chan *wire.Message)}
+	c.wg.Add(1)
+	go c.loop()
+	return c
+}
+
+// Close detaches the client.
+func (c *Client) Close() {
+	c.once.Do(func() {
+		_ = c.ep.Close()
+		c.wg.Wait()
+	})
+}
+
+func (c *Client) loop() {
+	defer c.wg.Done()
+	for m := range c.ep.Recv() {
+		c.mu.Lock()
+		ch, ok := c.calls[m.ID]
+		c.mu.Unlock()
+		if ok {
+			select {
+			case ch <- m:
+			default:
+			}
+		}
+	}
+}
+
+// call performs one request/response against the server. Unreachability
+// surfaces immediately as ErrServerUnavailable; the caller does not hang
+// on a dead server.
+func (c *Client) call(m *wire.Message) (*wire.Message, error) {
+	c.mu.Lock()
+	c.nextID++
+	id := c.nextID
+	ch := make(chan *wire.Message, 1)
+	c.calls[id] = ch
+	c.mu.Unlock()
+	defer func() {
+		c.mu.Lock()
+		delete(c.calls, id)
+		c.mu.Unlock()
+	}()
+	m.ID = id
+	m.From = c.ep.Addr()
+	if err := c.ep.Send(c.server, m); err != nil {
+		return nil, fmt.Errorf("%v: %w", err, ErrServerUnavailable)
+	}
+	reply, ok := <-ch, true
+	if !ok || reply == nil {
+		return nil, ErrServerUnavailable
+	}
+	return reply, nil
+}
+
+// Out stores the tuple on the server.
+func (c *Client) Out(t tuple.Tuple) error {
+	ack, err := c.call(&wire.Message{Type: wire.TOut, Tuple: t})
+	if err != nil {
+		return err
+	}
+	if !ack.OK {
+		return fmt.Errorf("central: server refused: %s", ack.Err)
+	}
+	return nil
+}
+
+// Rdp reads a matching tuple from the server.
+func (c *Client) Rdp(p tuple.Template) (tuple.Tuple, bool, error) {
+	return c.op(wire.OpRdp, p)
+}
+
+// Inp takes a matching tuple from the server.
+func (c *Client) Inp(p tuple.Template) (tuple.Tuple, bool, error) {
+	return c.op(wire.OpInp, p)
+}
+
+func (c *Client) op(code wire.OpCode, p tuple.Template) (tuple.Tuple, bool, error) {
+	res, err := c.call(&wire.Message{Type: wire.TOp, Op: code, Template: p})
+	if err != nil {
+		return tuple.Tuple{}, false, err
+	}
+	return res.Tuple, res.Found, nil
+}
+
+// zeroTime is the no-expiry sentinel accepted by the store.
+func zeroTime() time.Time { return time.Time{} }

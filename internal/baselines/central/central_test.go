@@ -1,0 +1,100 @@
+package central
+
+import (
+	"errors"
+	"testing"
+
+	"tiamat/transport/memnet"
+	"tiamat/tuple"
+)
+
+func TestClientServerRoundTrip(t *testing.T) {
+	net := memnet.New()
+	defer net.Close()
+	sep, _ := net.Attach("server")
+	cep, _ := net.Attach("client")
+	net.ConnectAll()
+	srv := NewServer(sep)
+	defer srv.Close()
+	cli := NewClient(cep, "server", nil)
+	defer cli.Close()
+
+	want := tuple.T(tuple.String("k"), tuple.Int(1))
+	if err := cli.Out(want); err != nil {
+		t.Fatal(err)
+	}
+	if srv.Count() != 1 {
+		t.Fatalf("server count = %d", srv.Count())
+	}
+	got, ok, err := cli.Rdp(tuple.Tmpl(tuple.String("k"), tuple.FormalInt()))
+	if err != nil || !ok || !got.Equal(want) {
+		t.Fatalf("Rdp = %v %v %v", got, ok, err)
+	}
+	got, ok, err = cli.Inp(tuple.Tmpl(tuple.String("k"), tuple.FormalInt()))
+	if err != nil || !ok || !got.Equal(want) {
+		t.Fatalf("Inp = %v %v %v", got, ok, err)
+	}
+	if srv.Count() != 0 {
+		t.Fatal("Inp did not remove on server")
+	}
+	if _, ok, err := cli.Inp(tuple.Tmpl(tuple.String("k"), tuple.FormalInt())); err != nil || ok {
+		t.Fatalf("empty Inp = %v %v", ok, err)
+	}
+}
+
+func TestTwoClientsShareSpace(t *testing.T) {
+	net := memnet.New()
+	defer net.Close()
+	sep, _ := net.Attach("server")
+	aep, _ := net.Attach("a")
+	bep, _ := net.Attach("b")
+	net.ConnectAll()
+	srv := NewServer(sep)
+	defer srv.Close()
+	a := NewClient(aep, "server", nil)
+	defer a.Close()
+	b := NewClient(bep, "server", nil)
+	defer b.Close()
+
+	if err := a.Out(tuple.T(tuple.Int(9))); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := b.Inp(tuple.Tmpl(tuple.FormalInt()))
+	if err != nil || !ok {
+		t.Fatalf("b.Inp = %v %v", ok, err)
+	}
+	v, _ := got.IntAt(0)
+	if v != 9 {
+		t.Fatalf("v = %d", v)
+	}
+}
+
+func TestServerUnreachableFailsFast(t *testing.T) {
+	// The paper's point (§4.2): a centralised space is useless whenever
+	// the server is out of sight.
+	net := memnet.New()
+	defer net.Close()
+	sep, _ := net.Attach("server")
+	cep, _ := net.Attach("client")
+	net.ConnectAll()
+	srv := NewServer(sep)
+	defer srv.Close()
+	cli := NewClient(cep, "server", nil)
+	defer cli.Close()
+
+	if err := cli.Out(tuple.T(tuple.Int(1))); err != nil {
+		t.Fatal(err)
+	}
+	net.Isolate("server") // partition: the client keeps no local data
+	if err := cli.Out(tuple.T(tuple.Int(2))); !errors.Is(err, ErrServerUnavailable) {
+		t.Fatalf("out during partition: %v", err)
+	}
+	if _, _, err := cli.Rdp(tuple.Tmpl(tuple.FormalInt())); !errors.Is(err, ErrServerUnavailable) {
+		t.Fatalf("rdp during partition: %v", err)
+	}
+	// Visibility returns: service resumes.
+	net.ConnectAll()
+	if _, ok, err := cli.Rdp(tuple.Tmpl(tuple.FormalInt())); err != nil || !ok {
+		t.Fatalf("rdp after heal: %v %v", ok, err)
+	}
+}

@@ -1,0 +1,176 @@
+// Package federated is a miniature LIME-style baseline (paper §4.4): a
+// federated tuple space with global consistency. Hosts must explicitly
+// engage before participating and disengage before leaving; engagement
+// and disengagement are atomic across the whole federation, so every
+// tuple-space operation stalls while membership changes are in progress.
+//
+// The federation's consistency machinery is modelled as a two-round
+// commit over the simulated network (2·N unicast messages per membership
+// change, all counted) under a federation-wide write lock. Ordinary
+// operations take the read lock, so the measured stall is exactly the
+// cost LIME pays: proportional to federation size and to churn rate —
+// the behaviour reported to break down beyond about six hosts (paper
+// §4.4 citing "Lime revisited").
+package federated
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"tiamat/clock"
+	"tiamat/internal/store"
+	"tiamat/trace"
+	"tiamat/transport"
+	"tiamat/tuple"
+	"tiamat/wire"
+)
+
+// Errors reported by the federation.
+var (
+	// ErrNotEngaged reports an operation by a host that has not engaged.
+	ErrNotEngaged = errors.New("federated: host not engaged")
+)
+
+// Federation is the globally consistent shared space.
+type Federation struct {
+	clk clock.Clock
+	met *trace.Metrics
+	// RTT models the network round-trip each commit round waits for
+	// during a membership change; the federation-wide lock is held for
+	// 2×RTT per change, stalling every operation (the cost LIME pays
+	// for atomic engagement).
+	RTT time.Duration
+
+	lock    sync.RWMutex // ops take R; engagement takes W
+	mu      sync.Mutex   // guards members
+	members map[wire.Addr]transport.Endpoint
+	space   *store.Store
+}
+
+// New creates an empty federation.
+func New(clk clock.Clock, met *trace.Metrics) *Federation {
+	if clk == nil {
+		clk = clock.Real{}
+	}
+	if met == nil {
+		met = &trace.Metrics{}
+	}
+	return &Federation{
+		clk:     clk,
+		met:     met,
+		members: make(map[wire.Addr]transport.Endpoint),
+		space:   store.New(store.WithClock(clk)),
+	}
+}
+
+// Close releases the federation's space.
+func (f *Federation) Close() { _ = f.space.Close() }
+
+// Msgs reports the membership-protocol messages sent so far.
+func (f *Federation) Msgs() int64 {
+	return f.met.Get(trace.CtrReplicaMsgs)
+}
+
+// Size reports the number of engaged hosts.
+func (f *Federation) Size() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.members)
+}
+
+// Count reports tuples in the federated space.
+func (f *Federation) Count() int { return f.space.Count() }
+
+// Engage atomically adds a host to the federation. All operations stall
+// for the duration: two rounds of messages to every current member (the
+// distributed transaction LIME requires for atomic engagement).
+func (f *Federation) Engage(ep transport.Endpoint) {
+	f.membershipChange(ep, true)
+}
+
+// Disengage atomically removes a host, with the same stall.
+func (f *Federation) Disengage(ep transport.Endpoint) {
+	f.membershipChange(ep, false)
+}
+
+func (f *Federation) membershipChange(ep transport.Endpoint, join bool) {
+	start := f.clk.Now()
+	f.lock.Lock() // every rd/in/out in the federation now stalls
+	f.mu.Lock()
+	peers := make([]transport.Endpoint, 0, len(f.members))
+	for _, p := range f.members {
+		if p.Addr() != ep.Addr() {
+			peers = append(peers, p)
+		}
+	}
+	f.mu.Unlock()
+
+	// Two-phase commit across current members: prepare + commit. Each
+	// round waits a network round trip while every operation stalls.
+	for round := uint64(1); round <= 2; round++ {
+		for _, p := range peers {
+			f.met.Inc(trace.CtrReplicaMsgs) // engagement traffic
+			_ = ep.Send(p.Addr(), &wire.Message{
+				Type: wire.TAnnounce, ID: round, From: ep.Addr(), Persistent: join,
+			})
+		}
+		if f.RTT > 0 && len(peers) > 0 {
+			f.clk.Sleep(f.RTT)
+		}
+	}
+
+	f.mu.Lock()
+	if join {
+		f.members[ep.Addr()] = ep
+	} else {
+		delete(f.members, ep.Addr())
+	}
+	f.mu.Unlock()
+	f.lock.Unlock()
+	f.met.Inc(trace.CtrEngagements)
+	f.met.Add(trace.CtrEngageStallsNs, f.clk.Now().Sub(start).Nanoseconds())
+}
+
+// engagedOnly verifies membership before an operation.
+func (f *Federation) engaged(addr wire.Addr) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	_, ok := f.members[addr]
+	return ok
+}
+
+// Out adds a tuple to the globally consistent space.
+func (f *Federation) Out(from wire.Addr, t tuple.Tuple) error {
+	if !f.engaged(from) {
+		return ErrNotEngaged
+	}
+	f.lock.RLock()
+	defer f.lock.RUnlock()
+	_, err := f.space.Out(t, time.Time{})
+	return err
+}
+
+// Rdp reads from the consistent space.
+func (f *Federation) Rdp(from wire.Addr, p tuple.Template) (tuple.Tuple, bool, error) {
+	if !f.engaged(from) {
+		return tuple.Tuple{}, false, ErrNotEngaged
+	}
+	f.lock.RLock()
+	defer f.lock.RUnlock()
+	t, ok := f.space.Rdp(p)
+	return t, ok, nil
+}
+
+// Inp takes from the consistent space. Unlike Tiamat, any member may take
+// any tuple — that is the convenience global consistency buys, at the
+// engagement cost measured by experiment E6.
+func (f *Federation) Inp(from wire.Addr, p tuple.Template) (tuple.Tuple, bool, error) {
+	if !f.engaged(from) {
+		return tuple.Tuple{}, false, ErrNotEngaged
+	}
+	f.lock.RLock()
+	defer f.lock.RUnlock()
+	t, ok := f.space.Inp(p)
+	return t, ok, nil
+}

@@ -1,0 +1,140 @@
+package federated
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"tiamat/clock"
+	"tiamat/trace"
+	"tiamat/transport"
+	"tiamat/transport/memnet"
+	"tiamat/tuple"
+	"tiamat/wire"
+)
+
+func setup(t *testing.T, n int) (*Federation, []transport.Endpoint, *trace.Metrics, *memnet.Network) {
+	t.Helper()
+	met := &trace.Metrics{}
+	net := memnet.New(memnet.WithMetrics(met))
+	t.Cleanup(net.Close)
+	f := New(clock.Real{}, met)
+	t.Cleanup(f.Close)
+	eps := make([]transport.Endpoint, 0, n)
+	for k := 0; k < n; k++ {
+		ep, err := net.Attach(wire.Addr(rune('a' + k)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		eps = append(eps, ep)
+	}
+	net.ConnectAll()
+	return f, eps, met, net
+}
+
+func TestEngagedHostsShareConsistentSpace(t *testing.T) {
+	f, eps, _, _ := setup(t, 3)
+	for _, ep := range eps {
+		f.Engage(ep)
+	}
+	if f.Size() != 3 {
+		t.Fatalf("size = %d", f.Size())
+	}
+	if err := f.Out(eps[0].Addr(), tuple.T(tuple.Int(1))); err != nil {
+		t.Fatal(err)
+	}
+	// Global consistency: every member sees it, any member may take it.
+	if _, ok, err := f.Rdp(eps[1].Addr(), tuple.Tmpl(tuple.FormalInt())); err != nil || !ok {
+		t.Fatalf("member read: %v %v", ok, err)
+	}
+	if _, ok, err := f.Inp(eps[2].Addr(), tuple.Tmpl(tuple.FormalInt())); err != nil || !ok {
+		t.Fatalf("member take: %v %v", ok, err)
+	}
+	if f.Count() != 0 {
+		t.Fatal("take did not remove globally")
+	}
+}
+
+func TestUnengagedHostRejected(t *testing.T) {
+	f, eps, _, _ := setup(t, 2)
+	f.Engage(eps[0])
+	if err := f.Out(eps[1].Addr(), tuple.T(tuple.Int(1))); !errors.Is(err, ErrNotEngaged) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, _, err := f.Rdp(eps[1].Addr(), tuple.Tmpl(tuple.FormalInt())); !errors.Is(err, ErrNotEngaged) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, _, err := f.Inp(eps[1].Addr(), tuple.Tmpl(tuple.FormalInt())); !errors.Is(err, ErrNotEngaged) {
+		t.Fatalf("err = %v", err)
+	}
+	f.Disengage(eps[0])
+	if err := f.Out(eps[0].Addr(), tuple.T(tuple.Int(1))); !errors.Is(err, ErrNotEngaged) {
+		t.Fatalf("after disengage: %v", err)
+	}
+}
+
+func TestEngagementCostGrowsWithMembership(t *testing.T) {
+	// Each engagement runs two message rounds to every existing member:
+	// joining host k costs 2(k-1) messages. Total for n joins:
+	// 2 * (0+1+...+n-1) = n(n-1).
+	f, eps, met, _ := setup(t, 6)
+	for _, ep := range eps {
+		f.Engage(ep)
+	}
+	n := int64(len(eps))
+	want := n * (n - 1)
+	if got := met.Get(trace.CtrReplicaMsgs); got != want {
+		t.Fatalf("engagement msgs = %d, want %d", got, want)
+	}
+	if met.Get(trace.CtrEngagements) != n {
+		t.Fatalf("engagements = %d", met.Get(trace.CtrEngagements))
+	}
+}
+
+func TestOperationsStallDuringEngagement(t *testing.T) {
+	// Operations must wait while a membership change holds the write
+	// lock — the atomicity cost the paper criticises in LIME.
+	f, eps, _, _ := setup(t, 2)
+	f.Engage(eps[0])
+
+	gate := make(chan struct{})
+	var order []string
+	var mu sync.Mutex
+	record := func(s string) { mu.Lock(); order = append(order, s); mu.Unlock() }
+
+	f.lock.Lock() // simulate an in-progress engagement
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		close(gate)
+		_ = f.Out(eps[0].Addr(), tuple.T(tuple.Int(1)))
+		record("op")
+	}()
+	<-gate
+	time.Sleep(20 * time.Millisecond)
+	record("engagement-done")
+	f.lock.Unlock()
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	if len(order) != 2 || order[0] != "engagement-done" || order[1] != "op" {
+		t.Fatalf("order = %v: op did not stall behind engagement", order)
+	}
+}
+
+func TestDisengageRemovesMember(t *testing.T) {
+	f, eps, met, _ := setup(t, 3)
+	for _, ep := range eps {
+		f.Engage(ep)
+	}
+	f.Disengage(eps[1])
+	if f.Size() != 2 {
+		t.Fatalf("size = %d", f.Size())
+	}
+	// Disengagement also costs two rounds to remaining members.
+	if met.Get(trace.CtrEngagements) != 4 {
+		t.Fatalf("engagements = %d", met.Get(trace.CtrEngagements))
+	}
+}

@@ -1,0 +1,178 @@
+// Package flood is a miniature Peers-style baseline (paper §4.6): each
+// node owns a local tuple space and read operations are flooded through
+// the network — every recipient that cannot satisfy the lookup re-floods
+// it to its own neighbours until the hop budget is exhausted. There is no
+// responder cache, so every lookup pays the full flood cost; experiment
+// E8 contrasts this with Tiamat's responder list.
+package flood
+
+import (
+	"sync"
+	"time"
+
+	"tiamat/internal/store"
+	"tiamat/trace"
+	"tiamat/transport"
+	"tiamat/tuple"
+	"tiamat/wire"
+)
+
+// Node is one flooding participant.
+type Node struct {
+	ep  transport.Endpoint
+	met *trace.Metrics
+
+	mu     sync.Mutex
+	space  *store.Store
+	seen   map[string]bool // flood dedup: origin/id
+	nextID uint64
+	calls  map[uint64]chan *wire.Message
+	wg     sync.WaitGroup
+	once   sync.Once
+}
+
+// NewNode attaches a flooding node.
+func NewNode(ep transport.Endpoint, met *trace.Metrics) *Node {
+	if met == nil {
+		met = &trace.Metrics{}
+	}
+	n := &Node{
+		ep:    ep,
+		met:   met,
+		space: store.New(),
+		seen:  make(map[string]bool),
+		calls: make(map[uint64]chan *wire.Message),
+	}
+	n.wg.Add(1)
+	go n.loop()
+	return n
+}
+
+// Close detaches the node.
+func (n *Node) Close() {
+	n.once.Do(func() {
+		_ = n.ep.Close()
+		n.wg.Wait()
+		_ = n.space.Close()
+	})
+}
+
+// Addr returns the node's address.
+func (n *Node) Addr() wire.Addr { return n.ep.Addr() }
+
+// Out stores a tuple locally (Peers keeps data at its producer).
+func (n *Node) Out(t tuple.Tuple) error {
+	_, err := n.space.Out(t, time.Time{})
+	return err
+}
+
+// Count reports local tuples.
+func (n *Node) Count() int { return n.space.Count() }
+
+func seenKey(origin wire.Addr, id uint64) string {
+	var buf [20]byte
+	i := len(buf)
+	v := id
+	for {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+		if v == 0 {
+			break
+		}
+	}
+	return string(origin) + "/" + string(buf[i:])
+}
+
+func (n *Node) loop() {
+	defer n.wg.Done()
+	for m := range n.ep.Recv() {
+		switch m.Type {
+		case wire.TOp:
+			n.handleFloodOp(m)
+		case wire.TResult:
+			n.mu.Lock()
+			ch, ok := n.calls[m.ID]
+			n.mu.Unlock()
+			if ok {
+				select {
+				case ch <- m:
+				default: // duplicate responses beyond the first are dropped
+				}
+			}
+		}
+	}
+}
+
+// handleFloodOp answers or re-floods a lookup. m.From is the ORIGIN of
+// the flood (not the previous hop) so answers travel straight back; this
+// requires origin-visibility for the reply, as in Peers' JXTA substrate
+// where responses are routed back through the overlay. If the origin is
+// not directly visible the reply is simply lost — floods in sparse
+// topologies really do fail that way.
+func (n *Node) handleFloodOp(m *wire.Message) {
+	k := seenKey(m.From, m.ID)
+	n.mu.Lock()
+	if n.seen[k] {
+		n.mu.Unlock()
+		return
+	}
+	n.seen[k] = true
+	n.mu.Unlock()
+
+	if t, ok := n.space.Rdp(m.Template); ok {
+		n.met.Inc(trace.CtrFloodMsgs)
+		_ = n.ep.Send(m.From, &wire.Message{
+			Type: wire.TResult, ID: m.ID, From: n.ep.Addr(), Found: true, Tuple: t,
+		})
+		return
+	}
+	if m.Hops == 0 {
+		return
+	}
+	fwd := *m
+	fwd.Hops--
+	cnt, err := n.ep.Multicast(&fwd)
+	if err == nil && cnt > 0 {
+		n.met.Add(trace.CtrFloodMsgs, int64(cnt))
+	}
+}
+
+// Rd floods a read with the given hop budget and waits up to timeout of
+// real time for the first answer. It returns the tuple, whether one was
+// found, and the flood's message cost is accumulated in the metrics.
+func (n *Node) Rd(p tuple.Template, hops uint8, timeout time.Duration) (tuple.Tuple, bool) {
+	// Local first, like every tuple space system.
+	if t, ok := n.space.Rdp(p); ok {
+		return t, true
+	}
+	n.mu.Lock()
+	n.nextID++
+	id := n.nextID
+	ch := make(chan *wire.Message, 1)
+	n.calls[id] = ch
+	// Mark our own flood as seen so a neighbour's re-flood does not make
+	// us answer ourselves.
+	n.seen[seenKey(n.ep.Addr(), id)] = true
+	n.mu.Unlock()
+	defer func() {
+		n.mu.Lock()
+		delete(n.calls, id)
+		n.mu.Unlock()
+	}()
+
+	cnt, err := n.ep.Multicast(&wire.Message{
+		Type: wire.TOp, ID: id, From: n.ep.Addr(), Op: wire.OpRd, Hops: hops, Template: p,
+	})
+	if err != nil || cnt == 0 {
+		return tuple.Tuple{}, false
+	}
+	n.met.Add(trace.CtrFloodMsgs, int64(cnt))
+
+	select {
+	case m := <-ch:
+		return m.Tuple, m.Found
+	case <-time.After(timeout):
+		return tuple.Tuple{}, false
+	}
+}

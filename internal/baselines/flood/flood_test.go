@@ -1,0 +1,134 @@
+package flood
+
+import (
+	"testing"
+	"time"
+
+	"tiamat/trace"
+	"tiamat/transport/memnet"
+	"tiamat/tuple"
+	"tiamat/wire"
+)
+
+func buildLine(t *testing.T, n int, met *trace.Metrics) ([]*Node, *memnet.Network) {
+	t.Helper()
+	net := memnet.New()
+	t.Cleanup(net.Close)
+	nodes := make([]*Node, 0, n)
+	for k := 0; k < n; k++ {
+		ep, err := net.Attach(wire.Addr('a' + rune(k)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes = append(nodes, NewNode(ep, met))
+	}
+	t.Cleanup(func() {
+		for _, nd := range nodes {
+			nd.Close()
+		}
+	})
+	return nodes, net
+}
+
+func item(v int64) tuple.Tuple { return tuple.T(tuple.String("it"), tuple.Int(v)) }
+func itemTmpl() tuple.Template { return tuple.Tmpl(tuple.String("it"), tuple.FormalInt()) }
+
+func TestLocalHitNoFlood(t *testing.T) {
+	met := &trace.Metrics{}
+	nodes, net := buildLine(t, 2, met)
+	net.ConnectAll()
+	nodes[0].Out(item(1))
+	got, ok := nodes[0].Rd(itemTmpl(), 3, time.Second)
+	if !ok {
+		t.Fatal("local miss")
+	}
+	if v, _ := got.IntAt(1); v != 1 {
+		t.Fatalf("v = %d", v)
+	}
+	if met.Get(trace.CtrFloodMsgs) != 0 {
+		t.Fatalf("flood msgs = %d for local hit", met.Get(trace.CtrFloodMsgs))
+	}
+}
+
+func TestDirectNeighborLookup(t *testing.T) {
+	nodes, net := buildLine(t, 2, nil)
+	net.ConnectAll()
+	nodes[1].Out(item(7))
+	got, ok := nodes[0].Rd(itemTmpl(), 1, time.Second)
+	if !ok {
+		t.Fatal("flood lookup failed")
+	}
+	if v, _ := got.IntAt(1); v != 7 {
+		t.Fatalf("v = %d", v)
+	}
+	if nodes[1].Count() != 1 {
+		t.Fatal("rd removed the tuple")
+	}
+}
+
+func TestMultiHopFlood(t *testing.T) {
+	// Line topology a-b-c-d: data at d, lookup from a needs 3 hops.
+	nodes, net := buildLine(t, 4, nil)
+	for k := 0; k < 3; k++ {
+		net.SetVisible(nodes[k].Addr(), nodes[k+1].Addr(), true)
+	}
+	// Replies travel direct to the origin in this model, so the origin
+	// must be visible to the answering node.
+	net.SetVisible(nodes[0].Addr(), nodes[3].Addr(), true)
+	nodes[3].Out(item(9))
+	if _, ok := nodes[0].Rd(itemTmpl(), 3, time.Second); !ok {
+		t.Fatal("3-hop flood failed")
+	}
+}
+
+func TestHopBudgetBoundsFlood(t *testing.T) {
+	nodes, net := buildLine(t, 4, nil)
+	for k := 0; k < 3; k++ {
+		net.SetVisible(nodes[k].Addr(), nodes[k+1].Addr(), true)
+	}
+	net.SetVisible(nodes[0].Addr(), nodes[3].Addr(), true)
+	nodes[3].Out(item(9))
+	// Hops=1 reaches only b (which re-floods to c with hops=0; c does
+	// not forward). d is never probed via the b-c-d chain... except d is
+	// directly visible to a here, so use a topology where it is not:
+	net.SetVisible(nodes[0].Addr(), nodes[3].Addr(), false)
+	if _, ok := nodes[0].Rd(itemTmpl(), 1, 100*time.Millisecond); ok {
+		t.Fatal("lookup succeeded beyond hop budget")
+	}
+}
+
+func TestFloodCostGrowsWithNetwork(t *testing.T) {
+	small := &trace.Metrics{}
+	nodesS, netS := buildLine(t, 3, small)
+	netS.ConnectAll()
+	nodesS[2].Out(item(1))
+	nodesS[0].Rd(itemTmpl(), 4, time.Second)
+
+	big := &trace.Metrics{}
+	nodesB, netB := buildLine(t, 10, big)
+	netB.ConnectAll()
+	nodesB[9].Out(item(1))
+	nodesB[0].Rd(itemTmpl(), 4, time.Second)
+
+	// Dense flooding: message cost grows with the network even though
+	// the answer is one hop away.
+	if big.Get(trace.CtrFloodMsgs) <= small.Get(trace.CtrFloodMsgs) {
+		t.Fatalf("flood cost did not grow: small=%d big=%d",
+			small.Get(trace.CtrFloodMsgs), big.Get(trace.CtrFloodMsgs))
+	}
+}
+
+func TestDedupSuppressesRefloodLoops(t *testing.T) {
+	met := &trace.Metrics{}
+	nodes, net := buildLine(t, 4, met)
+	net.ConnectAll() // dense: loops possible without dedup
+	// No data anywhere: the flood must terminate despite the cycle.
+	if _, ok := nodes[0].Rd(itemTmpl(), 5, 200*time.Millisecond); ok {
+		t.Fatal("found nonexistent tuple")
+	}
+	// With dedup each node forwards a given flood at most once, so cost
+	// is bounded by nodes × degree.
+	if met.Get(trace.CtrFloodMsgs) > 4*3*2 {
+		t.Fatalf("flood did not terminate promptly: %d msgs", met.Get(trace.CtrFloodMsgs))
+	}
+}

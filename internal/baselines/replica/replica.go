@@ -1,0 +1,191 @@
+// Package replica is a miniature L²imbo-style baseline (paper §4.3): the
+// tuple space is fully replicated on every participant by multicasting a
+// copy of every mutating operation to the group, and each tuple has a
+// single owner — only the owner may remove it.
+//
+// The package deliberately reproduces the pathologies the paper
+// identifies so experiments can measure them:
+//
+//   - every out/in costs a multicast to the whole group and every node
+//     stores every tuple (message and storage cost, experiment E7);
+//   - disconnected nodes miss updates and see stale replicas (weakened
+//     semantics);
+//   - when an owner departs, its tuples are orphaned in every replica —
+//     no other node may remove them, so they consume resources forever
+//     (experiment E3/E7 orphan counts).
+package replica
+
+import (
+	"errors"
+	"sync"
+
+	"tiamat/trace"
+	"tiamat/transport"
+	"tiamat/tuple"
+	"tiamat/wire"
+)
+
+// ErrNotOwner reports an attempted removal of a tuple owned elsewhere.
+var ErrNotOwner = errors.New("replica: not the owner")
+
+// entry is one replicated tuple.
+type entry struct {
+	owner wire.Addr
+	seq   uint64
+	t     tuple.Tuple
+}
+
+// Node is one participant with a full replica.
+type Node struct {
+	ep  transport.Endpoint
+	met *trace.Metrics
+
+	mu      sync.Mutex
+	nextSeq uint64
+	replica map[string]entry // key owner/seq
+	wg      sync.WaitGroup
+	once    sync.Once
+}
+
+// NewNode attaches a replica participant to the network.
+func NewNode(ep transport.Endpoint, met *trace.Metrics) *Node {
+	if met == nil {
+		met = &trace.Metrics{}
+	}
+	n := &Node{ep: ep, met: met, replica: make(map[string]entry)}
+	n.wg.Add(1)
+	go n.loop()
+	return n
+}
+
+// Close departs the group. Tuples this node owns become orphans in every
+// remaining replica — exactly the resource-management problem §4.3 calls
+// out.
+func (n *Node) Close() {
+	n.once.Do(func() {
+		_ = n.ep.Close()
+		n.wg.Wait()
+	})
+}
+
+// Addr returns the node's address (its ownership identity).
+func (n *Node) Addr() wire.Addr { return n.ep.Addr() }
+
+func key(owner wire.Addr, seq uint64) string {
+	return string(owner) + "/" + itoa(seq)
+}
+
+func itoa(v uint64) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}
+
+func (n *Node) loop() {
+	defer n.wg.Done()
+	for m := range n.ep.Recv() {
+		switch m.Type {
+		case wire.TOut: // replicated add
+			n.mu.Lock()
+			n.replica[key(m.From, m.ID)] = entry{owner: m.From, seq: m.ID, t: m.Tuple}
+			n.mu.Unlock()
+		case wire.TRelease: // replicated remove (by owner only)
+			n.mu.Lock()
+			delete(n.replica, key(m.From, m.HoldID))
+			n.mu.Unlock()
+		}
+	}
+}
+
+// Out adds a tuple owned by this node: applied locally and multicast to
+// every visible participant (the DTS protocol's per-operation multicast).
+func (n *Node) Out(t tuple.Tuple) error {
+	n.mu.Lock()
+	n.nextSeq++
+	seq := n.nextSeq
+	n.replica[key(n.ep.Addr(), seq)] = entry{owner: n.ep.Addr(), seq: seq, t: t}
+	n.mu.Unlock()
+	n.met.Inc(trace.CtrReplicaMsgs)
+	_, err := n.ep.Multicast(&wire.Message{Type: wire.TOut, ID: seq, From: n.ep.Addr(), Tuple: t})
+	return err
+}
+
+// Rdp reads from the local replica — cheap, but only as fresh as the
+// multicasts this node has received.
+func (n *Node) Rdp(p tuple.Template) (tuple.Tuple, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for _, e := range n.replica {
+		if p.Matches(e.t) {
+			return e.t, true
+		}
+	}
+	return tuple.Tuple{}, false
+}
+
+// Inp removes a matching tuple this node owns. Matching tuples owned by
+// other nodes cannot be removed (ownership, §4.3); if only foreign
+// matches exist the call fails with ErrNotOwner.
+func (n *Node) Inp(p tuple.Template) (tuple.Tuple, bool, error) {
+	n.mu.Lock()
+	var foreign bool
+	for k, e := range n.replica {
+		if !p.Matches(e.t) {
+			continue
+		}
+		if e.owner != n.ep.Addr() {
+			foreign = true
+			continue
+		}
+		delete(n.replica, k)
+		n.mu.Unlock()
+		n.met.Inc(trace.CtrReplicaMsgs)
+		_, err := n.ep.Multicast(&wire.Message{Type: wire.TRelease, From: n.ep.Addr(), HoldID: e.seq})
+		return e.t, true, err
+	}
+	n.mu.Unlock()
+	if foreign {
+		return tuple.Tuple{}, false, ErrNotOwner
+	}
+	return tuple.Tuple{}, false, nil
+}
+
+// Count reports the size of this node's replica.
+func (n *Node) Count() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.replica)
+}
+
+// Bytes reports the storage this node's replica occupies.
+func (n *Node) Bytes() int64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	var b int64
+	for _, e := range n.replica {
+		b += e.t.Size()
+	}
+	return b
+}
+
+// Orphans reports tuples in this replica whose owner is not in live: they
+// can never be removed (experiment E3/E7).
+func (n *Node) Orphans(live map[wire.Addr]bool) int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	count := 0
+	for _, e := range n.replica {
+		if !live[e.owner] {
+			count++
+		}
+	}
+	return count
+}

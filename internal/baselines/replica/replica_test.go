@@ -1,0 +1,175 @@
+package replica
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"tiamat/trace"
+	"tiamat/transport/memnet"
+	"tiamat/tuple"
+	"tiamat/wire"
+)
+
+func eventually(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("never held: %s", what)
+}
+
+func item(v int64) tuple.Tuple { return tuple.T(tuple.String("it"), tuple.Int(v)) }
+func itemTmpl() tuple.Template { return tuple.Tmpl(tuple.String("it"), tuple.FormalInt()) }
+
+func TestOutReplicatesToAll(t *testing.T) {
+	net := memnet.New()
+	defer net.Close()
+	var nodes []*Node
+	for _, a := range []wire.Addr{"a", "b", "c"} {
+		ep, _ := net.Attach(a)
+		nodes = append(nodes, NewNode(ep, nil))
+	}
+	defer func() {
+		for _, n := range nodes {
+			n.Close()
+		}
+	}()
+	net.ConnectAll()
+	if err := nodes[0].Out(item(1)); err != nil {
+		t.Fatal(err)
+	}
+	for i, n := range nodes {
+		n := n
+		eventually(t, "replica populated", func() bool { return n.Count() == 1 })
+		if _, ok := n.Rdp(itemTmpl()); !ok {
+			t.Fatalf("node %d cannot read replicated tuple", i)
+		}
+	}
+}
+
+func TestOnlyOwnerMayRemove(t *testing.T) {
+	net := memnet.New()
+	defer net.Close()
+	aep, _ := net.Attach("a")
+	bep, _ := net.Attach("b")
+	net.ConnectAll()
+	a := NewNode(aep, nil)
+	defer a.Close()
+	b := NewNode(bep, nil)
+	defer b.Close()
+
+	if err := a.Out(item(1)); err != nil {
+		t.Fatal(err)
+	}
+	eventually(t, "replicated to b", func() bool { return b.Count() == 1 })
+	// b holds a replica but cannot remove a's tuple.
+	if _, _, err := b.Inp(itemTmpl()); !errors.Is(err, ErrNotOwner) {
+		t.Fatalf("b.Inp = %v, want ErrNotOwner", err)
+	}
+	// a removes its own; removal propagates.
+	got, ok, err := a.Inp(itemTmpl())
+	if err != nil || !ok {
+		t.Fatalf("a.Inp = %v %v", ok, err)
+	}
+	if v, _ := got.IntAt(1); v != 1 {
+		t.Fatalf("v = %d", v)
+	}
+	eventually(t, "removal replicated", func() bool { return b.Count() == 0 })
+}
+
+func TestDisconnectedReplicaGoesStale(t *testing.T) {
+	net := memnet.New()
+	defer net.Close()
+	aep, _ := net.Attach("a")
+	bep, _ := net.Attach("b")
+	net.ConnectAll()
+	a := NewNode(aep, nil)
+	defer a.Close()
+	b := NewNode(bep, nil)
+	defer b.Close()
+
+	a.Out(item(1))
+	eventually(t, "initial sync", func() bool { return b.Count() == 1 })
+	net.Isolate("b")
+	a.Out(item(2)) // b misses this multicast
+	if b.Count() != 1 {
+		t.Fatalf("disconnected b received update: count = %d", b.Count())
+	}
+	// The stale replica still answers reads — the weakened semantics the
+	// paper describes: a "removed" tuple can remain visible elsewhere.
+	got, ok, err := a.Inp(itemTmpl())
+	if err != nil || !ok {
+		t.Fatal("a.Inp failed")
+	}
+	v, _ := got.IntAt(1)
+	if bT, ok := b.Rdp(itemTmpl()); ok {
+		bv, _ := bT.IntAt(1)
+		if bv == v && b.Count() == 1 {
+			// b still sees the tuple a removed (if a removed item 1).
+			_ = bv
+		}
+	}
+}
+
+func TestOrphanedTuplesAfterOwnerDeparts(t *testing.T) {
+	// The paper §4.3: "If a client deposits a sizeable number of tuples
+	// in the space and then leaves, no other client can remove those
+	// tuples ... they will simply continue to consume resources."
+	net := memnet.New()
+	defer net.Close()
+	aep, _ := net.Attach("a")
+	bep, _ := net.Attach("b")
+	net.ConnectAll()
+	a := NewNode(aep, nil)
+	b := NewNode(bep, nil)
+	defer b.Close()
+
+	for v := int64(0); v < 10; v++ {
+		if err := a.Out(item(v)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eventually(t, "replicated", func() bool { return b.Count() == 10 })
+	a.Close() // owner departs forever
+
+	live := map[wire.Addr]bool{"b": true}
+	if got := b.Orphans(live); got != 10 {
+		t.Fatalf("orphans = %d, want 10", got)
+	}
+	// b cannot reclaim any of them.
+	if _, _, err := b.Inp(itemTmpl()); !errors.Is(err, ErrNotOwner) {
+		t.Fatalf("Inp on orphans: %v", err)
+	}
+	if b.Bytes() == 0 {
+		t.Fatal("orphans consume no storage?")
+	}
+}
+
+func TestReplicaMessageCost(t *testing.T) {
+	met := &trace.Metrics{}
+	netMet := &trace.Metrics{}
+	net := memnet.New(memnet.WithMetrics(netMet))
+	defer net.Close()
+	var nodes []*Node
+	for _, a := range []wire.Addr{"a", "b", "c", "d"} {
+		ep, _ := net.Attach(a)
+		nodes = append(nodes, NewNode(ep, met))
+	}
+	defer func() {
+		for _, n := range nodes {
+			n.Close()
+		}
+	}()
+	net.ConnectAll()
+	before := netMet.Get(trace.CtrMulticastRecvs)
+	nodes[0].Out(item(1))
+	// One out = one multicast delivered to all 3 peers.
+	eventually(t, "deliveries", func() bool {
+		return netMet.Get(trace.CtrMulticastRecvs)-before == 3
+	})
+}

@@ -1,0 +1,405 @@
+// Package core implements the Tiamat instance (paper §3, Figure 2): the
+// lease manager, local tuple space, and communications manager wired
+// together behind the logical-tuple-space operations.
+//
+// An Instance presents the six Linda operations with Tiamat semantics:
+// out/eval act on the local space by default; rd/rdp/in/inp operate on the
+// opportunistic logical space — the union of the local space and the
+// spaces of all currently visible instances — by propagating the
+// operation under the budget of its lease. Direct remote variants (OutAt,
+// RdAt, …) target a specific space handle (paper §2.4).
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"tiamat/clock"
+	"tiamat/internal/discovery"
+	"tiamat/internal/store"
+	"tiamat/lease"
+	"tiamat/space"
+	"tiamat/trace"
+	"tiamat/transport"
+	"tiamat/tuple"
+	"tiamat/wire"
+)
+
+// Errors reported by the instance.
+var (
+	// ErrNoMatch reports that a blocking operation's lease expired with
+	// no match found. The paper (§2.5) accepts this as a deliberate
+	// semantic change versus pure Linda: leases bound blocking.
+	ErrNoMatch = errors.New("tiamat: no match within lease")
+	// ErrClosed reports use of a closed instance.
+	ErrClosed = errors.New("tiamat: instance closed")
+	// ErrUnknownEval reports an eval naming an unregistered function.
+	ErrUnknownEval = errors.New("tiamat: unknown eval function")
+	// ErrRemoteRefused reports that a direct remote operation was
+	// refused by the target instance (e.g. its lease manager offered
+	// nothing).
+	ErrRemoteRefused = errors.New("tiamat: remote refused")
+	// ErrAbandoned reports an OutBack whose destination is unavailable
+	// under RouteAbandon policy (paper §2.4).
+	ErrAbandoned = errors.New("tiamat: operation abandoned")
+)
+
+// RoutePolicy decides what OutBack does when the destination instance is
+// not currently visible (paper §2.4: "a policy, either at the application
+// or system level, must be established").
+type RoutePolicy uint8
+
+// OutBack routing policies.
+const (
+	// RouteLocal places the tuple in the local space instead.
+	RouteLocal RoutePolicy = iota
+	// RouteAbandon abandons the operation with ErrAbandoned.
+	RouteAbandon
+	// RouteRelay attempts delivery via a backbone relay (§6 extension)
+	// and falls back to the local space.
+	RouteRelay
+)
+
+// EvalFunc is a registered active-tuple computation. Go cannot ship code
+// between processes, so eval tuples carry a function name resolved against
+// each instance's registry (see DESIGN.md, substitutions). The context is
+// cancelled when the eval lease expires, halting the computation as §2.5
+// requires.
+type EvalFunc func(ctx context.Context, args tuple.Tuple) (tuple.Tuple, error)
+
+// SpaceInfo describes a visible remote space, as learned from its
+// announce or its space-info tuple.
+type SpaceInfo struct {
+	Addr       wire.Addr
+	Persistent bool
+}
+
+// Result is a tuple returned by a read/take operation together with the
+// handle of the space it came from, enabling OutBack (paper §2.4).
+type Result struct {
+	Tuple tuple.Tuple
+	// From is the space the tuple was obtained from (the local address
+	// for local hits).
+	From wire.Addr
+}
+
+// Config configures an Instance. Endpoint is required; zero values of the
+// remaining fields select the documented defaults.
+type Config struct {
+	// Endpoint attaches the instance to its network.
+	Endpoint transport.Endpoint
+	// Clock is the time source (default: wall clock).
+	Clock clock.Clock
+	// Metrics receives instance counters (default: private registry).
+	Metrics *trace.Metrics
+	// Leases configures the lease manager (default: DefaultCapacity).
+	Leases lease.Capacity
+	// DefaultTerms are proposed when an operation passes a nil
+	// Requester (default: 5s, 16 remotes, 64 KiB).
+	DefaultTerms lease.Terms
+	// ResponderListMax bounds the responder cache (default 64).
+	ResponderListMax int
+	// ContactFanout is how many cached responders a nonblocking
+	// operation contacts at a time before moving down the list. The
+	// default 1 is the paper's sequential top-down walk; larger values
+	// trade messages for latency on lossy or slow networks.
+	ContactFanout int
+	// DisableResponderCache forces a multicast for every propagated
+	// operation — the expensive strategy §3.1.3 argues against. Used by
+	// experiment E2 as the ablation baseline.
+	DisableResponderCache bool
+	// ContinuousDiscovery re-multicasts open blocking operations every
+	// RediscoverInterval so instances that become visible during the
+	// operation participate (the model's semantics, §2.2; the paper's
+	// prototype lists this as future work — both modes are provided).
+	ContinuousDiscovery bool
+	// RediscoverInterval is the re-multicast period (default 500ms).
+	RediscoverInterval time.Duration
+	// HoldGrace is how long a responder keeps a tentative removal alive
+	// past the op TTL before reinstating it (default 2s).
+	HoldGrace time.Duration
+	// RoutePolicy selects OutBack behaviour (default RouteLocal).
+	RoutePolicy RoutePolicy
+	// Persistent marks this space as persistent in announcements and in
+	// its space-info tuple.
+	Persistent bool
+	// EvalWorkers bounds concurrent eval computations (default 4); the
+	// workers are allocated through the lease manager's thread factory
+	// (paper §3.1.1).
+	EvalWorkers int
+	// Relays are backbone addresses used by RouteRelay (set by the
+	// routing extension).
+	Relays []wire.Addr
+	// Space overrides the local tuple space. The paper (§3.1.2) requires
+	// the space to be replaceable by "any system which implements the
+	// six standard Linda operations"; pass any space.Space here. The
+	// default is tiamat/internal/store configured with the instance's
+	// clock and metrics.
+	Space space.Space
+}
+
+func (c *Config) applyDefaults() {
+	if c.Clock == nil {
+		c.Clock = clock.Real{}
+	}
+	if c.Metrics == nil {
+		c.Metrics = &trace.Metrics{}
+	}
+	if c.Leases == (lease.Capacity{}) {
+		c.Leases = lease.DefaultCapacity()
+	}
+	if c.DefaultTerms == (lease.Terms{}) {
+		c.DefaultTerms = lease.Terms{Duration: 5 * time.Second, MaxRemotes: 16, MaxBytes: 64 << 10}
+	}
+	if c.ResponderListMax == 0 {
+		c.ResponderListMax = 64
+	}
+	if c.ContactFanout <= 0 {
+		c.ContactFanout = 1
+	}
+	if c.RediscoverInterval <= 0 {
+		c.RediscoverInterval = 500 * time.Millisecond
+	}
+	if c.HoldGrace <= 0 {
+		c.HoldGrace = 2 * time.Second
+	}
+	if c.EvalWorkers <= 0 {
+		c.EvalWorkers = 4
+	}
+}
+
+// SpaceInfoName is the first field of every space-info tuple (paper
+// §2.4: "each tuple space in Tiamat contains a special tuple" carrying a
+// handle on the space and information about it).
+const SpaceInfoName = "tiamat:space"
+
+// Instance is one Tiamat node: lease manager + local space +
+// communications manager (paper Figure 2).
+type Instance struct {
+	cfg   Config
+	ep    transport.Endpoint
+	clk   clock.Clock
+	met   *trace.Metrics
+	mgr   *lease.Manager
+	local space.Space
+	list  *discovery.ResponderList
+
+	mu        sync.Mutex
+	closed    bool
+	nextOpID  uint64
+	ops       map[uint64]*opState     // outbound operations awaiting replies
+	holds     map[uint64]*pendingHold // tentative removals we are holding
+	nextHold  uint64
+	waits     map[waitKey]*remoteWait   // blocking waiters we serve for peers
+	announces map[uint64]chan SpaceInfo // open Spaces() discovery rounds
+	// Out-lease bookkeeping in both directions: a removed tuple releases
+	// its lease immediately (removal hook), and a revoked lease drops its
+	// tuple (OnRevoke).
+	outBySid   map[uint64]*lease.Lease // store tuple id -> out lease
+	sidByLease map[uint64]uint64       // lease ID -> store tuple id
+	evals      map[string]EvalFunc
+	relays     []wire.Addr
+
+	wg       sync.WaitGroup
+	stopOnce sync.Once
+	stopped  chan struct{}
+}
+
+type waitKey struct {
+	from wire.Addr
+	id   uint64
+}
+
+// New creates and starts an instance.
+func New(cfg Config) (*Instance, error) {
+	if cfg.Endpoint == nil {
+		return nil, errors.New("tiamat: Config.Endpoint is required")
+	}
+	cfg.applyDefaults()
+	i := &Instance{
+		cfg:        cfg,
+		ep:         cfg.Endpoint,
+		clk:        cfg.Clock,
+		met:        cfg.Metrics,
+		mgr:        lease.NewManager(cfg.Leases, cfg.Clock),
+		list:       discovery.NewResponderList(cfg.ResponderListMax, cfg.Metrics),
+		ops:        make(map[uint64]*opState),
+		holds:      make(map[uint64]*pendingHold),
+		waits:      make(map[waitKey]*remoteWait),
+		announces:  make(map[uint64]chan SpaceInfo),
+		outBySid:   make(map[uint64]*lease.Lease),
+		sidByLease: make(map[uint64]uint64),
+		evals:      make(map[string]EvalFunc),
+		relays:     append([]wire.Addr(nil), cfg.Relays...),
+		stopped:    make(chan struct{}),
+	}
+	if cfg.Space != nil {
+		i.local = cfg.Space
+	} else {
+		// The removal hook releases an out-lease the moment its tuple
+		// leaves the space (taken, reclaimed, or removed), so consumed
+		// tuples stop counting against MaxActive and the byte pool.
+		i.local = store.New(
+			store.WithClock(cfg.Clock),
+			store.WithMetrics(cfg.Metrics),
+			store.WithRemovalHook(i.releaseOutLease),
+		)
+	}
+	i.mgr.RegisterResource(lease.ResThreads, int64(cfg.EvalWorkers))
+	// Revoked out-leases drop their tuples (last-resort reclamation).
+	i.mgr.OnRevoke(func(l *lease.Lease) {
+		i.mu.Lock()
+		sid, ok := i.sidByLease[l.ID()]
+		delete(i.sidByLease, l.ID())
+		delete(i.outBySid, sid)
+		i.mu.Unlock()
+		if ok {
+			i.local.Remove(sid)
+		}
+	})
+	// The space-info tuple (paper §2.4): a handle on this space plus
+	// whether it is persistent. Never expires.
+	info := tuple.T(tuple.String(SpaceInfoName), tuple.String(string(i.Addr())), tuple.Bool(cfg.Persistent))
+	if _, err := i.local.Out(info, time.Time{}); err != nil {
+		return nil, fmt.Errorf("tiamat: seeding space-info tuple: %w", err)
+	}
+	i.wg.Add(1)
+	go i.loop()
+	return i, nil
+}
+
+// Addr returns the instance's contact address.
+func (i *Instance) Addr() wire.Addr { return i.ep.Addr() }
+
+// LeaseManager exposes the instance's lease manager (resource policy,
+// stats, revocation).
+func (i *Instance) LeaseManager() *lease.Manager { return i.mgr }
+
+// LocalSpace exposes the local tuple space.
+func (i *Instance) LocalSpace() space.Space { return i.local }
+
+// Metrics returns the instance's metrics registry.
+func (i *Instance) Metrics() *trace.Metrics { return i.met }
+
+// ResponderList exposes the cached responder order (top first), mainly
+// for monitoring and experiments.
+func (i *Instance) ResponderList() []wire.Addr { return i.list.Snapshot() }
+
+// RegisterEval installs fn under name for local and remote eval requests.
+func (i *Instance) RegisterEval(name string, fn EvalFunc) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.evals[name] = fn
+}
+
+// SetRelays replaces the backbone relay set used by RouteRelay.
+func (i *Instance) SetRelays(relays []wire.Addr) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.relays = append([]wire.Addr(nil), relays...)
+}
+
+// Close stops the instance: the event loop exits, the local space closes,
+// all leases are cancelled, and in-flight served waiters are released.
+func (i *Instance) Close() error {
+	i.stopOnce.Do(func() {
+		i.mu.Lock()
+		i.closed = true
+		i.mu.Unlock()
+		_ = i.ep.Close() // closes Recv, unblocking the loop
+		close(i.stopped)
+		i.mgr.Close()       // cancel leases: unblocks evals and served waiters
+		_ = i.local.Close() // unblocks store waiters
+		i.wg.Wait()
+		i.mu.Lock()
+		holds := make([]*pendingHold, 0, len(i.holds))
+		for _, h := range i.holds {
+			holds = append(holds, h)
+		}
+		i.holds = make(map[uint64]*pendingHold)
+		waits := make([]*remoteWait, 0, len(i.waits))
+		for _, w := range i.waits {
+			waits = append(waits, w)
+		}
+		i.waits = make(map[waitKey]*remoteWait)
+		i.mu.Unlock()
+		for _, h := range holds {
+			if h.stop != nil {
+				h.stop()
+			}
+		}
+		for _, w := range waits {
+			w.stop()
+		}
+	})
+	return nil
+}
+
+// loop is the communications manager's event loop: it dispatches every
+// inbound message. Handlers must not block; blocking work is delegated to
+// goroutines tracked by i.wg.
+func (i *Instance) loop() {
+	defer i.wg.Done()
+	for m := range i.ep.Recv() {
+		i.dispatch(m)
+	}
+}
+
+// send transmits a message, evicting unreachable responders from the list
+// (paper §3.1.3: "removing any which do not respond").
+func (i *Instance) send(to wire.Addr, m *wire.Message) error {
+	err := i.ep.Send(to, m)
+	if errors.Is(err, transport.ErrUnreachable) {
+		i.list.Evict(to)
+	}
+	return err
+}
+
+func (i *Instance) nextOp() uint64 {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.nextOpID++
+	return i.nextOpID
+}
+
+// requester normalises a possibly-nil Requester.
+func (i *Instance) requester(r lease.Requester) lease.Requester {
+	if r == nil {
+		return lease.Flexible(i.cfg.DefaultTerms)
+	}
+	return r
+}
+
+// releaseOutLease cancels the out-lease covering the removed tuple.
+func (i *Instance) releaseOutLease(sid uint64) {
+	i.mu.Lock()
+	lse, ok := i.outBySid[sid]
+	if ok {
+		delete(i.outBySid, sid)
+		delete(i.sidByLease, lse.ID())
+	}
+	i.mu.Unlock()
+	if ok {
+		lse.Cancel()
+	}
+}
+
+// trackOutLease records the lease covering a stored tuple.
+func (i *Instance) trackOutLease(sid uint64, lse *lease.Lease) {
+	i.mu.Lock()
+	if !i.closed {
+		i.outBySid[sid] = lse
+		i.sidByLease[lse.ID()] = sid
+	}
+	i.mu.Unlock()
+}
+
+// isClosed reports whether Close has begun.
+func (i *Instance) isClosed() bool {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.closed
+}

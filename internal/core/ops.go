@@ -1,0 +1,732 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"tiamat/lease"
+	"tiamat/trace"
+	"tiamat/transport"
+	"tiamat/tuple"
+	"tiamat/wire"
+)
+
+// opState tracks one outbound propagated operation.
+type opState struct {
+	id      uint64
+	results chan *wire.Message
+}
+
+// Out places a tuple in the local space under a negotiated lease (paper
+// §2.2: out operates only on the local space by default). The tuple
+// becomes reclaimable when the lease expires.
+func (i *Instance) Out(t tuple.Tuple, r lease.Requester) error {
+	if i.isClosed() {
+		return ErrClosed
+	}
+	i.met.Inc(trace.CtrOpsOut)
+	lse, err := i.mgr.Grant(lease.OpOut, i.requester(r))
+	if err != nil {
+		return err
+	}
+	if err := lse.ConsumeBytes(t.Size()); err != nil {
+		lse.Cancel()
+		return fmt.Errorf("out %v: %w", t, err)
+	}
+	sid, err := i.local.Out(t, lse.Deadline())
+	if err != nil {
+		lse.Cancel()
+		return err
+	}
+	if sid != 0 {
+		lse.ShrinkBytes() // only the stored size stays reserved
+		i.trackOutLease(sid, lse)
+	} else {
+		// Consumed immediately by a waiting taker; no storage held.
+		lse.Cancel()
+	}
+	return nil
+}
+
+// Eval runs a registered active-tuple computation locally under an eval
+// lease; the resulting tuple becomes available in the local space when
+// the computation finishes. Eval is asynchronous, as in Linda. If the
+// lease expires first the computation is halted and no tuple appears
+// (paper §2.5).
+func (i *Instance) Eval(fn string, args tuple.Tuple, r lease.Requester) error {
+	if i.isClosed() {
+		return ErrClosed
+	}
+	i.met.Inc(trace.CtrOpsEval)
+	i.mu.Lock()
+	f, ok := i.evals[fn]
+	i.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%q: %w", fn, ErrUnknownEval)
+	}
+	lse, err := i.mgr.Grant(lease.OpEval, i.requester(r))
+	if err != nil {
+		return err
+	}
+	release, err := i.mgr.Acquire(lease.ResThreads, 1)
+	if err != nil {
+		lse.Cancel()
+		return fmt.Errorf("eval %q: %w", fn, err)
+	}
+	i.wg.Add(1)
+	go func() {
+		defer i.wg.Done()
+		defer release()
+		i.runEval(f, args, lse)
+	}()
+	return nil
+}
+
+// runEval executes the computation under the lease.
+func (i *Instance) runEval(f EvalFunc, args tuple.Tuple, lse *lease.Lease) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() {
+		select {
+		case <-lse.Done():
+			cancel() // lease expired: halt the computation (§2.5)
+		case <-ctx.Done():
+		}
+	}()
+	result, err := f(ctx, args)
+	if err != nil || lse.Err() != nil {
+		lse.Cancel()
+		return
+	}
+	if err := lse.ConsumeBytes(result.Size()); err != nil {
+		lse.Cancel()
+		return
+	}
+	sid, err := i.local.Out(result, lse.Deadline())
+	if err != nil || sid == 0 {
+		lse.Cancel()
+		return
+	}
+	lse.ShrinkBytes()
+	i.trackOutLease(sid, lse)
+}
+
+// Rd reads (a copy of) a tuple matching p from the logical space,
+// blocking until a match or lease expiry.
+func (i *Instance) Rd(ctx context.Context, p tuple.Template, r lease.Requester) (Result, error) {
+	res, ok, err := i.logicalOp(ctx, wire.OpRd, p, r)
+	if err != nil {
+		return Result{}, err
+	}
+	if !ok {
+		return Result{}, ErrNoMatch
+	}
+	return res, nil
+}
+
+// In takes a tuple matching p from the logical space, blocking until a
+// match or lease expiry.
+func (i *Instance) In(ctx context.Context, p tuple.Template, r lease.Requester) (Result, error) {
+	res, ok, err := i.logicalOp(ctx, wire.OpIn, p, r)
+	if err != nil {
+		return Result{}, err
+	}
+	if !ok {
+		return Result{}, ErrNoMatch
+	}
+	return res, nil
+}
+
+// Rdp reads a matching tuple from the logical space without blocking for
+// new tuples: the local space and currently visible instances are probed
+// once under the lease budget.
+func (i *Instance) Rdp(ctx context.Context, p tuple.Template, r lease.Requester) (Result, bool, error) {
+	return i.logicalOp(ctx, wire.OpRdp, p, r)
+}
+
+// Inp takes a matching tuple from the logical space without blocking.
+func (i *Instance) Inp(ctx context.Context, p tuple.Template, r lease.Requester) (Result, bool, error) {
+	return i.logicalOp(ctx, wire.OpInp, p, r)
+}
+
+func opKind(code wire.OpCode) lease.OpKind {
+	switch code {
+	case wire.OpRd:
+		return lease.OpRd
+	case wire.OpRdp:
+		return lease.OpRdp
+	case wire.OpIn:
+		return lease.OpIn
+	default:
+		return lease.OpInp
+	}
+}
+
+func opCounter(code wire.OpCode) string {
+	switch code {
+	case wire.OpRd:
+		return trace.CtrOpsRd
+	case wire.OpRdp:
+		return trace.CtrOpsRdp
+	case wire.OpIn:
+		return trace.CtrOpsIn
+	default:
+		return trace.CtrOpsInp
+	}
+}
+
+// logicalOp runs a read/take against the opportunistic logical space:
+// local space first, then propagation to visible instances under the
+// lease budget (paper §2.2, §3.1.3).
+func (i *Instance) logicalOp(ctx context.Context, code wire.OpCode, p tuple.Template, r lease.Requester) (Result, bool, error) {
+	if i.isClosed() {
+		return Result{}, false, ErrClosed
+	}
+	i.met.Inc(opCounter(code))
+	lse, err := i.mgr.Grant(opKind(code), i.requester(r))
+	if err != nil {
+		return Result{}, false, err
+	}
+	defer lse.Cancel()
+
+	// Local phase. For blocking ops the waiter stays registered so a
+	// local out during propagation still satisfies the operation.
+	var localWait <-chan tuple.Tuple
+	if code.Blocking() {
+		w := i.local.Wait(p, code.Removes())
+		defer w.Cancel()
+		select {
+		case t, ok := <-w.Chan():
+			if ok {
+				i.met.Inc(trace.CtrOpsLocalHit)
+				i.met.Inc(trace.CtrOpsSatisfied)
+				return Result{Tuple: t, From: i.Addr()}, true, nil
+			}
+		default:
+		}
+		localWait = w.Chan()
+	} else {
+		var t tuple.Tuple
+		var ok bool
+		if code.Removes() {
+			t, ok = i.local.Inp(p)
+		} else {
+			t, ok = i.local.Rdp(p)
+		}
+		if ok {
+			i.met.Inc(trace.CtrOpsLocalHit)
+			i.met.Inc(trace.CtrOpsSatisfied)
+			return Result{Tuple: t, From: i.Addr()}, true, nil
+		}
+	}
+
+	res, ok, err := i.propagate(ctx, code, p, lse, localWait)
+	if err != nil {
+		return Result{}, false, err
+	}
+	if ok {
+		i.met.Inc(trace.CtrOpsSatisfied)
+	} else {
+		i.met.Inc(trace.CtrOpsEmpty)
+	}
+	return res, ok, nil
+}
+
+// propagate implements the communications manager's outbound side: contact
+// cached responders top-down, multicast when the list is exhausted, accept
+// the first match, release the rest (paper §3.1.3).
+func (i *Instance) propagate(ctx context.Context, code wire.OpCode, p tuple.Template, lse *lease.Lease, localWait <-chan tuple.Tuple) (Result, bool, error) {
+	opID := i.nextOp()
+	st := &opState{id: opID, results: make(chan *wire.Message, 256)}
+	i.mu.Lock()
+	if i.closed {
+		i.mu.Unlock()
+		return Result{}, false, ErrClosed
+	}
+	i.ops[opID] = st
+	i.mu.Unlock()
+
+	contacted := make(map[wire.Addr]bool)
+	multicasted := false
+	defer func() {
+		i.mu.Lock()
+		delete(i.ops, opID)
+		i.mu.Unlock()
+		// Only blocking ops leave waiters behind on responders; tell
+		// them the operation is over. Nonblocking responders answered
+		// immediately and hold nothing beyond their pending holds,
+		// which accept/release settles.
+		if code.Blocking() {
+			i.cancelRemotes(opID, contacted, multicasted)
+		}
+		// Drain late results: any found hold must be released so the
+		// tuple is reinstated at its owner.
+		for {
+			select {
+			case m := <-st.results:
+				i.releaseLate(m)
+			default:
+				return
+			}
+		}
+	}()
+
+	ttl := lse.Deadline().Sub(i.clk.Now())
+	msg := &wire.Message{Type: wire.TOp, ID: opID, From: i.Addr(), Op: code, Template: p, TTL: ttl}
+
+	// remaining counts replies still expected; nonblocking ops complete
+	// when it reaches zero.
+	remaining := 0
+
+	// Nonblocking ops contact the responder list incrementally, top-down,
+	// ContactFanout at a time (paper §3.1.3: "operation propagation always
+	// starts from the top"; a not-found reply advances down the list).
+	// Blocking ops contact the whole list at once — they are waiting
+	// anyway, and wide registration maximises the chance of a match.
+	var queue []wire.Addr
+	if !i.cfg.DisableResponderCache {
+		queue = i.list.Snapshot()
+	}
+	contactNext := func(limit int) {
+		for limit > 0 && len(queue) > 0 {
+			a := queue[0]
+			queue = queue[1:]
+			if lse.ConsumeRemote() != nil {
+				queue = nil
+				return
+			}
+			if err := i.send(a, msg); err == nil {
+				contacted[a] = true
+				remaining++
+				limit--
+			}
+		}
+	}
+	if code.Blocking() {
+		contactNext(len(queue) + 1)
+	} else {
+		contactNext(i.cfg.ContactFanout)
+	}
+
+	// unknownAudience is set when the transport cannot count multicast
+	// recipients (real UDP); nonblocking ops then wait out the lease
+	// rather than concluding nobody is there.
+	unknownAudience := false
+	doMulticast := func() {
+		if multicasted && !i.cfg.ContinuousDiscovery {
+			return
+		}
+		if lse.ConsumeRemote() != nil {
+			return
+		}
+		n, err := i.ep.Multicast(msg)
+		if err == nil {
+			if n < 0 {
+				unknownAudience = true
+			} else {
+				remaining += n
+			}
+			multicasted = true
+			i.met.Inc(trace.CtrDiscoverRounds)
+		}
+	}
+	if remaining == 0 || i.cfg.DisableResponderCache {
+		doMulticast()
+	}
+	if remaining == 0 && !unknownAudience && !code.Blocking() {
+		return Result{}, false, nil // nobody visible: nothing to wait for
+	}
+
+	var rediscover <-chan time.Time
+	if code.Blocking() && i.cfg.ContinuousDiscovery {
+		rediscover = i.clk.After(i.cfg.RediscoverInterval)
+	}
+
+	for {
+		select {
+		case t, ok := <-localWait:
+			if ok {
+				i.met.Inc(trace.CtrOpsLocalHit)
+				return Result{Tuple: t, From: i.Addr()}, true, nil
+			}
+			localWait = nil // store closed under us
+
+		case m := <-st.results:
+			remaining--
+			if m.Type == wire.TResult && m.Found {
+				if code.Removes() && m.HoldID != 0 {
+					// First responder wins: accept this hold; the
+					// deferred drain releases any later ones.
+					_ = i.send(m.From, &wire.Message{
+						Type: wire.TAccept, ID: opID, From: i.Addr(), HoldID: m.HoldID,
+					})
+				}
+				i.met.Inc(trace.CtrOpsRemoteHit)
+				return Result{Tuple: m.Tuple, From: m.From}, true, nil
+			}
+			if remaining <= 0 && !code.Blocking() {
+				// Advance down the responder list before resorting to
+				// a multicast (paper §3.1.3: "if the end of the list is
+				// reached, and the request is not satisfied, then
+				// another multicast may be used").
+				if len(queue) > 0 {
+					contactNext(i.cfg.ContactFanout)
+					if remaining > 0 {
+						continue
+					}
+				}
+				if !unknownAudience {
+					if !multicasted {
+						doMulticast()
+						if remaining > 0 || unknownAudience {
+							continue
+						}
+					}
+					return Result{}, false, nil
+				}
+			}
+
+		case <-lse.Done():
+			// Lease expired: stop trying and return nothing (§2.5).
+			i.met.Inc(trace.CtrOpsExpired)
+			return Result{}, false, nil
+
+		case <-ctx.Done():
+			return Result{}, false, ctx.Err()
+
+		case <-rediscover:
+			// The model's continuous mode: instances that became
+			// visible during the operation are included (§2.2).
+			msg.TTL = lse.Deadline().Sub(i.clk.Now())
+			doMulticast()
+			rediscover = i.clk.After(i.cfg.RediscoverInterval)
+		}
+	}
+}
+
+// cancelRemotes tells contacted instances (and, if the operation was
+// multicast, all listeners) that the operation is over so they can free
+// any held waiters.
+func (i *Instance) cancelRemotes(opID uint64, contacted map[wire.Addr]bool, multicasted bool) {
+	if i.isClosed() {
+		return
+	}
+	cancel := &wire.Message{Type: wire.TCancel, ID: opID, From: i.Addr()}
+	for a := range contacted {
+		_ = i.send(a, cancel)
+	}
+	if multicasted {
+		_, _ = i.ep.Multicast(cancel)
+	}
+}
+
+// releaseLate releases a found-result that lost the race (or arrived
+// after completion), reinstating the tuple at its owner.
+func (i *Instance) releaseLate(m *wire.Message) {
+	if m.Type == wire.TResult && m.Found && m.HoldID != 0 && !i.isClosed() {
+		_ = i.send(m.From, &wire.Message{
+			Type: wire.TRelease, ID: m.ID, From: i.Addr(), HoldID: m.HoldID,
+		})
+	}
+}
+
+// handleResult routes an inbound TResult/TAck to its operation, or
+// releases it if the operation has already completed.
+func (i *Instance) handleResult(m *wire.Message) {
+	if m.Type == wire.TResult {
+		// Every responder is worth remembering, including late ones and
+		// losers of the first-responder race (paper §3.1.3: instances
+		// responding to the multicast are appended to the list).
+		i.list.Observe(m.From)
+	}
+	i.mu.Lock()
+	st, ok := i.ops[m.ID]
+	i.mu.Unlock()
+	if !ok {
+		i.releaseLate(m)
+		return
+	}
+	select {
+	case st.results <- m:
+	default:
+		i.releaseLate(m) // overflowing op inbox: treat as lost race
+	}
+}
+
+// Spaces discovers currently visible spaces: it multicasts a probe and
+// collects announcements until ctx is done or every probed instance has
+// answered. The local space is always first in the result.
+func (i *Instance) Spaces(ctx context.Context) ([]SpaceInfo, error) {
+	if i.isClosed() {
+		return nil, ErrClosed
+	}
+	id := i.nextOp()
+	ch := make(chan SpaceInfo, 256)
+	i.mu.Lock()
+	i.announces[id] = ch
+	i.mu.Unlock()
+	defer func() {
+		i.mu.Lock()
+		delete(i.announces, id)
+		i.mu.Unlock()
+	}()
+
+	out := []SpaceInfo{{Addr: i.Addr(), Persistent: i.cfg.Persistent}}
+	n, err := i.ep.Multicast(&wire.Message{Type: wire.TDiscover, ID: id, From: i.Addr()})
+	if err != nil || n == 0 {
+		return out, err
+	}
+	for len(out) < n+1 {
+		select {
+		case info := <-ch:
+			out = append(out, info)
+			i.list.Observe(info.Addr)
+		case <-ctx.Done():
+			return out, nil // partial results are results
+		}
+	}
+	return out, nil
+}
+
+// --- direct remote operations (paper §2.4) ------------------------------
+
+// OutAt performs an out on the specific remote space addr. The remote
+// instance negotiates its own lease for the storage; refusal surfaces as
+// ErrRemoteRefused.
+func (i *Instance) OutAt(addr wire.Addr, t tuple.Tuple, r lease.Requester) error {
+	if addr == i.Addr() {
+		return i.Out(t, r)
+	}
+	if i.isClosed() {
+		return ErrClosed
+	}
+	i.met.Inc(trace.CtrOpsOut)
+	lse, err := i.mgr.Grant(lease.OpOut, i.requester(r))
+	if err != nil {
+		return err
+	}
+	defer lse.Cancel()
+	if err := lse.ConsumeRemote(); err != nil {
+		return err
+	}
+	m := &wire.Message{Type: wire.TOut, From: i.Addr(), TTL: lse.Deadline().Sub(i.clk.Now()), Tuple: t}
+	ack, err := i.rpc(addr, m, lse)
+	if err != nil {
+		return err
+	}
+	if !ack.OK {
+		return fmt.Errorf("%s: %s: %w", addr, ack.Err, ErrRemoteRefused)
+	}
+	return nil
+}
+
+// EvalAt performs an eval on the specific remote space addr. The function
+// name must be registered there.
+func (i *Instance) EvalAt(addr wire.Addr, fn string, args tuple.Tuple, r lease.Requester) error {
+	if addr == i.Addr() {
+		return i.Eval(fn, args, r)
+	}
+	if i.isClosed() {
+		return ErrClosed
+	}
+	i.met.Inc(trace.CtrOpsEval)
+	lse, err := i.mgr.Grant(lease.OpEval, i.requester(r))
+	if err != nil {
+		return err
+	}
+	defer lse.Cancel()
+	if err := lse.ConsumeRemote(); err != nil {
+		return err
+	}
+	m := &wire.Message{Type: wire.TEval, From: i.Addr(), Func: fn, TTL: lse.Deadline().Sub(i.clk.Now()), Tuple: args}
+	ack, err := i.rpc(addr, m, lse)
+	if err != nil {
+		return err
+	}
+	if !ack.OK {
+		return fmt.Errorf("%s: %s: %w", addr, ack.Err, ErrRemoteRefused)
+	}
+	return nil
+}
+
+// directOp runs a read/take against one specific remote space.
+func (i *Instance) directOp(ctx context.Context, addr wire.Addr, code wire.OpCode, p tuple.Template, r lease.Requester) (Result, bool, error) {
+	if i.isClosed() {
+		return Result{}, false, ErrClosed
+	}
+	i.met.Inc(opCounter(code))
+	lse, err := i.mgr.Grant(opKind(code), i.requester(r))
+	if err != nil {
+		return Result{}, false, err
+	}
+	defer lse.Cancel()
+	if addr == i.Addr() {
+		return i.directLocal(code, p, lse)
+	}
+	if err := lse.ConsumeRemote(); err != nil {
+		return Result{}, false, err
+	}
+
+	opID := i.nextOp()
+	st := &opState{id: opID, results: make(chan *wire.Message, 16)}
+	i.mu.Lock()
+	i.ops[opID] = st
+	i.mu.Unlock()
+	defer func() {
+		i.mu.Lock()
+		delete(i.ops, opID)
+		i.mu.Unlock()
+		if code.Blocking() && !i.isClosed() {
+			_ = i.send(addr, &wire.Message{Type: wire.TCancel, ID: opID, From: i.Addr()})
+		}
+		for {
+			select {
+			case m := <-st.results:
+				i.releaseLate(m)
+			default:
+				return
+			}
+		}
+	}()
+
+	msg := &wire.Message{Type: wire.TOp, ID: opID, From: i.Addr(), Op: code,
+		Template: p, TTL: lse.Deadline().Sub(i.clk.Now())}
+	if err := i.send(addr, msg); err != nil {
+		return Result{}, false, err
+	}
+	for {
+		select {
+		case m := <-st.results:
+			if m.Type == wire.TResult && m.Found {
+				if code.Removes() && m.HoldID != 0 {
+					_ = i.send(m.From, &wire.Message{Type: wire.TAccept, ID: opID, From: i.Addr(), HoldID: m.HoldID})
+				}
+				return Result{Tuple: m.Tuple, From: m.From}, true, nil
+			}
+			if !code.Blocking() {
+				return Result{}, false, nil
+			}
+		case <-lse.Done():
+			return Result{}, false, nil
+		case <-ctx.Done():
+			return Result{}, false, ctx.Err()
+		}
+	}
+}
+
+// directLocal serves the addr==self case of direct operations.
+func (i *Instance) directLocal(code wire.OpCode, p tuple.Template, lse *lease.Lease) (Result, bool, error) {
+	if code.Blocking() {
+		w := i.local.Wait(p, code.Removes())
+		defer w.Cancel()
+		select {
+		case t, ok := <-w.Chan():
+			if ok {
+				return Result{Tuple: t, From: i.Addr()}, true, nil
+			}
+			return Result{}, false, ErrClosed
+		case <-lse.Done():
+			return Result{}, false, nil
+		}
+	}
+	var t tuple.Tuple
+	var ok bool
+	if code.Removes() {
+		t, ok = i.local.Inp(p)
+	} else {
+		t, ok = i.local.Rdp(p)
+	}
+	if !ok {
+		return Result{}, false, nil
+	}
+	return Result{Tuple: t, From: i.Addr()}, true, nil
+}
+
+// RdAt reads from the specific space addr, blocking until match or lease
+// expiry.
+func (i *Instance) RdAt(ctx context.Context, addr wire.Addr, p tuple.Template, r lease.Requester) (Result, error) {
+	res, ok, err := i.directOp(ctx, addr, wire.OpRd, p, r)
+	if err != nil {
+		return Result{}, err
+	}
+	if !ok {
+		return Result{}, ErrNoMatch
+	}
+	return res, nil
+}
+
+// InAt takes from the specific space addr, blocking until match or lease
+// expiry.
+func (i *Instance) InAt(ctx context.Context, addr wire.Addr, p tuple.Template, r lease.Requester) (Result, error) {
+	res, ok, err := i.directOp(ctx, addr, wire.OpIn, p, r)
+	if err != nil {
+		return Result{}, err
+	}
+	if !ok {
+		return Result{}, ErrNoMatch
+	}
+	return res, nil
+}
+
+// RdpAt probes the specific space addr without blocking.
+func (i *Instance) RdpAt(ctx context.Context, addr wire.Addr, p tuple.Template, r lease.Requester) (Result, bool, error) {
+	return i.directOp(ctx, addr, wire.OpRdp, p, r)
+}
+
+// InpAt takes from the specific space addr without blocking.
+func (i *Instance) InpAt(ctx context.Context, addr wire.Addr, p tuple.Template, r lease.Requester) (Result, bool, error) {
+	return i.directOp(ctx, addr, wire.OpInp, p, r)
+}
+
+// OutBack attempts to place a tuple back at the instance a previous
+// read/take obtained it from (paper §2.4's third out variant). If the
+// destination is unavailable the configured RoutePolicy applies.
+func (i *Instance) OutBack(res Result, r lease.Requester) error {
+	err := i.OutAt(res.From, res.Tuple, r)
+	if err == nil || !errors.Is(err, transport.ErrUnreachable) {
+		return err
+	}
+	switch i.cfg.RoutePolicy {
+	case RouteAbandon:
+		return fmt.Errorf("destination %s unreachable: %w", res.From, ErrAbandoned)
+	case RouteRelay:
+		if relayErr := i.relayOut(res); relayErr == nil {
+			return nil
+		}
+		return i.Out(res.Tuple, r)
+	default: // RouteLocal
+		return i.Out(res.Tuple, r)
+	}
+}
+
+// rpc sends a request that expects a TAck correlated by ID.
+func (i *Instance) rpc(addr wire.Addr, m *wire.Message, lse *lease.Lease) (*wire.Message, error) {
+	opID := i.nextOp()
+	m.ID = opID
+	st := &opState{id: opID, results: make(chan *wire.Message, 4)}
+	i.mu.Lock()
+	if i.closed {
+		i.mu.Unlock()
+		return nil, ErrClosed
+	}
+	i.ops[opID] = st
+	i.mu.Unlock()
+	defer func() {
+		i.mu.Lock()
+		delete(i.ops, opID)
+		i.mu.Unlock()
+	}()
+	if err := i.send(addr, m); err != nil {
+		return nil, err
+	}
+	select {
+	case ack := <-st.results:
+		return ack, nil
+	case <-lse.Done():
+		return nil, fmt.Errorf("%s: no ack within lease: %w", addr, lse.Err())
+	case <-i.stopped:
+		return nil, ErrClosed
+	}
+}

@@ -1,0 +1,385 @@
+package core
+
+import (
+	"sync"
+	"time"
+
+	"tiamat/lease"
+	"tiamat/space"
+	"tiamat/wire"
+)
+
+// This file implements the responder side of the communications manager:
+// serving propagated operations from peers, the tentative-hold protocol
+// for distributed takes, remote out/eval admission, and relay forwarding.
+//
+// The paper's rule (§2.5) that "any Tiamat instance which, during the
+// course of performing an operation, places demands on another, is
+// responsible for negotiating any further leases" is realised here: every
+// remote request is admitted through this instance's own lease manager
+// before any local work happens.
+
+// pendingHold is a tentatively removed tuple awaiting TAccept/TRelease.
+// A grace timer reinstates it if the requester disappears.
+type pendingHold struct {
+	id   uint64
+	hold space.Hold
+	stop func() bool
+}
+
+// remoteWait is a blocking operation we are serving for a peer.
+type remoteWait struct {
+	key      waitKey
+	stopc    chan struct{}
+	stopOnce sync.Once
+}
+
+func (w *remoteWait) stop() { w.stopOnce.Do(func() { close(w.stopc) }) }
+
+// handleDiscover answers a visibility probe with this space's contact
+// information (paper §3.1.3).
+func (i *Instance) handleDiscover(m *wire.Message) {
+	_ = i.send(m.From, &wire.Message{
+		Type: wire.TAnnounce, ID: m.ID, From: i.Addr(), Persistent: i.cfg.Persistent,
+	})
+}
+
+// handleAnnounce routes an announce to the discovery round that asked.
+func (i *Instance) handleAnnounce(m *wire.Message) {
+	i.mu.Lock()
+	ch, ok := i.announces[m.ID]
+	i.mu.Unlock()
+	if !ok {
+		i.list.Observe(m.From) // unsolicited but useful knowledge
+		return
+	}
+	select {
+	case ch <- SpaceInfo{Addr: m.From, Persistent: m.Persistent}:
+	default:
+	}
+}
+
+// serveTerms derives the responder-side lease proposal for a remote op:
+// the requester's TTL, clamped by this instance's own capacity during
+// negotiation.
+func serveTerms(ttl time.Duration) lease.Terms {
+	if ttl <= 0 {
+		ttl = time.Millisecond
+	}
+	return lease.Terms{Duration: ttl}
+}
+
+// handleOp serves a propagated rd/rdp/in/inp against the local space.
+func (i *Instance) handleOp(m *wire.Message) {
+	notFound := &wire.Message{Type: wire.TResult, ID: m.ID, From: i.Addr(), Found: false}
+
+	// Admit the work through our own lease manager; refusal means we
+	// contribute nothing to this operation.
+	lse, err := i.mgr.Grant(opKind(m.Op), lease.Flexible(serveTerms(m.TTL)))
+	if err != nil {
+		_ = i.send(m.From, notFound)
+		return
+	}
+
+	// Immediate attempt.
+	if m.Op.Removes() {
+		if h, ok := i.local.Hold(m.Template); ok {
+			holdID := i.registerHold(h, m.TTL)
+			_ = i.send(m.From, &wire.Message{
+				Type: wire.TResult, ID: m.ID, From: i.Addr(),
+				Found: true, HoldID: holdID, Tuple: h.Tuple(),
+			})
+			lse.Cancel()
+			return
+		}
+	} else {
+		if t, ok := i.local.Rdp(m.Template); ok {
+			_ = i.send(m.From, &wire.Message{
+				Type: wire.TResult, ID: m.ID, From: i.Addr(), Found: true, Tuple: t,
+			})
+			lse.Cancel()
+			return
+		}
+	}
+
+	if !m.Op.Blocking() {
+		_ = i.send(m.From, notFound)
+		lse.Cancel()
+		return
+	}
+
+	// Blocking op: hold a waiter on behalf of the peer until a match,
+	// the granted lease expires, or the peer cancels.
+	i.serveBlocking(m, lse)
+}
+
+// serveBlocking registers a waiter for a peer's blocking operation.
+func (i *Instance) serveBlocking(m *wire.Message, lse *lease.Lease) {
+	key := waitKey{from: m.From, id: m.ID}
+	rw := &remoteWait{key: key, stopc: make(chan struct{})}
+	i.mu.Lock()
+	if i.closed {
+		i.mu.Unlock()
+		lse.Cancel()
+		return
+	}
+	if old, ok := i.waits[key]; ok {
+		old.stop() // duplicate (e.g. rediscovery re-multicast): replace
+	}
+	i.waits[key] = rw
+	i.mu.Unlock()
+
+	i.wg.Add(1)
+	go func() {
+		defer i.wg.Done()
+		defer func() {
+			i.mu.Lock()
+			if i.waits[key] == rw {
+				delete(i.waits, key)
+			}
+			i.mu.Unlock()
+			lse.Cancel()
+		}()
+		for {
+			// Watch in copy mode; on a hit, race for a hold so the
+			// tuple's expiry metadata is preserved on reinstatement.
+			w := i.local.Wait(m.Template, false)
+			select {
+			case t, ok := <-w.Chan():
+				if !ok {
+					return // store closed
+				}
+				if m.Op.Removes() {
+					h, ok := i.local.Hold(m.Template)
+					if !ok {
+						continue // lost the race; wait again
+					}
+					holdID := i.registerHold(h, m.TTL)
+					_ = i.send(m.From, &wire.Message{
+						Type: wire.TResult, ID: m.ID, From: i.Addr(),
+						Found: true, HoldID: holdID, Tuple: h.Tuple(),
+					})
+					return
+				}
+				// rd: the delivered copy is the answer (rd semantics
+				// permit any tuple that was in the space during the op).
+				_ = i.send(m.From, &wire.Message{
+					Type: wire.TResult, ID: m.ID, From: i.Addr(), Found: true, Tuple: t,
+				})
+				return
+
+			case <-lse.Done():
+				w.Cancel()
+				_ = i.send(m.From, &wire.Message{Type: wire.TResult, ID: m.ID, From: i.Addr(), Found: false})
+				return
+
+			case <-rw.stopc:
+				w.Cancel()
+				return
+
+			case <-i.stopped:
+				w.Cancel()
+				return
+			}
+		}
+	}()
+}
+
+// registerHold records a tentative removal and arms its grace timer.
+func (i *Instance) registerHold(h space.Hold, ttl time.Duration) uint64 {
+	i.mu.Lock()
+	i.nextHold++
+	id := i.nextHold
+	ph := &pendingHold{id: id, hold: h}
+	i.holds[id] = ph
+	i.mu.Unlock()
+
+	grace := ttl + i.cfg.HoldGrace
+	if grace <= 0 {
+		grace = i.cfg.HoldGrace
+	}
+	stop := i.clk.AfterFunc(grace, func() { i.settleHold(id, false) })
+
+	i.mu.Lock()
+	if cur, ok := i.holds[id]; ok && cur == ph {
+		ph.stop = stop
+		i.mu.Unlock()
+		return id
+	}
+	i.mu.Unlock()
+	// Already settled (synchronous timer or racing accept): ensure the
+	// timer does not linger.
+	stop()
+	return id
+}
+
+// settleHold finalises (accept) or reinstates (release) a pending hold.
+func (i *Instance) settleHold(id uint64, accept bool) {
+	i.mu.Lock()
+	ph, ok := i.holds[id]
+	if ok {
+		delete(i.holds, id)
+	}
+	i.mu.Unlock()
+	if !ok {
+		return
+	}
+	if ph.stop != nil {
+		ph.stop()
+	}
+	if accept {
+		ph.hold.Accept()
+	} else {
+		ph.hold.Release()
+	}
+}
+
+// handleCancel stops a blocking waiter we are serving.
+func (i *Instance) handleCancel(m *wire.Message) {
+	key := waitKey{from: m.From, id: m.ID}
+	i.mu.Lock()
+	rw, ok := i.waits[key]
+	i.mu.Unlock()
+	if ok {
+		rw.stop()
+	}
+}
+
+// handleRemoteOut admits a direct remote out (paper §2.4): the tuple is
+// stored under a lease this instance negotiates for itself.
+func (i *Instance) handleRemoteOut(m *wire.Message) {
+	ack := &wire.Message{Type: wire.TAck, ID: m.ID, From: i.Addr()}
+	terms := serveTerms(m.TTL)
+	terms.MaxBytes = m.Tuple.Size()
+	lse, err := i.mgr.Grant(lease.OpOut, lease.Flexible(terms))
+	if err != nil {
+		ack.Err = err.Error()
+		_ = i.send(m.From, ack)
+		return
+	}
+	if err := lse.ConsumeBytes(m.Tuple.Size()); err != nil {
+		lse.Cancel()
+		ack.Err = err.Error()
+		_ = i.send(m.From, ack)
+		return
+	}
+	sid, err := i.local.Out(m.Tuple, lse.Deadline())
+	if err != nil {
+		lse.Cancel()
+		ack.Err = err.Error()
+		_ = i.send(m.From, ack)
+		return
+	}
+	if sid != 0 {
+		lse.ShrinkBytes()
+		i.trackOutLease(sid, lse)
+	} else {
+		lse.Cancel() // consumed by a waiting taker
+	}
+	ack.OK = true
+	_ = i.send(m.From, ack)
+}
+
+// handleRemoteEval admits a direct remote eval: the function must be
+// registered here and a thread and lease must be available.
+func (i *Instance) handleRemoteEval(m *wire.Message) {
+	ack := &wire.Message{Type: wire.TAck, ID: m.ID, From: i.Addr()}
+	i.mu.Lock()
+	f, ok := i.evals[m.Func]
+	i.mu.Unlock()
+	if !ok {
+		ack.Err = ErrUnknownEval.Error()
+		_ = i.send(m.From, ack)
+		return
+	}
+	terms := serveTerms(m.TTL)
+	terms.MaxBytes = i.mgr.Capacity().MaxBytes
+	lse, err := i.mgr.Grant(lease.OpEval, lease.Flexible(terms))
+	if err != nil {
+		ack.Err = err.Error()
+		_ = i.send(m.From, ack)
+		return
+	}
+	release, err := i.mgr.Acquire(lease.ResThreads, 1)
+	if err != nil {
+		lse.Cancel()
+		ack.Err = err.Error()
+		_ = i.send(m.From, ack)
+		return
+	}
+	ack.OK = true
+	_ = i.send(m.From, ack)
+	i.wg.Add(1)
+	go func() {
+		defer i.wg.Done()
+		defer release()
+		i.runEval(f, m.Tuple, lse)
+	}()
+}
+
+// handleRelay forwards an encapsulated frame to its target (backbone
+// routing, §6 extension). Forwarding is best-effort.
+func (i *Instance) handleRelay(m *wire.Message) {
+	inner, err := wire.Decode(m.Payload)
+	if err != nil {
+		return
+	}
+	if m.Target == i.Addr() {
+		// We are the destination: loop the frame back through our own
+		// dispatcher by handling it inline.
+		i.dispatch(inner)
+		return
+	}
+	_ = i.send(m.Target, inner)
+}
+
+// relayOut best-effort delivers an out to res.From via a backbone relay.
+func (i *Instance) relayOut(res Result) error {
+	inner := &wire.Message{Type: wire.TOut, ID: i.nextOp(), From: i.Addr(),
+		TTL: i.cfg.DefaultTerms.Duration, Tuple: res.Tuple}
+	payload := wire.Encode(inner)
+	i.mu.Lock()
+	relays := append([]wire.Addr(nil), i.relays...)
+	i.mu.Unlock()
+	var lastErr error = ErrAbandoned
+	for _, relay := range relays {
+		err := i.send(relay, &wire.Message{
+			Type: wire.TRelay, ID: i.nextOp(), From: i.Addr(),
+			Target: res.From, Payload: payload,
+		})
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+	}
+	return lastErr
+}
+
+// dispatch routes one message exactly as the event loop does; used by
+// relay delivery to self.
+func (i *Instance) dispatch(m *wire.Message) {
+	switch m.Type {
+	case wire.TDiscover:
+		i.handleDiscover(m)
+	case wire.TAnnounce:
+		i.handleAnnounce(m)
+	case wire.TOp:
+		i.handleOp(m)
+	case wire.TResult:
+		i.handleResult(m)
+	case wire.TAccept:
+		i.settleHold(m.HoldID, true)
+	case wire.TRelease:
+		i.settleHold(m.HoldID, false)
+	case wire.TCancel:
+		i.handleCancel(m)
+	case wire.TOut:
+		i.handleRemoteOut(m)
+	case wire.TEval:
+		i.handleRemoteEval(m)
+	case wire.TAck:
+		i.handleResult(m)
+	case wire.TRelay:
+		i.handleRelay(m)
+	}
+}

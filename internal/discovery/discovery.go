@@ -1,0 +1,122 @@
+// Package discovery implements the communications manager's visibility
+// bookkeeping (paper §3.1.3): the cached responder list that makes
+// repeated operations cheap. The policy is exactly the paper's:
+//
+//   - operation propagation always starts from the top of the list;
+//   - instances that fail to respond are removed;
+//   - instances responding to a multicast are appended at the bottom
+//     (if not already present);
+//   - consequently, consistently visible instances migrate toward the
+//     top by attrition and are contacted first.
+package discovery
+
+import (
+	"sync"
+
+	"tiamat/trace"
+	"tiamat/wire"
+)
+
+// ResponderList is the ordered cache of known-visible instances. It is
+// safe for concurrent use.
+type ResponderList struct {
+	mu    sync.Mutex
+	addrs []wire.Addr
+	index map[wire.Addr]bool
+	met   *trace.Metrics
+	max   int
+}
+
+// NewResponderList returns an empty list. max bounds the number of cached
+// responders (0 means unbounded); met may be nil.
+func NewResponderList(max int, met *trace.Metrics) *ResponderList {
+	if met == nil {
+		met = &trace.Metrics{}
+	}
+	return &ResponderList{index: make(map[wire.Addr]bool), met: met, max: max}
+}
+
+// Snapshot returns the current contact order, top first.
+func (l *ResponderList) Snapshot() []wire.Addr {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]wire.Addr, len(l.addrs))
+	copy(out, l.addrs)
+	return out
+}
+
+// Len returns the number of cached responders.
+func (l *ResponderList) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.addrs)
+}
+
+// Contains reports whether addr is cached.
+func (l *ResponderList) Contains(addr wire.Addr) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.index[addr]
+}
+
+// Position returns addr's 0-based position from the top, or -1.
+func (l *ResponderList) Position(addr wire.Addr) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for i, a := range l.addrs {
+		if a == addr {
+			return i
+		}
+	}
+	return -1
+}
+
+// Observe records a responder discovered via multicast: appended at the
+// bottom if not already present (paper: "responding instances are added
+// to the bottom of the list").
+func (l *ResponderList) Observe(addr wire.Addr) {
+	if addr == "" {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.index[addr] {
+		return
+	}
+	if l.max > 0 && len(l.addrs) >= l.max {
+		// Evict the bottom entry: it is the least-proven responder.
+		victim := l.addrs[len(l.addrs)-1]
+		l.addrs = l.addrs[:len(l.addrs)-1]
+		delete(l.index, victim)
+		l.met.Inc(trace.CtrListEvictions)
+	}
+	l.addrs = append(l.addrs, addr)
+	l.index[addr] = true
+}
+
+// Evict removes an instance that failed to respond (paper: "removing any
+// which do not respond").
+func (l *ResponderList) Evict(addr wire.Addr) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if !l.index[addr] {
+		return
+	}
+	delete(l.index, addr)
+	for i, a := range l.addrs {
+		if a == addr {
+			l.addrs = append(l.addrs[:i], l.addrs[i+1:]...)
+			break
+		}
+	}
+	l.met.Inc(trace.CtrListEvictions)
+}
+
+// Clear empties the list (used when the instance knows its own context
+// changed completely, e.g. network interface switch).
+func (l *ResponderList) Clear() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.addrs = l.addrs[:0]
+	l.index = make(map[wire.Addr]bool)
+}

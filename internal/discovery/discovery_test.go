@@ -1,0 +1,133 @@
+package discovery
+
+import (
+	"testing"
+	"testing/quick"
+
+	"tiamat/trace"
+	"tiamat/wire"
+)
+
+func TestObserveAppendsAtBottom(t *testing.T) {
+	l := NewResponderList(0, nil)
+	l.Observe("a")
+	l.Observe("b")
+	l.Observe("c")
+	got := l.Snapshot()
+	if len(got) != 3 || got[0] != "a" || got[2] != "c" {
+		t.Fatalf("order = %v", got)
+	}
+	// Re-observing an existing responder must not move it.
+	l.Observe("a")
+	if got := l.Snapshot(); got[0] != "a" || len(got) != 3 {
+		t.Fatalf("re-observe changed order: %v", got)
+	}
+	if !l.Contains("b") || l.Contains("zz") {
+		t.Fatal("Contains wrong")
+	}
+	if l.Position("c") != 2 || l.Position("zz") != -1 {
+		t.Fatal("Position wrong")
+	}
+}
+
+func TestObserveEmptyAddrIgnored(t *testing.T) {
+	l := NewResponderList(0, nil)
+	l.Observe("")
+	if l.Len() != 0 {
+		t.Fatal("empty addr observed")
+	}
+}
+
+func TestEvictByAttritionPromotesStableNodes(t *testing.T) {
+	// The paper's claim: consistently visible instances work their way to
+	// the top because flaky ones above them are evicted.
+	l := NewResponderList(0, nil)
+	l.Observe("flaky1")
+	l.Observe("flaky2")
+	l.Observe("stable")
+	if l.Position("stable") != 2 {
+		t.Fatalf("setup: stable at %d", l.Position("stable"))
+	}
+	l.Evict("flaky1")
+	l.Evict("flaky2")
+	if l.Position("stable") != 0 {
+		t.Fatalf("stable at %d after attrition, want 0", l.Position("stable"))
+	}
+	// New responders land below the stable one.
+	l.Observe("newcomer")
+	if l.Position("newcomer") != 1 {
+		t.Fatalf("newcomer at %d", l.Position("newcomer"))
+	}
+}
+
+func TestEvictAbsentIsNoop(t *testing.T) {
+	met := &trace.Metrics{}
+	l := NewResponderList(0, met)
+	l.Evict("ghost")
+	if met.Get(trace.CtrListEvictions) != 0 {
+		t.Fatal("evicting absent addr counted")
+	}
+}
+
+func TestBoundedListEvictsBottom(t *testing.T) {
+	met := &trace.Metrics{}
+	l := NewResponderList(2, met)
+	l.Observe("a")
+	l.Observe("b")
+	l.Observe("c")
+	got := l.Snapshot()
+	if len(got) != 2 || got[0] != "a" || got[1] != "c" {
+		t.Fatalf("bounded list = %v", got)
+	}
+	if l.Contains("b") {
+		t.Fatal("victim still indexed")
+	}
+	if met.Get(trace.CtrListEvictions) != 1 {
+		t.Fatal("eviction not counted")
+	}
+}
+
+func TestClear(t *testing.T) {
+	l := NewResponderList(0, nil)
+	l.Observe("a")
+	l.Clear()
+	if l.Len() != 0 || l.Contains("a") {
+		t.Fatal("Clear incomplete")
+	}
+	l.Observe("a") // usable after clear
+	if l.Len() != 1 {
+		t.Fatal("unusable after Clear")
+	}
+}
+
+// Property: the list never contains duplicates and index matches order,
+// under any interleaving of observes and evicts.
+func TestPropNoDuplicates(t *testing.T) {
+	prop := func(ops []uint8) bool {
+		l := NewResponderList(4, nil)
+		names := []wire.Addr{"a", "b", "c", "d", "e", "f"}
+		for _, op := range ops {
+			a := names[int(op)%len(names)]
+			if op%2 == 0 {
+				l.Observe(a)
+			} else {
+				l.Evict(a)
+			}
+		}
+		snap := l.Snapshot()
+		seen := map[wire.Addr]bool{}
+		for _, a := range snap {
+			if seen[a] {
+				return false
+			}
+			seen[a] = true
+			if !l.Contains(a) {
+				return false
+			}
+		}
+		return l.Len() == len(snap) && len(snap) <= 4
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,245 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"tiamat/clock"
+	"tiamat/internal/baselines/replica"
+	"tiamat/internal/core"
+	"tiamat/lease"
+	"tiamat/transport/memnet"
+	"tiamat/tuple"
+	"tiamat/wire"
+)
+
+// E1Figure1 reproduces paper Figure 1: three instances whose logical
+// tuple spaces are the per-node unions of the visible local spaces, with
+// no global consistency.
+func E1Figure1() (*Table, error) {
+	c, err := newCluster(clusterOpts{n: 3})
+	if err != nil {
+		return nil, err
+	}
+	defer c.close()
+	names := []string{"A", "B", "C"}
+	ctx := context.Background()
+	for i, inst := range c.inst {
+		if err := inst.Out(tuple.T(tuple.String("at"), tuple.String(names[i])), nil); err != nil {
+			return nil, err
+		}
+	}
+	sees := func(observer int, target string) string {
+		_, ok, err := c.inst[observer].Rdp(ctx,
+			tuple.Tmpl(tuple.String("at"), tuple.String(target)), nil)
+		if err != nil {
+			return "err"
+		}
+		if ok {
+			return "yes"
+		}
+		return "-"
+	}
+	t := &Table{
+		ID:      "E1",
+		Title:   "Figure 1: opportunistic logical tuple spaces",
+		Columns: []string{"phase", "observer", "sees A", "sees B", "sees C"},
+	}
+	snapshot := func(phase string) {
+		for i, name := range names {
+			t.AddRow(phase, name, sees(i, "A"), sees(i, "B"), sees(i, "C"))
+		}
+	}
+	// (a) all isolated.
+	snapshot("(a) isolated")
+	// (b) A and B become mutually visible.
+	c.net.SetVisible(addr(0), addr(1), true)
+	snapshot("(b) A<->B")
+	// (c) C becomes visible to B only.
+	c.net.SetVisible(addr(1), addr(2), true)
+	snapshot("(c) +B<->C")
+	t.AddNote("B's logical space spans all three; A and C each see only themselves plus B — no global consistency, exactly Figure 1(c)")
+	return t, nil
+}
+
+// E2ResponderList reproduces the §3.1.3 claim: caching responders makes
+// repeated operations far cheaper than a multicast per operation, and the
+// advantage persists under moderate churn.
+func E2ResponderList(scale Scale) (*Table, error) {
+	nodes, opsPer := 12, 60
+	if scale == Quick {
+		nodes, opsPer = 6, 20
+	}
+	churns := []int{0, 2, 8}
+
+	t := &Table{
+		ID:      "E2",
+		Title:   "responder-list cache vs per-operation multicast (§3.1.3)",
+		Columns: []string{"churn/10ops", "strategy", "multicasts/op", "unicasts/op", "total msgs/op", "found%"},
+	}
+	for _, churn := range churns {
+		for _, disable := range []bool{false, true} {
+			c, err := newCluster(clusterOpts{
+				n: nodes,
+				mutate: func(_ int, cfg *core.Config) {
+					cfg.DisableResponderCache = disable
+				},
+			})
+			if err != nil {
+				return nil, err
+			}
+			c.net.ConnectAll()
+			// Every node except the reader holds a matching tuple.
+			for i := 1; i < nodes; i++ {
+				if err := c.inst[i].Out(tuple.T(tuple.String("item"), tuple.Int(int64(i))), nil); err != nil {
+					c.close()
+					return nil, err
+				}
+			}
+			reader := c.inst[0]
+			base := c.met.Snapshot()
+			found := 0
+			for op := 0; op < opsPer; op++ {
+				if churn > 0 && op%10 == 0 {
+					c.net.Churn(churn)
+					// The reader must stay attached to somebody or the
+					// experiment measures the void.
+					c.net.SetVisible(addr(0), addr(1), true)
+				}
+				_, ok, err := reader.Rdp(context.Background(),
+					tuple.Tmpl(tuple.String("item"), tuple.FormalInt()),
+					lease.Flexible(lease.Terms{Duration: 2 * time.Second, MaxRemotes: nodes * 2}))
+				if err != nil {
+					c.close()
+					return nil, err
+				}
+				if ok {
+					found++
+				}
+			}
+			time.Sleep(50 * time.Millisecond) // let straggler replies land
+			d := c.met.Diff(base)
+			name := "cached list"
+			if disable {
+				name = "multicast always"
+			}
+			totalMsgs := d["net.multicast_recvs"] + d["net.unicasts"]
+			t.AddRow(fmtI(int64(churn)), name,
+				fmtF(float64(d["net.multicasts"])/float64(opsPer)),
+				fmtF(float64(d["net.unicasts"])/float64(opsPer)),
+				fmtF(float64(totalMsgs)/float64(opsPer)),
+				fmtF(100*float64(found)/float64(opsPer)))
+			c.close()
+		}
+	}
+	t.AddNote("cached list answers from the top of the list after the first discovery; multicast-always pays a full broadcast (and %d replies) every operation", nodes-1)
+	return t, nil
+}
+
+// E3LeaseReclaim reproduces the §2.5 claim: leases make tuple garbage
+// collectable, where L²imbo-style ownership orphans it forever.
+func E3LeaseReclaim(scale Scale) (*Table, error) {
+	nodes, perNode := 6, 50
+	if scale == Quick {
+		nodes, perNode = 4, 10
+	}
+	leaseDur := 10 * time.Second
+
+	// Tiamat side: virtual clock so expiry is exact and instant.
+	vclk := clock.NewVirtual(time.Date(2003, 6, 1, 0, 0, 0, 0, time.UTC))
+	c, err := newCluster(clusterOpts{n: nodes, virtual: vclk})
+	if err != nil {
+		return nil, err
+	}
+	defer c.close()
+	c.net.ConnectAll()
+	for _, inst := range c.inst {
+		for k := 0; k < perNode; k++ {
+			if err := inst.Out(tuple.T(tuple.String("data"), tuple.Int(int64(k))),
+				lease.Flexible(lease.Terms{Duration: leaseDur, MaxBytes: 64})); err != nil {
+				return nil, err
+			}
+		}
+	}
+	tiamatLive := func() int64 {
+		var n int64
+		for _, inst := range c.inst {
+			n += int64(inst.LocalSpace().Count()) - 1 // minus space-info tuple
+		}
+		return n
+	}
+
+	// Replica side: real time is irrelevant (no leases exist to expire).
+	rnet := memnet.New()
+	defer rnet.Close()
+	var rnodes []*replica.Node
+	for i := 0; i < nodes; i++ {
+		ep, err := rnet.Attach(addr(i))
+		if err != nil {
+			return nil, err
+		}
+		rnodes = append(rnodes, replica.NewNode(ep, nil))
+	}
+	rnet.ConnectAll()
+	for _, n := range rnodes {
+		for k := 0; k < perNode; k++ {
+			if err := n.Out(tuple.T(tuple.String("data"), tuple.Int(int64(k)))); err != nil {
+				return nil, err
+			}
+		}
+	}
+	waitReplicated(rnodes, nodes*perNode)
+
+	t := &Table{
+		ID:      "E3",
+		Title:   "lease-based reclamation vs ownership orphans (§2.5, §4.3)",
+		Columns: []string{"event", "tiamat live tuples", "replica tuples/node", "replica orphans/node"},
+	}
+	live := map[wire.Addr]bool{}
+	for i := 0; i < nodes; i++ {
+		live[addr(i)] = true
+	}
+	t.AddRow("t=0 all present", fmtI(tiamatLive()), fmtI(int64(rnodes[nodes-1].Count())), fmtI(int64(rnodes[nodes-1].Orphans(live))))
+
+	// Half the producers depart forever.
+	for i := 0; i < nodes/2; i++ {
+		c.inst[i].Close()
+		rnodes[i].Close()
+		delete(live, addr(i))
+	}
+	survivor := rnodes[nodes-1]
+	t.AddRow(fmt.Sprintf("t=1s %d producers depart", nodes/2),
+		fmtI(tiamatLive()), fmtI(int64(survivor.Count())), fmtI(int64(survivor.Orphans(live))))
+
+	// Leases expire: Tiamat reclaims everything; the replica cannot.
+	vclk.Advance(leaseDur + time.Second)
+	t.AddRow("t>lease expiry", fmtI(tiamatLiveAfterClose(c, nodes/2)), fmtI(int64(survivor.Count())), fmtI(int64(survivor.Orphans(live))))
+	t.AddNote("tiamat: every tuple's out-lease expired, storage fully reclaimed; replica: %d tuples per node orphaned forever (their owners can never remove them)", (nodes/2)*perNode)
+	return t, nil
+}
+
+func tiamatLiveAfterClose(c *cluster, closedPrefix int) int64 {
+	var n int64
+	for i := closedPrefix; i < len(c.inst); i++ {
+		n += int64(c.inst[i].LocalSpace().Count()) - 1
+	}
+	return n
+}
+
+func waitReplicated(nodes []*replica.Node, want int) {
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		done := true
+		for _, n := range nodes {
+			if n.Count() < want {
+				done = false
+				break
+			}
+		}
+		if done {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -1,0 +1,150 @@
+// Package harness implements the reproduction experiments indexed in
+// DESIGN.md: one function per experiment (E1–E10, T1–T2, X1–X2), each
+// returning a Table with the same rows/series the paper's claims imply.
+// cmd/tiamat-bench prints them; the repository-root benchmarks run
+// reduced-scale versions under testing.B.
+package harness
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"tiamat/clock"
+	"tiamat/internal/core"
+	"tiamat/trace"
+	"tiamat/transport/memnet"
+	"tiamat/wire"
+)
+
+// Table is one experiment's result: aligned columns plus free-form notes.
+type Table struct {
+	ID      string
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// AddNote appends a note line printed under the table.
+func (t *Table) AddNote(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// Fprint renders the table with aligned columns.
+func (t *Table) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "%s — %s\n", t.ID, t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	printRow := func(cells []string) {
+		var b strings.Builder
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(cell)
+			if i < len(widths) {
+				b.WriteString(strings.Repeat(" ", widths[i]-len(cell)))
+			}
+		}
+		fmt.Fprintln(w, "  "+strings.TrimRight(b.String(), " "))
+	}
+	printRow(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	printRow(sep)
+	for _, row := range t.Rows {
+		printRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "  note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// Scale selects experiment sizes: Quick for benchmarks and CI, Full for
+// the paper-shape runs recorded in EXPERIMENTS.md.
+type Scale int
+
+// Scales.
+const (
+	Quick Scale = iota
+	Full
+)
+
+// cluster is a set of Tiamat instances over one simulated network.
+type cluster struct {
+	clk  clock.Clock
+	net  *memnet.Network
+	met  *trace.Metrics
+	inst []*core.Instance
+}
+
+type clusterOpts struct {
+	n       int
+	virtual *clock.Virtual // nil = real clock
+	mutate  func(idx int, cfg *core.Config)
+	netOpts []memnet.Option
+}
+
+func addr(i int) wire.Addr { return wire.Addr(fmt.Sprintf("n%02d", i)) }
+
+func newCluster(o clusterOpts) (*cluster, error) {
+	met := &trace.Metrics{}
+	var clk clock.Clock = clock.Real{}
+	if o.virtual != nil {
+		clk = o.virtual
+	}
+	opts := append([]memnet.Option{memnet.WithClock(clk), memnet.WithMetrics(met)}, o.netOpts...)
+	net := memnet.New(opts...)
+	c := &cluster{clk: clk, net: net, met: met}
+	for i := 0; i < o.n; i++ {
+		ep, err := net.Attach(addr(i))
+		if err != nil {
+			c.close()
+			return nil, err
+		}
+		cfg := core.Config{Endpoint: ep, Clock: clk, Metrics: met}
+		if o.mutate != nil {
+			o.mutate(i, &cfg)
+		}
+		inst, err := core.New(cfg)
+		if err != nil {
+			c.close()
+			return nil, err
+		}
+		c.inst = append(c.inst, inst)
+	}
+	return c, nil
+}
+
+func (c *cluster) close() {
+	for _, i := range c.inst {
+		i.Close()
+	}
+	c.net.Close()
+}
+
+// fmtF formats a float compactly.
+func fmtF(v float64) string { return fmt.Sprintf("%.2f", v) }
+
+// fmtD formats a duration rounded for tables.
+func fmtD(d time.Duration) string { return d.Round(10 * time.Microsecond).String() }
+
+// fmtI formats an int.
+func fmtI(v int64) string { return fmt.Sprintf("%d", v) }

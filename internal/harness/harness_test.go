@@ -1,0 +1,295 @@
+package harness
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// cell parses a table cell as a float.
+func cell(t *testing.T, tab *Table, row, col int) float64 {
+	t.Helper()
+	if row >= len(tab.Rows) || col >= len(tab.Rows[row]) {
+		t.Fatalf("%s: no cell (%d,%d) in %d rows", tab.ID, row, col, len(tab.Rows))
+	}
+	v, err := strconv.ParseFloat(tab.Rows[row][col], 64)
+	if err != nil {
+		t.Fatalf("%s: cell (%d,%d) = %q not numeric", tab.ID, row, col, tab.Rows[row][col])
+	}
+	return v
+}
+
+func render(t *testing.T, tab *Table) {
+	t.Helper()
+	var b strings.Builder
+	tab.Fprint(&b)
+	t.Log("\n" + b.String())
+}
+
+func TestE1ShapesMatchFigure1(t *testing.T) {
+	tab, err := E1Figure1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	render(t, tab)
+	if len(tab.Rows) != 9 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// Phase (c): B sees everything, A must not see C, C must not see A.
+	findRow := func(phase, observer string) []string {
+		for _, r := range tab.Rows {
+			if r[0] == phase && r[1] == observer {
+				return r
+			}
+		}
+		t.Fatalf("row %s/%s missing", phase, observer)
+		return nil
+	}
+	b := findRow("(c) +B<->C", "B")
+	if b[2] != "yes" || b[3] != "yes" || b[4] != "yes" {
+		t.Fatalf("B's view in (c): %v", b)
+	}
+	a := findRow("(c) +B<->C", "A")
+	if a[4] != "-" {
+		t.Fatalf("A sees C in (c): %v", a)
+	}
+	c := findRow("(c) +B<->C", "C")
+	if c[2] != "-" {
+		t.Fatalf("C sees A in (c): %v", c)
+	}
+}
+
+func TestE2CachedListBeatsMulticast(t *testing.T) {
+	tab, err := E2ResponderList(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	render(t, tab)
+	// Rows come in pairs: cached then multicast-always, per churn level.
+	for i := 0; i+1 < len(tab.Rows); i += 2 {
+		cachedTotal := cell(t, tab, i, 4)
+		mcastTotal := cell(t, tab, i+1, 4)
+		if cachedTotal >= mcastTotal {
+			t.Errorf("churn row %d: cached %.2f msgs/op >= multicast %.2f", i/2, cachedTotal, mcastTotal)
+		}
+		if found := cell(t, tab, i, 5); found < 90 {
+			t.Errorf("cached found%% = %.1f", found)
+		}
+	}
+}
+
+func TestE3TiamatReclaimsReplicaOrphans(t *testing.T) {
+	tab, err := E3LeaseReclaim(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	render(t, tab)
+	last := len(tab.Rows) - 1
+	if got := cell(t, tab, last, 1); got != 0 {
+		t.Errorf("tiamat live tuples after expiry = %g, want 0", got)
+	}
+	if got := cell(t, tab, last, 3); got == 0 {
+		t.Error("replica orphans = 0, expected permanent garbage")
+	}
+}
+
+func TestE4ThroughputScalesWithProxies(t *testing.T) {
+	tab, err := E4WebProxy(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	render(t, tab)
+	first := cell(t, tab, 0, 3)
+	last := cell(t, tab, len(tab.Rows)-1, 3)
+	if last < first*1.5 {
+		t.Errorf("req/s did not scale: 1 proxy %.1f, max proxies %.1f", first, last)
+	}
+	for _, n := range tab.Notes {
+		if strings.Contains(n, "FAILED") {
+			t.Errorf("scenario failed: %s", n)
+		}
+	}
+}
+
+func TestE5SpeedupScalesWithWorkers(t *testing.T) {
+	tab, err := E5Fractal(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	render(t, tab)
+	last := len(tab.Rows) - 1
+	if sp := cell(t, tab, last, 3); sp < 1.8 {
+		t.Errorf("speedup with max workers = %.2f, want >= 1.8", sp)
+	}
+}
+
+func TestE6TiamatAvoidsEngagementCost(t *testing.T) {
+	tab, err := E6FederatedVsTiamat(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	render(t, tab)
+	// Rows alternate federated/tiamat; at the largest size tiamat must be
+	// faster and the federation's membership messages must grow.
+	n := len(tab.Rows)
+	fedOps := cell(t, tab, n-2, 3)
+	tiOps := cell(t, tab, n-1, 3)
+	if tiOps <= fedOps {
+		t.Errorf("tiamat %.1f ops/s <= federated %.1f at max hosts", tiOps, fedOps)
+	}
+	if first, last := cell(t, tab, 0, 4), cell(t, tab, n-2, 4); last <= first {
+		t.Errorf("membership msgs did not grow: %g -> %g", first, last)
+	}
+}
+
+func TestE7ReplicationCostShape(t *testing.T) {
+	tab, err := E7ReplicaCost(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	render(t, tab)
+	for i := 0; i+1 < len(tab.Rows); i += 2 {
+		replMsgs := cell(t, tab, i, 2)
+		tiMsgs := cell(t, tab, i+1, 2)
+		if tiMsgs != 0 {
+			t.Errorf("tiamat out msgs = %g, want 0", tiMsgs)
+		}
+		if replMsgs == 0 {
+			t.Error("replica out msgs = 0")
+		}
+		replStore := cell(t, tab, i, 3)
+		tiStore := cell(t, tab, i+1, 3)
+		if tiStore >= replStore && i > 0 {
+			t.Errorf("tiamat per-node storage %g >= replica %g", tiStore, replStore)
+		}
+	}
+}
+
+func TestE8FloodCostGrowsTiamatFlat(t *testing.T) {
+	tab, err := E8FloodVsList(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	render(t, tab)
+	n := len(tab.Rows)
+	floodFirst, floodLast := cell(t, tab, 0, 2), cell(t, tab, n-2, 2)
+	tiLast := cell(t, tab, n-1, 2)
+	if floodLast <= floodFirst {
+		t.Errorf("flood cost flat: %g -> %g", floodFirst, floodLast)
+	}
+	if tiLast >= floodLast {
+		t.Errorf("tiamat %.2f msgs/lookup >= flood %.2f at max size", tiLast, floodLast)
+	}
+}
+
+func TestE9TiamatSurvivesPartition(t *testing.T) {
+	tab, err := E9Availability(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	render(t, tab)
+	// Partitioned phase is row 1.
+	if got := cell(t, tab, 1, 1); got != 0 {
+		t.Errorf("central out%% during partition = %g, want 0", got)
+	}
+	if got := cell(t, tab, 1, 3); got != 100 {
+		t.Errorf("tiamat out%% during partition = %g, want 100", got)
+	}
+	if got := cell(t, tab, 1, 4); got != 100 {
+		t.Errorf("tiamat rd%% during partition = %g, want 100", got)
+	}
+}
+
+func TestE10OpportunisticBeatsSessionsUnderChurn(t *testing.T) {
+	tab, err := E10Churn(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	render(t, tab)
+	// At the highest churn (last pair), tiamat goodput must dominate.
+	n := len(tab.Rows)
+	ti := cell(t, tab, n-2, 3)
+	fed := cell(t, tab, n-1, 3)
+	if ti <= fed {
+		t.Errorf("tiamat %.1f ops/s <= sessions %.1f under churn", ti, fed)
+	}
+}
+
+func TestT1AndT2Run(t *testing.T) {
+	tab, err := T1LocalOps(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	render(t, tab)
+	if len(tab.Rows) != 6 {
+		t.Fatalf("T1 rows = %d", len(tab.Rows))
+	}
+	tab2, err := T2LeaseNegotiation(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	render(t, tab2)
+	if len(tab2.Rows) != 3 {
+		t.Fatalf("T2 rows = %d", len(tab2.Rows))
+	}
+}
+
+func TestX1RelayDeliversWhereLocalCannot(t *testing.T) {
+	tab, err := X1Backbone(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	render(t, tab)
+	if got := cell(t, tab, 0, 1); got != 0 {
+		t.Errorf("RouteLocal delivered %g to origin, want 0", got)
+	}
+	if delivered, fell := cell(t, tab, 1, 1), cell(t, tab, 1, 2); delivered == 0 || fell != 0 {
+		t.Errorf("RouteRelay delivered=%g fellback=%g", delivered, fell)
+	}
+}
+
+func TestX2AdaptiveSavesProbes(t *testing.T) {
+	tab, err := X2AdaptiveDiscovery(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	render(t, tab)
+	fixed := cell(t, tab, 0, 4)
+	adaptive := cell(t, tab, 1, 4)
+	if adaptive >= fixed {
+		t.Errorf("adaptive probes %g >= fixed %g", adaptive, fixed)
+	}
+	// Freshness under churn: the adaptive strategy must probe during the
+	// churn phase.
+	if churnProbes := cell(t, tab, 1, 2); churnProbes == 0 {
+		t.Error("adaptive never probed during churn (stale view)")
+	}
+}
+
+func TestAB1FanoutTradeoff(t *testing.T) {
+	tab, err := AB1ContactFanout(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	render(t, tab)
+	// Bottom-holder rows are the second half; latency must drop as the
+	// fanout widens while message cost stays flat.
+	n := len(tab.Rows)
+	half := n / 2
+	firstMsgs := cell(t, tab, half, 2)
+	lastMsgs := cell(t, tab, n-1, 2)
+	if firstMsgs != lastMsgs {
+		t.Errorf("bottom-holder msgs changed with fanout: %g vs %g", firstMsgs, lastMsgs)
+	}
+	parseLat := func(row int) time.Duration {
+		d, err := time.ParseDuration(tab.Rows[row][3])
+		if err != nil {
+			t.Fatalf("bad latency cell %q", tab.Rows[row][3])
+		}
+		return d
+	}
+	if l1, l8 := parseLat(half), parseLat(n-1); l8 >= l1 {
+		t.Errorf("wider fanout did not cut latency: fanout1 %v, fanout-max %v", l1, l8)
+	}
+}

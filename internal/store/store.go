@@ -1,0 +1,540 @@
+// Package store is the default local tuple space (paper §3.1.2): a
+// lease-aware, arity-indexed, concurrency-safe implementation of the
+// space.Space contract with blocking waiters, tentative holds for the
+// distributed take protocol, and a janitor that reclaims tuples whose out
+// leases have expired.
+package store
+
+import (
+	"container/heap"
+	"errors"
+	"math/rand"
+	"sync"
+	"time"
+
+	"tiamat/clock"
+	"tiamat/space"
+	"tiamat/trace"
+	"tiamat/tuple"
+)
+
+// ErrClosed reports an operation on a closed store.
+var ErrClosed = errors.New("store: closed")
+
+// Store implements space.Space.
+type Store struct {
+	clk clock.Clock
+	met *trace.Metrics
+	// onRemove, if set, observes every finalised removal (take, accepted
+	// hold, explicit Remove, janitor reclaim) with the entry's storage
+	// id. It is always invoked without the store lock held.
+	onRemove func(id uint64)
+
+	mu      sync.Mutex
+	rng     *rand.Rand
+	closed  bool
+	nextID  uint64
+	nextSeq uint64
+	byID    map[uint64]*entry
+	byArity map[int]map[uint64]*entry
+	// byTag indexes tuples whose first field is a string (the
+	// conventional type tag) for sublinear matching: most templates pin
+	// that field, so lookups scan only same-tag candidates.
+	byTag   map[tagKey]map[uint64]*entry
+	waiters map[int][]*waiter // FIFO per arity
+	expiry  expiryHeap
+	stopJan func() bool // pending janitor timer
+}
+
+var _ space.Space = (*Store)(nil)
+
+// tagKey identifies a (arity, leading string tag) index bucket.
+type tagKey struct {
+	arity int
+	tag   string
+}
+
+// tagOfTuple returns the index key for a tuple, if it has one.
+func tagOfTuple(t tuple.Tuple) (tagKey, bool) {
+	if t.Arity() == 0 {
+		return tagKey{}, false
+	}
+	f, err := t.Field(0)
+	if err != nil {
+		return tagKey{}, false
+	}
+	s, ok := f.StringValue()
+	if !ok {
+		return tagKey{}, false
+	}
+	return tagKey{arity: t.Arity(), tag: s}, true
+}
+
+// tagOfTemplate returns the index key a template can be served from: its
+// first field must be an actual string.
+func tagOfTemplate(p tuple.Template) (tagKey, bool) {
+	if p.Arity() == 0 {
+		return tagKey{}, false
+	}
+	f, err := p.Field(0)
+	if err != nil {
+		return tagKey{}, false
+	}
+	s, ok := f.StringValue()
+	if !ok {
+		return tagKey{}, false
+	}
+	return tagKey{arity: p.Arity(), tag: s}, true
+}
+
+type entry struct {
+	id     uint64
+	t      tuple.Tuple
+	expiry time.Time // zero = never
+	index  int       // position in expiry heap, -1 if absent
+}
+
+type waiter struct {
+	seq    uint64
+	p      tuple.Template
+	remove bool
+	ch     chan tuple.Tuple
+	done   bool
+}
+
+// Option configures a Store.
+type Option func(*Store)
+
+// WithClock sets the time source (default: wall clock).
+func WithClock(c clock.Clock) Option { return func(s *Store) { s.clk = c } }
+
+// WithMetrics attaches a metrics registry.
+func WithMetrics(m *trace.Metrics) Option { return func(s *Store) { s.met = m } }
+
+// WithSeed seeds the nondeterministic match selector (default 1).
+func WithSeed(seed int64) Option {
+	return func(s *Store) { s.rng = rand.New(rand.NewSource(seed)) }
+}
+
+// WithRemovalHook observes finalised removals by storage id; the Tiamat
+// instance uses it to release out-leases as soon as their tuple is gone
+// instead of waiting for the time budget to run out.
+func WithRemovalHook(f func(id uint64)) Option {
+	return func(s *Store) { s.onRemove = f }
+}
+
+// notifyRemoved invokes the removal hook outside the store lock.
+func (s *Store) notifyRemoved(ids ...uint64) {
+	if s.onRemove == nil {
+		return
+	}
+	for _, id := range ids {
+		s.onRemove(id)
+	}
+}
+
+// New returns an empty Store.
+func New(opts ...Option) *Store {
+	s := &Store{
+		clk:     clock.Real{},
+		met:     &trace.Metrics{},
+		rng:     rand.New(rand.NewSource(1)),
+		byID:    make(map[uint64]*entry),
+		byArity: make(map[int]map[uint64]*entry),
+		byTag:   make(map[tagKey]map[uint64]*entry),
+		waiters: make(map[int][]*waiter),
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+// Out implements space.Space.
+func (s *Store) Out(t tuple.Tuple, expiry time.Time) (uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return 0, ErrClosed
+	}
+	// Hand the tuple to pending waiters first, FIFO: every matching
+	// reader gets a copy until a taker consumes it.
+	ws := s.waiters[t.Arity()]
+	for i := 0; i < len(ws); {
+		w := ws[i]
+		if w.done || !w.p.Matches(t) {
+			i++
+			continue
+		}
+		w.done = true
+		w.ch <- t
+		close(w.ch)
+		ws = append(ws[:i], ws[i+1:]...)
+		s.waiters[t.Arity()] = ws
+		if w.remove {
+			// Consumed by an in-waiter: never stored.
+			s.met.Inc(trace.CtrTuplesTaken)
+			return 0, nil
+		}
+	}
+
+	s.nextID++
+	e := &entry{id: s.nextID, t: t, expiry: expiry, index: -1}
+	s.byID[e.id] = e
+	bucket := s.byArity[t.Arity()]
+	if bucket == nil {
+		bucket = make(map[uint64]*entry)
+		s.byArity[t.Arity()] = bucket
+	}
+	bucket[e.id] = e
+	if tk, ok := tagOfTuple(t); ok {
+		tb := s.byTag[tk]
+		if tb == nil {
+			tb = make(map[uint64]*entry)
+			s.byTag[tk] = tb
+		}
+		tb[e.id] = e
+	}
+	if !expiry.IsZero() {
+		heap.Push(&s.expiry, e)
+		s.scheduleJanitorLocked()
+	}
+	s.met.Inc(trace.CtrTuplesStored)
+	return e.id, nil
+}
+
+// pick chooses a matching live entry nondeterministically, or nil.
+func (s *Store) pickLocked(p tuple.Template) *entry {
+	var bucket map[uint64]*entry
+	if tk, ok := tagOfTemplate(p); ok {
+		// Tag-pinned templates scan only same-tag candidates.
+		bucket = s.byTag[tk]
+	} else {
+		bucket = s.byArity[p.Arity()]
+	}
+	if len(bucket) == 0 {
+		return nil
+	}
+	now := s.clk.Now()
+	// Collect a bounded candidate set: Linda only requires that one
+	// match be selected nondeterministically, and Go's randomised map
+	// iteration varies which region of the bucket we sample, so capping
+	// the scan keeps dense buckets O(1) without biasing selection to a
+	// fixed tuple.
+	const maxCandidates = 32
+	matches := make([]*entry, 0, 8)
+	for _, e := range bucket {
+		if !e.expiry.IsZero() && !e.expiry.After(now) {
+			continue // expired but not yet reclaimed
+		}
+		if p.Matches(e.t) {
+			matches = append(matches, e)
+			if len(matches) >= maxCandidates {
+				break
+			}
+		}
+	}
+	if len(matches) == 0 {
+		return nil
+	}
+	if len(matches) == 1 {
+		return matches[0]
+	}
+	return matches[s.rng.Intn(len(matches))]
+}
+
+func (s *Store) removeLocked(e *entry) {
+	delete(s.byID, e.id)
+	if bucket := s.byArity[e.t.Arity()]; bucket != nil {
+		delete(bucket, e.id)
+		if len(bucket) == 0 {
+			delete(s.byArity, e.t.Arity())
+		}
+	}
+	if tk, ok := tagOfTuple(e.t); ok {
+		if tb := s.byTag[tk]; tb != nil {
+			delete(tb, e.id)
+			if len(tb) == 0 {
+				delete(s.byTag, tk)
+			}
+		}
+	}
+	if e.index >= 0 {
+		heap.Remove(&s.expiry, e.index)
+	}
+}
+
+// Rdp implements space.Space.
+func (s *Store) Rdp(p tuple.Template) (tuple.Tuple, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e := s.pickLocked(p); e != nil {
+		return e.t, true
+	}
+	return tuple.Tuple{}, false
+}
+
+// Inp implements space.Space.
+func (s *Store) Inp(p tuple.Template) (tuple.Tuple, bool) {
+	s.mu.Lock()
+	e := s.pickLocked(p)
+	if e == nil {
+		s.mu.Unlock()
+		return tuple.Tuple{}, false
+	}
+	s.removeLocked(e)
+	s.met.Inc(trace.CtrTuplesTaken)
+	s.mu.Unlock()
+	s.notifyRemoved(e.id)
+	return e.t, true
+}
+
+// Wait implements space.Space. If a matching tuple is already present it
+// is delivered immediately (removed first when remove is true); otherwise
+// the waiter is registered for the next matching Out. This atomicity is
+// what makes the blocking rd/in race-free: there is no window between
+// "check the space" and "register interest".
+func (s *Store) Wait(p tuple.Template, remove bool) space.Waiter {
+	s.mu.Lock()
+	w := &waiter{p: p, remove: remove, ch: make(chan tuple.Tuple, 1)}
+	if s.closed {
+		s.mu.Unlock()
+		w.done = true
+		close(w.ch)
+		return &waiterHandle{s: s, w: w}
+	}
+	if e := s.pickLocked(p); e != nil {
+		removed := uint64(0)
+		if remove {
+			s.removeLocked(e)
+			s.met.Inc(trace.CtrTuplesTaken)
+			removed = e.id
+		}
+		w.done = true
+		w.ch <- e.t
+		close(w.ch)
+		s.mu.Unlock()
+		if removed != 0 {
+			s.notifyRemoved(removed)
+		}
+		return &waiterHandle{s: s, w: w}
+	}
+	s.nextSeq++
+	w.seq = s.nextSeq
+	s.waiters[p.Arity()] = append(s.waiters[p.Arity()], w)
+	s.mu.Unlock()
+	return &waiterHandle{s: s, w: w}
+}
+
+type waiterHandle struct {
+	s *Store
+	w *waiter
+}
+
+func (h *waiterHandle) Chan() <-chan tuple.Tuple { return h.w.ch }
+
+func (h *waiterHandle) Cancel() {
+	h.s.mu.Lock()
+	defer h.s.mu.Unlock()
+	if h.w.done {
+		return
+	}
+	h.w.done = true
+	close(h.w.ch)
+	arity := h.w.p.Arity()
+	ws := h.s.waiters[arity]
+	for i, w := range ws {
+		if w == h.w {
+			h.s.waiters[arity] = append(ws[:i], ws[i+1:]...)
+			break
+		}
+	}
+}
+
+// Hold implements space.Space.
+func (s *Store) Hold(p tuple.Template) (space.Hold, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e := s.pickLocked(p)
+	if e == nil {
+		return nil, false
+	}
+	s.removeLocked(e)
+	return &hold{s: s, e: e}, true
+}
+
+type hold struct {
+	s       *Store
+	e       *entry
+	settled bool
+	mu      sync.Mutex
+}
+
+func (h *hold) Tuple() tuple.Tuple { return h.e.t }
+
+func (h *hold) Accept() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.settled {
+		return
+	}
+	h.settled = true
+	h.s.met.Inc(trace.CtrTuplesTaken)
+	h.s.notifyRemoved(h.e.id)
+}
+
+func (h *hold) Release() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.settled {
+		return
+	}
+	h.settled = true
+	// Reinstate with the original expiry; if it expired while held it
+	// will be reclaimed by the janitor path on the next operation.
+	if _, err := h.s.Out(h.e.t, h.e.expiry); err == nil {
+		h.s.met.Inc(trace.CtrTuplesReinstated)
+		// Out counted a store; a reinstatement is not a new tuple.
+		h.s.met.Add(trace.CtrTuplesStored, -1)
+	}
+}
+
+// Remove implements space.Space.
+func (s *Store) Remove(id uint64) bool {
+	s.mu.Lock()
+	e, ok := s.byID[id]
+	if !ok {
+		s.mu.Unlock()
+		return false
+	}
+	s.removeLocked(e)
+	s.mu.Unlock()
+	s.notifyRemoved(id)
+	return true
+}
+
+// Count implements space.Space.
+func (s *Store) Count() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.byID)
+}
+
+// Bytes implements space.Space.
+func (s *Store) Bytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var n int64
+	for _, e := range s.byID {
+		n += e.t.Size()
+	}
+	return n
+}
+
+// Snapshot implements space.Space.
+func (s *Store) Snapshot() []tuple.Tuple {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]tuple.Tuple, 0, len(s.byID))
+	for _, e := range s.byID {
+		out = append(out, e.t)
+	}
+	return out
+}
+
+// Close implements space.Space.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	if s.stopJan != nil {
+		s.stopJan()
+		s.stopJan = nil
+	}
+	for arity, ws := range s.waiters {
+		for _, w := range ws {
+			if !w.done {
+				w.done = true
+				close(w.ch)
+			}
+		}
+		delete(s.waiters, arity)
+	}
+	return nil
+}
+
+// --- expiry management -------------------------------------------------
+
+type expiryHeap []*entry
+
+func (h expiryHeap) Len() int           { return len(h) }
+func (h expiryHeap) Less(i, j int) bool { return h[i].expiry.Before(h[j].expiry) }
+func (h expiryHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i]; h[i].index, h[j].index = i, j }
+func (h *expiryHeap) Push(x any)        { e := x.(*entry); e.index = len(*h); *h = append(*h, e) }
+func (h *expiryHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// scheduleJanitorLocked arms a timer for the earliest expiry.
+func (s *Store) scheduleJanitorLocked() {
+	if s.stopJan != nil {
+		s.stopJan()
+		s.stopJan = nil
+	}
+	if s.closed || len(s.expiry) == 0 {
+		return
+	}
+	d := s.expiry[0].expiry.Sub(s.clk.Now())
+	if d < 0 {
+		d = 0
+	}
+	s.stopJan = s.clk.AfterFunc(d, s.reclaim)
+}
+
+// reclaim removes all expired tuples and re-arms the janitor.
+func (s *Store) reclaim() {
+	var reclaimed []uint64
+	s.mu.Lock()
+	defer func() {
+		s.mu.Unlock()
+		s.notifyRemoved(reclaimed...)
+	}()
+	if s.closed {
+		return
+	}
+	now := s.clk.Now()
+	for len(s.expiry) > 0 && !s.expiry[0].expiry.After(now) {
+		e := heap.Pop(&s.expiry).(*entry)
+		delete(s.byID, e.id)
+		if bucket := s.byArity[e.t.Arity()]; bucket != nil {
+			delete(bucket, e.id)
+			if len(bucket) == 0 {
+				delete(s.byArity, e.t.Arity())
+			}
+		}
+		if tk, ok := tagOfTuple(e.t); ok {
+			if tb := s.byTag[tk]; tb != nil {
+				delete(tb, e.id)
+				if len(tb) == 0 {
+					delete(s.byTag, tk)
+				}
+			}
+		}
+		s.met.Inc(trace.CtrTuplesReclaimed)
+		reclaimed = append(reclaimed, e.id)
+	}
+	s.stopJan = nil
+	s.scheduleJanitorLocked()
+}
+
+// Reclaimed reports how many tuples the janitor has reclaimed (test aid).
+func (s *Store) Reclaimed() int64 { return s.met.Get(trace.CtrTuplesReclaimed) }

@@ -1,0 +1,320 @@
+// Package naive is a deliberately simple reference implementation of
+// space.Space: a flat slice scanned linearly, with none of the indexing,
+// heaps, or janitor machinery of tiamat/internal/store. It exists to
+//
+//   - prove the paper's §3.1.2 replaceability claim (the instance runs
+//     unchanged on any Space implementation — pass one via Config.Space);
+//   - serve as the executable specification that the optimised store is
+//     differential-tested against.
+//
+// It is correct and concurrency-safe but O(n) everywhere; do not use it
+// for large spaces.
+package naive
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"tiamat/clock"
+	"tiamat/space"
+	"tiamat/tuple"
+)
+
+// ErrClosed reports an operation on a closed space.
+var ErrClosed = errors.New("naive: closed")
+
+// Space implements space.Space with linear scans.
+type Space struct {
+	clk clock.Clock
+
+	mu      sync.Mutex
+	closed  bool
+	nextID  uint64
+	entries []entry
+	waiters []*waiter
+}
+
+var _ space.Space = (*Space)(nil)
+
+type entry struct {
+	id     uint64
+	t      tuple.Tuple
+	expiry time.Time
+	held   bool
+}
+
+type waiter struct {
+	p      tuple.Template
+	remove bool
+	ch     chan tuple.Tuple
+	done   bool
+}
+
+// New returns an empty naive space using clk (nil = wall clock).
+func New(clk clock.Clock) *Space {
+	if clk == nil {
+		clk = clock.Real{}
+	}
+	return &Space{clk: clk}
+}
+
+func (s *Space) liveLocked(e entry) bool {
+	if e.held {
+		return false
+	}
+	return e.expiry.IsZero() || e.expiry.After(s.clk.Now())
+}
+
+// Out implements space.Space.
+func (s *Space) Out(t tuple.Tuple, expiry time.Time) (uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return 0, ErrClosed
+	}
+	// Serve waiters FIFO: readers get copies, the first taker consumes.
+	kept := s.waiters[:0]
+	consumed := false
+	for _, w := range s.waiters {
+		if consumed || w.done || !w.p.Matches(t) {
+			kept = append(kept, w)
+			continue
+		}
+		w.done = true
+		w.ch <- t
+		close(w.ch)
+		if w.remove {
+			consumed = true
+		}
+	}
+	s.waiters = kept
+	if consumed {
+		return 0, nil
+	}
+	s.nextID++
+	s.entries = append(s.entries, entry{id: s.nextID, t: t, expiry: expiry})
+	return s.nextID, nil
+}
+
+// findLocked returns the index of the first live match, or -1. "First"
+// in insertion order is a legal nondeterministic choice.
+func (s *Space) findLocked(p tuple.Template) int {
+	for i, e := range s.entries {
+		if s.liveLocked(e) && p.Matches(e.t) {
+			return i
+		}
+	}
+	return -1
+}
+
+// Rdp implements space.Space.
+func (s *Space) Rdp(p tuple.Template) (tuple.Tuple, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if i := s.findLocked(p); i >= 0 {
+		return s.entries[i].t, true
+	}
+	return tuple.Tuple{}, false
+}
+
+// Inp implements space.Space.
+func (s *Space) Inp(p tuple.Template) (tuple.Tuple, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	i := s.findLocked(p)
+	if i < 0 {
+		return tuple.Tuple{}, false
+	}
+	t := s.entries[i].t
+	s.entries = append(s.entries[:i], s.entries[i+1:]...)
+	return t, true
+}
+
+// Wait implements space.Space.
+func (s *Space) Wait(p tuple.Template, remove bool) space.Waiter {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	w := &waiter{p: p, remove: remove, ch: make(chan tuple.Tuple, 1)}
+	if s.closed {
+		w.done = true
+		close(w.ch)
+		return &handle{s: s, w: w}
+	}
+	if i := s.findLocked(p); i >= 0 {
+		t := s.entries[i].t
+		if remove {
+			s.entries = append(s.entries[:i], s.entries[i+1:]...)
+		}
+		w.done = true
+		w.ch <- t
+		close(w.ch)
+		return &handle{s: s, w: w}
+	}
+	s.waiters = append(s.waiters, w)
+	return &handle{s: s, w: w}
+}
+
+type handle struct {
+	s *Space
+	w *waiter
+}
+
+func (h *handle) Chan() <-chan tuple.Tuple { return h.w.ch }
+
+func (h *handle) Cancel() {
+	h.s.mu.Lock()
+	defer h.s.mu.Unlock()
+	if h.w.done {
+		return
+	}
+	h.w.done = true
+	close(h.w.ch)
+	for i, w := range h.s.waiters {
+		if w == h.w {
+			h.s.waiters = append(h.s.waiters[:i], h.s.waiters[i+1:]...)
+			break
+		}
+	}
+}
+
+// Hold implements space.Space.
+func (s *Space) Hold(p tuple.Template) (space.Hold, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	i := s.findLocked(p)
+	if i < 0 {
+		return nil, false
+	}
+	s.entries[i].held = true
+	return &hold{s: s, id: s.entries[i].id, t: s.entries[i].t}, true
+}
+
+type hold struct {
+	s       *Space
+	id      uint64
+	t       tuple.Tuple
+	mu      sync.Mutex
+	settled bool
+}
+
+func (h *hold) Tuple() tuple.Tuple { return h.t }
+
+func (h *hold) Accept() { h.settle(true) }
+
+func (h *hold) Release() { h.settle(false) }
+
+func (h *hold) settle(accept bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.settled {
+		return
+	}
+	h.settled = true
+	h.s.mu.Lock()
+	idx := -1
+	var e entry
+	for i := range h.s.entries {
+		if h.s.entries[i].id == h.id {
+			idx = i
+			e = h.s.entries[i]
+			break
+		}
+	}
+	if idx < 0 {
+		h.s.mu.Unlock()
+		return
+	}
+	h.s.entries = append(h.s.entries[:idx], h.s.entries[idx+1:]...)
+	h.s.mu.Unlock()
+	if accept {
+		return
+	}
+	// Reinstatement re-enters through Out so waiters are served.
+	e.held = false
+	_, _ = h.s.Out(e.t, e.expiry)
+}
+
+// Remove implements space.Space.
+func (s *Space) Remove(id uint64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := range s.entries {
+		if s.entries[i].id == id && !s.entries[i].held {
+			s.entries = append(s.entries[:i], s.entries[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// Count implements space.Space. Expired tuples are purged lazily here.
+func (s *Space) Count() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.purgeLocked()
+	n := 0
+	for _, e := range s.entries {
+		if !e.held {
+			n++
+		}
+	}
+	return n
+}
+
+func (s *Space) purgeLocked() {
+	kept := s.entries[:0]
+	for _, e := range s.entries {
+		if e.held || s.liveLocked(e) {
+			kept = append(kept, e)
+		}
+	}
+	s.entries = kept
+}
+
+// Bytes implements space.Space.
+func (s *Space) Bytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.purgeLocked()
+	var n int64
+	for _, e := range s.entries {
+		if !e.held {
+			n += e.t.Size()
+		}
+	}
+	return n
+}
+
+// Snapshot implements space.Space.
+func (s *Space) Snapshot() []tuple.Tuple {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.purgeLocked()
+	out := make([]tuple.Tuple, 0, len(s.entries))
+	for _, e := range s.entries {
+		if !e.held {
+			out = append(out, e.t)
+		}
+	}
+	return out
+}
+
+// Close implements space.Space.
+func (s *Space) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	for _, w := range s.waiters {
+		if !w.done {
+			w.done = true
+			close(w.ch)
+		}
+	}
+	s.waiters = nil
+	s.entries = nil
+	return nil
+}

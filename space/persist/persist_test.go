@@ -1,0 +1,236 @@
+package persist
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"tiamat/clock"
+	"tiamat/internal/core"
+	"tiamat/internal/store"
+	"tiamat/transport/memnet"
+	"tiamat/tuple"
+)
+
+var epoch = time.Date(2003, 6, 1, 0, 0, 0, 0, time.UTC)
+
+func item(v int64) tuple.Tuple { return tuple.T(tuple.String("it"), tuple.Int(v)) }
+func itemTmpl() tuple.Template { return tuple.Tmpl(tuple.String("it"), tuple.FormalInt()) }
+
+func open(t *testing.T, path string, clk clock.Clock) *Space {
+	t.Helper()
+	s, err := Open(path, store.New(store.WithClock(orReal(clk))), clk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func orReal(c clock.Clock) clock.Clock {
+	if c == nil {
+		return clock.Real{}
+	}
+	return c
+}
+
+func TestTuplesSurviveRestart(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "space.log")
+	s := open(t, path, nil)
+	for v := int64(0); v < 5; v++ {
+		if _, err := s.Out(item(v), time.Time{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, ok := s.Inp(tuple.Tmpl(tuple.String("it"), tuple.Int(2))); !ok {
+		t.Fatal("take failed")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart: 4 tuples remain, and exactly the right ones.
+	s2 := open(t, path, nil)
+	defer s2.Close()
+	if s2.Count() != 4 {
+		t.Fatalf("count after restart = %d", s2.Count())
+	}
+	if _, ok := s2.Rdp(tuple.Tmpl(tuple.String("it"), tuple.Int(2))); ok {
+		t.Fatal("taken tuple resurrected")
+	}
+	for _, v := range []int64{0, 1, 3, 4} {
+		if _, ok := s2.Rdp(tuple.Tmpl(tuple.String("it"), tuple.Int(v))); !ok {
+			t.Fatalf("tuple %d lost across restart", v)
+		}
+	}
+}
+
+func TestExpiredTuplesNotReplayed(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "space.log")
+	clk := clock.NewVirtual(epoch)
+	s := open(t, path, clk)
+	s.Out(item(1), epoch.Add(time.Second))
+	s.Out(item(2), time.Time{})
+	s.Close()
+
+	clk.Advance(time.Hour) // the device was off for an hour
+	s2 := open(t, path, clk)
+	defer s2.Close()
+	if s2.Count() != 1 {
+		t.Fatalf("count = %d, want 1 (expired tuple must not replay)", s2.Count())
+	}
+}
+
+func TestWaiterTakeIsDurable(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "space.log")
+	s := open(t, path, nil)
+	w := s.Wait(itemTmpl(), true)
+	s.Out(item(9), time.Time{})
+	if got, ok := <-w.Chan(); !ok || !got.Equal(item(9)) {
+		t.Fatal("waiter not served")
+	}
+	s.Close()
+	s2 := open(t, path, nil)
+	defer s2.Close()
+	if s2.Count() != 0 {
+		t.Fatalf("count = %d: waiter-consumed tuple resurrected", s2.Count())
+	}
+}
+
+func TestHoldAcceptDurableReleaseNot(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "space.log")
+	s := open(t, path, nil)
+	s.Out(item(1), time.Time{})
+	s.Out(item(2), time.Time{})
+	h1, ok := s.Hold(tuple.Tmpl(tuple.String("it"), tuple.Int(1)))
+	if !ok {
+		t.Fatal("hold 1 failed")
+	}
+	h1.Accept()
+	h1.Release() // no-op
+	h2, ok := s.Hold(tuple.Tmpl(tuple.String("it"), tuple.Int(2)))
+	if !ok {
+		t.Fatal("hold 2 failed")
+	}
+	h2.Release()
+	h2.Accept() // no-op
+	s.Close()
+
+	s2 := open(t, path, nil)
+	defer s2.Close()
+	if _, ok := s2.Rdp(tuple.Tmpl(tuple.String("it"), tuple.Int(1))); ok {
+		t.Fatal("accepted hold resurrected")
+	}
+	if _, ok := s2.Rdp(tuple.Tmpl(tuple.String("it"), tuple.Int(2))); !ok {
+		t.Fatal("released hold lost")
+	}
+}
+
+func TestTornTailIgnored(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "space.log")
+	s := open(t, path, nil)
+	s.Out(item(1), time.Time{})
+	s.Close()
+	// Simulate a crash mid-append: garbage at the tail.
+	f, err := openAppend(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte{0xff, 0x01, 0x02})
+	f.Close()
+	s2 := open(t, path, nil)
+	defer s2.Close()
+	if s2.Count() != 1 {
+		t.Fatalf("count = %d after torn tail", s2.Count())
+	}
+}
+
+func TestCompactionShrinksLog(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "space.log")
+	s := open(t, path, nil)
+	for v := int64(0); v < 100; v++ {
+		s.Out(item(v), time.Time{})
+	}
+	for v := int64(0); v < 99; v++ {
+		if _, ok := s.Inp(itemTmpl()); !ok {
+			t.Fatal("drain failed")
+		}
+	}
+	s.Close()
+	bloated := fileSize(t, path)
+
+	s2 := open(t, path, nil) // Open compacts
+	defer s2.Close()
+	if got := fileSize(t, path); got >= bloated {
+		t.Fatalf("log not compacted: %d -> %d bytes", bloated, got)
+	}
+	if s2.Count() != 1 {
+		t.Fatalf("count = %d after compaction", s2.Count())
+	}
+}
+
+// TestInstancePersistentSpaceEndToEnd wires the durable space into a real
+// instance (Config.Space + Config.Persistent): data put into the node's
+// space survives the node restarting, which is exactly what the paper's
+// persistent-space flag advertises to peers (§2.4).
+func TestInstancePersistentSpaceEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "node.log")
+	net := memnet.New()
+	defer net.Close()
+
+	boot := func(addr string) *core.Instance {
+		ep, err := net.Attach("node")
+		if err != nil {
+			t.Fatal(err)
+		}
+		sp, err := Open(path, store.New(), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inst, err := core.New(core.Config{Endpoint: ep, Space: sp, Persistent: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = addr
+		return inst
+	}
+	inst := boot("node")
+	if err := inst.Out(item(42), nil); err != nil {
+		t.Fatal(err)
+	}
+	inst.Close()
+
+	inst2 := boot("node")
+	defer inst2.Close()
+	res, ok, err := inst2.Rdp(context.Background(), itemTmpl(), nil)
+	if err != nil || !ok {
+		t.Fatalf("tuple lost across node restart: %v %v", ok, err)
+	}
+	if v, _ := res.Tuple.IntAt(1); v != 42 {
+		t.Fatalf("got %v", res.Tuple)
+	}
+}
+
+func fileSize(t *testing.T, path string) int64 {
+	t.Helper()
+	fi, err := statFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fi
+}
+
+// small os helpers kept out of the test bodies.
+func openAppend(path string) (*os.File, error) {
+	return os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o600)
+}
+
+func statFile(path string) (int64, error) {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return 0, err
+	}
+	return fi.Size(), nil
+}

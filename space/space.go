@@ -1,0 +1,94 @@
+// Package space defines the storage-level contract of a local tuple space.
+//
+// The paper notes (§3.1.2) that "the tuple space could be replaced with any
+// system which implements the six standard Linda operations". This package
+// is that replacement seam: the Tiamat instance consumes only the Space
+// interface, and tiamat/internal/store provides the default implementation.
+//
+// The six Linda operations map onto Space as follows:
+//
+//	out  → Out (with the expiry instant of the operation's lease)
+//	rdp  → Rdp
+//	inp  → Inp
+//	rd   → Rdp, then Wait(p, false) until a match or lease expiry
+//	in   → Inp, then Wait(p, true) until a match or lease expiry
+//	eval → executed by the instance; the result tuple enters via Out
+//
+// Hold supports Tiamat's distributed take protocol (§3.1.3): a remote in
+// tentatively removes a match; the winning responder's hold is accepted and
+// all others are released, reinstating their tuples.
+package space
+
+import (
+	"time"
+
+	"tiamat/tuple"
+)
+
+// Space is a local tuple space. Implementations must be safe for
+// concurrent use.
+type Space interface {
+	// Out stores the tuple until expiry (the zero time means no expiry)
+	// and returns its storage id. Matching waiters are satisfied first.
+	Out(t tuple.Tuple, expiry time.Time) (uint64, error)
+
+	// Rdp returns a copy of a nondeterministically chosen matching tuple.
+	Rdp(p tuple.Template) (tuple.Tuple, bool)
+
+	// Inp removes and returns a nondeterministically chosen matching tuple.
+	Inp(p tuple.Template) (tuple.Tuple, bool)
+
+	// Wait blocks (via the returned Waiter) until a tuple matching p is
+	// available. If a match is already present it is delivered
+	// immediately; otherwise interest is registered for the next
+	// matching Out. If remove is true the tuple is removed upon delivery
+	// (in semantics); otherwise a copy is delivered (rd semantics). The
+	// check-then-register step is atomic, so rd/in built on Wait cannot
+	// miss a concurrent Out. The caller must either receive from
+	// Waiter.Chan or call Waiter.Cancel.
+	Wait(p tuple.Template, remove bool) Waiter
+
+	// Hold removes a matching tuple tentatively. Accept finalises the
+	// removal; Release reinstates the tuple (used when another responder
+	// won the distributed take).
+	Hold(p tuple.Template) (Hold, bool)
+
+	// Remove deletes the tuple with the given storage id, reporting
+	// whether it was present. Used for lease revocation.
+	Remove(id uint64) bool
+
+	// Count returns the number of live tuples.
+	Count() int
+
+	// Bytes returns the approximate storage footprint of live tuples.
+	Bytes() int64
+
+	// Snapshot returns copies of all live tuples (diagnostics, INFO).
+	Snapshot() []tuple.Tuple
+
+	// Close releases the space; pending waiters are cancelled.
+	Close() error
+}
+
+// Waiter is a registered blocking interest in a template match.
+type Waiter interface {
+	// Chan delivers exactly one matching tuple, then is closed. The
+	// channel is closed without a value if the waiter is cancelled or
+	// the space closes.
+	Chan() <-chan tuple.Tuple
+	// Cancel withdraws the interest. If a tuple was already committed to
+	// this waiter it remains delivered on Chan. Cancel is idempotent.
+	Cancel()
+}
+
+// Hold is a tentatively removed tuple awaiting accept/release.
+type Hold interface {
+	// Tuple returns the held tuple.
+	Tuple() tuple.Tuple
+	// Accept finalises the removal. Idempotent; Accept after Release is
+	// a no-op.
+	Accept()
+	// Release reinstates the tuple into the space. Idempotent; Release
+	// after Accept is a no-op.
+	Release()
+}

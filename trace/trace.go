@@ -1,0 +1,146 @@
+// Package trace provides the lightweight metrics registry shared by the
+// Tiamat instance, the simulated network, and the baseline systems. The
+// experiment harness snapshots these counters to produce the series
+// reported in EXPERIMENTS.md.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Metrics is a set of named monotonic counters and gauges. The zero value
+// is ready to use. All methods are safe for concurrent use.
+type Metrics struct {
+	mu       sync.Mutex
+	counters map[string]*atomic.Int64
+}
+
+// counter returns (creating if needed) the counter with the given name.
+func (m *Metrics) counter(name string) *atomic.Int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.counters == nil {
+		m.counters = make(map[string]*atomic.Int64)
+	}
+	c, ok := m.counters[name]
+	if !ok {
+		c = new(atomic.Int64)
+		m.counters[name] = c
+	}
+	return c
+}
+
+// Add increments the named counter by delta.
+func (m *Metrics) Add(name string, delta int64) {
+	m.counter(name).Add(delta)
+}
+
+// Inc increments the named counter by one.
+func (m *Metrics) Inc(name string) { m.Add(name, 1) }
+
+// Set stores an absolute value (gauge semantics).
+func (m *Metrics) Set(name string, v int64) {
+	m.counter(name).Store(v)
+}
+
+// Get returns the current value of the named counter (0 if absent).
+func (m *Metrics) Get(name string) int64 {
+	m.mu.Lock()
+	c, ok := m.counters[name]
+	m.mu.Unlock()
+	if !ok {
+		return 0
+	}
+	return c.Load()
+}
+
+// Snapshot returns a copy of all counters.
+func (m *Metrics) Snapshot() map[string]int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]int64, len(m.counters))
+	for k, c := range m.counters {
+		out[k] = c.Load()
+	}
+	return out
+}
+
+// Reset zeroes every counter.
+func (m *Metrics) Reset() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, c := range m.counters {
+		c.Store(0)
+	}
+}
+
+// Diff returns per-counter deltas of the current values against an earlier
+// snapshot. Counters absent from the snapshot diff against zero.
+func (m *Metrics) Diff(prev map[string]int64) map[string]int64 {
+	cur := m.Snapshot()
+	out := make(map[string]int64, len(cur))
+	for k, v := range cur {
+		out[k] = v - prev[k]
+	}
+	return out
+}
+
+// String renders the counters sorted by name, for logs and debugging.
+func (m *Metrics) String() string {
+	snap := m.Snapshot()
+	keys := make([]string, 0, len(snap))
+	for k := range snap {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s=%d", k, snap[k])
+	}
+	return b.String()
+}
+
+// Conventional counter names used across the repository. Keeping them here
+// avoids typo-divergence between producers and the harness.
+const (
+	CtrMsgsSent       = "net.msgs_sent"
+	CtrMsgsDropped    = "net.msgs_dropped"
+	CtrBytesSent      = "net.bytes_sent"
+	CtrMulticasts     = "net.multicasts"
+	CtrMulticastRecvs = "net.multicast_recvs"
+	CtrUnicasts       = "net.unicasts"
+
+	CtrOpsOut       = "ops.out"
+	CtrOpsEval      = "ops.eval"
+	CtrOpsRd        = "ops.rd"
+	CtrOpsRdp       = "ops.rdp"
+	CtrOpsIn        = "ops.in"
+	CtrOpsInp       = "ops.inp"
+	CtrOpsSatisfied = "ops.satisfied"
+	CtrOpsEmpty     = "ops.empty"
+	CtrOpsExpired   = "ops.expired"
+	CtrOpsRemoteHit = "ops.remote_hit"
+	CtrOpsLocalHit  = "ops.local_hit"
+
+	CtrDiscoverRounds = "disc.rounds"
+	CtrListHits       = "disc.list_hits"
+	CtrListEvictions  = "disc.list_evictions"
+
+	CtrTuplesStored     = "store.tuples_stored"
+	CtrTuplesTaken      = "store.tuples_taken"
+	CtrTuplesReclaimed  = "store.tuples_reclaimed"
+	CtrTuplesReinstated = "store.tuples_reinstated"
+
+	CtrEngagements    = "fed.engagements"
+	CtrEngageStallsNs = "fed.engage_stall_ns"
+	CtrReplicaMsgs    = "repl.msgs"
+	CtrOrphanTuples   = "repl.orphans"
+	CtrFloodMsgs      = "flood.msgs"
+)

@@ -1,0 +1,79 @@
+package trace
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestAddIncGet(t *testing.T) {
+	var m Metrics
+	if m.Get("x") != 0 {
+		t.Fatal("absent counter should read 0")
+	}
+	m.Inc("x")
+	m.Add("x", 4)
+	if got := m.Get("x"); got != 5 {
+		t.Fatalf("x = %d, want 5", got)
+	}
+	m.Set("x", 2)
+	if got := m.Get("x"); got != 2 {
+		t.Fatalf("after Set, x = %d", got)
+	}
+}
+
+func TestSnapshotAndDiff(t *testing.T) {
+	var m Metrics
+	m.Add("a", 10)
+	snap := m.Snapshot()
+	m.Add("a", 5)
+	m.Add("b", 3)
+	d := m.Diff(snap)
+	if d["a"] != 5 || d["b"] != 3 {
+		t.Fatalf("diff = %v", d)
+	}
+	// Snapshot must be a copy.
+	snap["a"] = 999
+	if m.Get("a") != 15 {
+		t.Fatal("snapshot aliases internal state")
+	}
+}
+
+func TestReset(t *testing.T) {
+	var m Metrics
+	m.Add("a", 7)
+	m.Reset()
+	if m.Get("a") != 0 {
+		t.Fatal("Reset did not zero")
+	}
+}
+
+func TestStringSorted(t *testing.T) {
+	var m Metrics
+	m.Add("zeta", 1)
+	m.Add("alpha", 2)
+	s := m.String()
+	if !strings.HasPrefix(s, "alpha=2") || !strings.Contains(s, "zeta=1") {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+func TestConcurrent(t *testing.T) {
+	var m Metrics
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				m.Inc("c")
+				_ = m.Get("c")
+				_ = m.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := m.Get("c"); got != 8000 {
+		t.Fatalf("c = %d, want 8000", got)
+	}
+}

@@ -1,0 +1,397 @@
+// Package memnet is the simulated network substrate used by the test
+// suite and the experiment harness. It models exactly what the paper's
+// pervasive environment provides: a mutable, symmetric, non-transitive
+// visibility relation between instances (paper Figure 1), multicast that
+// reaches only currently visible instances, optional per-message latency
+// and loss, node departure/arrival (churn), and message/byte accounting.
+package memnet
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"tiamat/clock"
+	"tiamat/trace"
+	"tiamat/transport"
+	"tiamat/wire"
+)
+
+// inboxSize bounds each node's receive queue; overflow counts as a drop,
+// mirroring a saturated radio.
+const inboxSize = 4096
+
+// Network is a simulated broadcast domain.
+type Network struct {
+	clk clock.Clock
+	met *trace.Metrics
+
+	mu      sync.Mutex
+	rng     *rand.Rand
+	nodes   map[wire.Addr]*node
+	vis     map[edge]bool
+	latency time.Duration
+	loss    float64
+	closed  bool
+}
+
+type edge struct{ a, b wire.Addr }
+
+func mkEdge(a, b wire.Addr) edge {
+	if b < a {
+		a, b = b, a
+	}
+	return edge{a, b}
+}
+
+type node struct {
+	net    *Network
+	addr   wire.Addr
+	inbox  chan *wire.Message
+	closed bool
+}
+
+var _ transport.Endpoint = (*node)(nil)
+
+// Option configures a Network.
+type Option func(*Network)
+
+// WithClock sets the time source used for latency delivery.
+func WithClock(c clock.Clock) Option { return func(n *Network) { n.clk = c } }
+
+// WithMetrics attaches a metrics registry.
+func WithMetrics(m *trace.Metrics) Option { return func(n *Network) { n.met = m } }
+
+// WithLatency sets a fixed one-way delivery latency (default 0:
+// synchronous delivery).
+func WithLatency(d time.Duration) Option { return func(n *Network) { n.latency = d } }
+
+// WithLoss sets an independent per-message drop probability.
+func WithLoss(p float64) Option { return func(n *Network) { n.loss = p } }
+
+// WithSeed seeds the loss/jitter PRNG (default 1).
+func WithSeed(seed int64) Option {
+	return func(n *Network) { n.rng = rand.New(rand.NewSource(seed)) }
+}
+
+// New returns an empty network.
+func New(opts ...Option) *Network {
+	n := &Network{
+		clk:   clock.Real{},
+		met:   &trace.Metrics{},
+		rng:   rand.New(rand.NewSource(1)),
+		nodes: make(map[wire.Addr]*node),
+		vis:   make(map[edge]bool),
+	}
+	for _, o := range opts {
+		o(n)
+	}
+	return n
+}
+
+// Metrics returns the network's metrics registry.
+func (n *Network) Metrics() *trace.Metrics { return n.met }
+
+// Attach creates an endpoint with the given address. Attaching an address
+// twice is an error (the first endpoint must Close first).
+func (n *Network) Attach(addr wire.Addr) (transport.Endpoint, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return nil, transport.ErrClosed
+	}
+	if _, ok := n.nodes[addr]; ok {
+		return nil, fmt.Errorf("memnet: address %q already attached", addr)
+	}
+	nd := &node{net: n, addr: addr, inbox: make(chan *wire.Message, inboxSize)}
+	n.nodes[addr] = nd
+	return nd, nil
+}
+
+// SetVisible makes a and b mutually visible (or not). Visibility is
+// symmetric but deliberately not transitive (paper Figure 1c).
+func (n *Network) SetVisible(a, b wire.Addr, visible bool) {
+	if a == b {
+		return
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if visible {
+		n.vis[mkEdge(a, b)] = true
+	} else {
+		delete(n.vis, mkEdge(a, b))
+	}
+}
+
+// Visible reports whether a and b can currently communicate.
+func (n *Network) Visible(a, b wire.Addr) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.vis[mkEdge(a, b)]
+}
+
+// ConnectAll makes every attached pair mutually visible.
+func (n *Network) ConnectAll() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	addrs := make([]wire.Addr, 0, len(n.nodes))
+	for a := range n.nodes {
+		addrs = append(addrs, a)
+	}
+	for i := range addrs {
+		for j := i + 1; j < len(addrs); j++ {
+			n.vis[mkEdge(addrs[i], addrs[j])] = true
+		}
+	}
+}
+
+// Isolate removes every visibility edge touching addr (the node moves out
+// of range without detaching).
+func (n *Network) Isolate(addr wire.Addr) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for e := range n.vis {
+		if e.a == addr || e.b == addr {
+			delete(n.vis, e)
+		}
+	}
+}
+
+// Partition replaces the whole visibility relation: nodes within each
+// group become fully mutually visible, nodes in different groups not.
+func (n *Network) Partition(groups ...[]wire.Addr) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.vis = make(map[edge]bool)
+	for _, g := range groups {
+		for i := range g {
+			for j := i + 1; j < len(g); j++ {
+				n.vis[mkEdge(g[i], g[j])] = true
+			}
+		}
+	}
+}
+
+// SetLoss changes the per-message drop probability at runtime (failure
+// injection in tests and experiments).
+func (n *Network) SetLoss(p float64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.loss = p
+}
+
+// SetLatency changes the one-way delivery latency at runtime.
+func (n *Network) SetLatency(d time.Duration) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.latency = d
+}
+
+// Neighbors returns the addresses currently visible from a, in
+// unspecified order.
+func (n *Network) Neighbors(a wire.Addr) []wire.Addr {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.neighborsLocked(a)
+}
+
+func (n *Network) neighborsLocked(a wire.Addr) []wire.Addr {
+	var out []wire.Addr
+	for e, ok := range n.vis {
+		if !ok {
+			continue
+		}
+		if e.a == a {
+			if _, live := n.nodes[e.b]; live {
+				out = append(out, e.b)
+			}
+		} else if e.b == a {
+			if _, live := n.nodes[e.a]; live {
+				out = append(out, e.a)
+			}
+		}
+	}
+	return out
+}
+
+// Addrs returns all attached addresses.
+func (n *Network) Addrs() []wire.Addr {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]wire.Addr, 0, len(n.nodes))
+	for a := range n.nodes {
+		out = append(out, a)
+	}
+	return out
+}
+
+// Churn flips `flips` random potential edges among the attached nodes
+// using the network PRNG, returning how many edges changed state. It
+// models hosts wandering in and out of range.
+func (n *Network) Churn(flips int) int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	addrs := make([]wire.Addr, 0, len(n.nodes))
+	for a := range n.nodes {
+		addrs = append(addrs, a)
+	}
+	if len(addrs) < 2 {
+		return 0
+	}
+	changed := 0
+	for i := 0; i < flips; i++ {
+		a := addrs[n.rng.Intn(len(addrs))]
+		b := addrs[n.rng.Intn(len(addrs))]
+		if a == b {
+			continue
+		}
+		e := mkEdge(a, b)
+		if n.vis[e] {
+			delete(n.vis, e)
+		} else {
+			n.vis[e] = true
+		}
+		changed++
+	}
+	return changed
+}
+
+// Close shuts the whole network down.
+func (n *Network) Close() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return
+	}
+	n.closed = true
+	for _, nd := range n.nodes {
+		if !nd.closed {
+			nd.closed = true
+			close(nd.inbox)
+		}
+	}
+	n.nodes = make(map[wire.Addr]*node)
+	n.vis = make(map[edge]bool)
+}
+
+// --- endpoint ------------------------------------------------------------
+
+func (nd *node) Addr() wire.Addr { return nd.addr }
+
+func (nd *node) Recv() <-chan *wire.Message { return nd.inbox }
+
+func (nd *node) Close() error {
+	n := nd.net
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if nd.closed {
+		return nil
+	}
+	nd.closed = true
+	close(nd.inbox)
+	delete(n.nodes, nd.addr)
+	for e := range n.vis {
+		if e.a == nd.addr || e.b == nd.addr {
+			delete(n.vis, e)
+		}
+	}
+	return nil
+}
+
+// Send implements transport.Endpoint.
+func (nd *node) Send(to wire.Addr, m *wire.Message) error {
+	n := nd.net
+	n.mu.Lock()
+	if nd.closed {
+		n.mu.Unlock()
+		return transport.ErrClosed
+	}
+	dst, ok := n.nodes[to]
+	if !ok || !n.vis[mkEdge(nd.addr, to)] {
+		n.mu.Unlock()
+		n.met.Inc(trace.CtrMsgsDropped)
+		return fmt.Errorf("%s -> %s: %w", nd.addr, to, transport.ErrUnreachable)
+	}
+	data := wire.Encode(m)
+	n.met.Inc(trace.CtrMsgsSent)
+	n.met.Inc(trace.CtrUnicasts)
+	n.met.Add(trace.CtrBytesSent, int64(len(data)))
+	drop := n.loss > 0 && n.rng.Float64() < n.loss
+	lat := n.latency
+	n.mu.Unlock()
+	if drop {
+		n.met.Inc(trace.CtrMsgsDropped)
+		return nil // loss is silent, like the real world
+	}
+	n.deliver(dst, data, lat)
+	return nil
+}
+
+// Multicast implements transport.Endpoint.
+func (nd *node) Multicast(m *wire.Message) (int, error) {
+	n := nd.net
+	n.mu.Lock()
+	if nd.closed {
+		n.mu.Unlock()
+		return 0, transport.ErrClosed
+	}
+	data := wire.Encode(m)
+	neighbors := n.neighborsLocked(nd.addr)
+	n.met.Inc(trace.CtrMulticasts)
+	n.met.Add(trace.CtrBytesSent, int64(len(data)))
+	lat := n.latency
+	type target struct {
+		nd   *node
+		drop bool
+	}
+	targets := make([]target, 0, len(neighbors))
+	for _, a := range neighbors {
+		dst := n.nodes[a]
+		drop := n.loss > 0 && n.rng.Float64() < n.loss
+		targets = append(targets, target{dst, drop})
+	}
+	n.mu.Unlock()
+	for _, tg := range targets {
+		if tg.drop {
+			n.met.Inc(trace.CtrMsgsDropped)
+			continue
+		}
+		n.met.Inc(trace.CtrMulticastRecvs)
+		n.deliver(tg.nd, data, lat)
+	}
+	return len(targets), nil
+}
+
+// deliver decodes and enqueues the frame, after the configured latency.
+func (n *Network) deliver(dst *node, data []byte, lat time.Duration) {
+	msg, err := wire.Decode(data)
+	if err != nil {
+		// A frame we encoded must decode; failure is a programming error
+		// surfaced as a dropped message rather than a panic in transit.
+		n.met.Inc(trace.CtrMsgsDropped)
+		return
+	}
+	if lat <= 0 {
+		n.enqueue(dst, msg)
+		return
+	}
+	n.clk.AfterFunc(lat, func() { n.enqueue(dst, msg) })
+}
+
+func (n *Network) enqueue(dst *node, msg *wire.Message) {
+	// The send happens under the network lock so it cannot race a
+	// concurrent Close of the destination; the inbox is buffered and the
+	// send non-blocking, so the critical section stays short.
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if dst.closed {
+		n.met.Inc(trace.CtrMsgsDropped)
+		return
+	}
+	select {
+	case dst.inbox <- msg:
+	default:
+		n.met.Inc(trace.CtrMsgsDropped) // inbox overflow
+	}
+}

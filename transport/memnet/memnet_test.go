@@ -1,0 +1,381 @@
+package memnet
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"tiamat/clock"
+	"tiamat/trace"
+	"tiamat/transport"
+	"tiamat/wire"
+)
+
+func disc(from wire.Addr, id uint64) *wire.Message {
+	return &wire.Message{Type: wire.TDiscover, ID: id, From: from}
+}
+
+func recvOne(t *testing.T, ep transport.Endpoint) *wire.Message {
+	t.Helper()
+	select {
+	case m, ok := <-ep.Recv():
+		if !ok {
+			t.Fatal("inbox closed")
+		}
+		return m
+	case <-time.After(2 * time.Second):
+		t.Fatal("no message received")
+		return nil
+	}
+}
+
+func TestSendRequiresVisibility(t *testing.T) {
+	n := New()
+	defer n.Close()
+	a, _ := n.Attach("a")
+	b, _ := n.Attach("b")
+	if err := a.Send("b", disc("a", 1)); !errors.Is(err, transport.ErrUnreachable) {
+		t.Fatalf("send without visibility: %v", err)
+	}
+	n.SetVisible("a", "b", true)
+	if err := a.Send("b", disc("a", 2)); err != nil {
+		t.Fatal(err)
+	}
+	m := recvOne(t, b)
+	if m.From != "a" || m.ID != 2 {
+		t.Fatalf("got %+v", m)
+	}
+	// Symmetry.
+	if err := b.Send("a", disc("b", 3)); err != nil {
+		t.Fatal(err)
+	}
+	if m := recvOne(t, a); m.From != "b" {
+		t.Fatalf("got %+v", m)
+	}
+}
+
+func TestSendToUnknownAddr(t *testing.T) {
+	n := New()
+	defer n.Close()
+	a, _ := n.Attach("a")
+	n.SetVisible("a", "ghost", true)
+	if err := a.Send("ghost", disc("a", 1)); !errors.Is(err, transport.ErrUnreachable) {
+		t.Fatalf("send to unknown: %v", err)
+	}
+}
+
+func TestMulticastReachesOnlyVisible(t *testing.T) {
+	n := New()
+	defer n.Close()
+	a, _ := n.Attach("a")
+	b, _ := n.Attach("b")
+	c, _ := n.Attach("c")
+	n.SetVisible("a", "b", true)
+	// c is not visible from a.
+	cnt, err := a.Multicast(disc("a", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cnt != 1 {
+		t.Fatalf("multicast offered to %d nodes, want 1", cnt)
+	}
+	if m := recvOne(t, b); m.Type != wire.TDiscover {
+		t.Fatalf("b got %+v", m)
+	}
+	select {
+	case m := <-c.Recv():
+		t.Fatalf("invisible node received %+v", m)
+	default:
+	}
+}
+
+func TestVisibilityNotTransitive(t *testing.T) {
+	// Paper Figure 1(c): B sees both A and C, but A does not see C.
+	n := New()
+	defer n.Close()
+	a, _ := n.Attach("A")
+	n.Attach("B")
+	n.Attach("C")
+	n.SetVisible("A", "B", true)
+	n.SetVisible("B", "C", true)
+	if !n.Visible("A", "B") || !n.Visible("B", "C") {
+		t.Fatal("configured edges missing")
+	}
+	if n.Visible("A", "C") {
+		t.Fatal("visibility leaked transitively")
+	}
+	if err := a.Send("C", disc("A", 1)); !errors.Is(err, transport.ErrUnreachable) {
+		t.Fatalf("A->C should be unreachable: %v", err)
+	}
+}
+
+func TestSelfEdgeIgnored(t *testing.T) {
+	n := New()
+	defer n.Close()
+	n.Attach("a")
+	n.SetVisible("a", "a", true)
+	if n.Visible("a", "a") {
+		t.Fatal("self-visibility recorded")
+	}
+}
+
+func TestConnectAllAndNeighbors(t *testing.T) {
+	n := New()
+	defer n.Close()
+	n.Attach("a")
+	n.Attach("b")
+	n.Attach("c")
+	n.ConnectAll()
+	if got := len(n.Neighbors("a")); got != 2 {
+		t.Fatalf("neighbors of a = %d", got)
+	}
+	n.Isolate("a")
+	if got := len(n.Neighbors("a")); got != 0 {
+		t.Fatalf("after Isolate, neighbors = %d", got)
+	}
+	if !n.Visible("b", "c") {
+		t.Fatal("Isolate removed unrelated edge")
+	}
+}
+
+func TestPartition(t *testing.T) {
+	n := New()
+	defer n.Close()
+	for _, a := range []wire.Addr{"a", "b", "c", "d"} {
+		n.Attach(a)
+	}
+	n.Partition([]wire.Addr{"a", "b"}, []wire.Addr{"c", "d"})
+	if !n.Visible("a", "b") || !n.Visible("c", "d") {
+		t.Fatal("intra-group edges missing")
+	}
+	if n.Visible("a", "c") || n.Visible("b", "d") {
+		t.Fatal("cross-group edges present")
+	}
+}
+
+func TestNodeCloseDepartsAndDropsEdges(t *testing.T) {
+	n := New()
+	defer n.Close()
+	a, _ := n.Attach("a")
+	b, _ := n.Attach("b")
+	n.ConnectAll()
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal("Close not idempotent")
+	}
+	if _, ok := <-b.Recv(); ok {
+		t.Fatal("closed inbox delivered")
+	}
+	if err := a.Send("b", disc("a", 1)); !errors.Is(err, transport.ErrUnreachable) {
+		t.Fatalf("send to departed node: %v", err)
+	}
+	if _, err := a.Multicast(disc("a", 2)); err != nil {
+		t.Fatal(err)
+	}
+	// Address can be reattached after departure (node comes back).
+	if _, err := n.Attach("b"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDuplicateAttachRejected(t *testing.T) {
+	n := New()
+	defer n.Close()
+	n.Attach("a")
+	if _, err := n.Attach("a"); err == nil {
+		t.Fatal("duplicate attach succeeded")
+	}
+}
+
+func TestClosedEndpointSends(t *testing.T) {
+	n := New()
+	defer n.Close()
+	a, _ := n.Attach("a")
+	n.Attach("b")
+	n.ConnectAll()
+	a.Close()
+	if err := a.Send("b", disc("a", 1)); !errors.Is(err, transport.ErrClosed) {
+		t.Fatalf("send on closed endpoint: %v", err)
+	}
+	if _, err := a.Multicast(disc("a", 1)); !errors.Is(err, transport.ErrClosed) {
+		t.Fatalf("multicast on closed endpoint: %v", err)
+	}
+}
+
+func TestLatencyDeliversViaClock(t *testing.T) {
+	clk := clock.NewVirtual(time.Unix(0, 0))
+	n := New(WithClock(clk), WithLatency(50*time.Millisecond))
+	defer n.Close()
+	a, _ := n.Attach("a")
+	b, _ := n.Attach("b")
+	n.ConnectAll()
+	if err := a.Send("b", disc("a", 1)); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-b.Recv():
+		t.Fatal("delivered before latency elapsed")
+	default:
+	}
+	clk.Advance(50 * time.Millisecond)
+	if m := recvOne(t, b); m.ID != 1 {
+		t.Fatalf("got %+v", m)
+	}
+}
+
+func TestLossDropsAndCounts(t *testing.T) {
+	met := &trace.Metrics{}
+	n := New(WithLoss(1.0), WithMetrics(met), WithSeed(7))
+	defer n.Close()
+	a, _ := n.Attach("a")
+	b, _ := n.Attach("b")
+	n.ConnectAll()
+	if err := a.Send("b", disc("a", 1)); err != nil {
+		t.Fatal(err) // loss is silent
+	}
+	select {
+	case <-b.Recv():
+		t.Fatal("lossy network delivered")
+	default:
+	}
+	if met.Get(trace.CtrMsgsDropped) == 0 {
+		t.Fatal("drop not counted")
+	}
+}
+
+func TestMetricsAccounting(t *testing.T) {
+	met := &trace.Metrics{}
+	n := New(WithMetrics(met))
+	defer n.Close()
+	a, _ := n.Attach("a")
+	n.Attach("b")
+	n.Attach("c")
+	n.ConnectAll()
+	a.Send("b", disc("a", 1))
+	a.Multicast(disc("a", 2))
+	if met.Get(trace.CtrUnicasts) != 1 {
+		t.Fatalf("unicasts = %d", met.Get(trace.CtrUnicasts))
+	}
+	if met.Get(trace.CtrMulticasts) != 1 {
+		t.Fatalf("multicasts = %d", met.Get(trace.CtrMulticasts))
+	}
+	if met.Get(trace.CtrMulticastRecvs) != 2 {
+		t.Fatalf("multicast recvs = %d", met.Get(trace.CtrMulticastRecvs))
+	}
+	if met.Get(trace.CtrBytesSent) == 0 {
+		t.Fatal("bytes not counted")
+	}
+}
+
+func TestChurnFlipsEdges(t *testing.T) {
+	n := New(WithSeed(3))
+	defer n.Close()
+	for _, a := range []wire.Addr{"a", "b", "c", "d", "e"} {
+		n.Attach(a)
+	}
+	changed := n.Churn(20)
+	if changed == 0 {
+		t.Fatal("churn changed nothing")
+	}
+	// Single node network: churn is a no-op.
+	n2 := New()
+	defer n2.Close()
+	n2.Attach("solo")
+	if n2.Churn(5) != 0 {
+		t.Fatal("churn on single node changed edges")
+	}
+}
+
+func TestNetworkCloseRefusesAttach(t *testing.T) {
+	n := New()
+	n.Close()
+	n.Close() // idempotent
+	if _, err := n.Attach("a"); !errors.Is(err, transport.ErrClosed) {
+		t.Fatalf("attach after close: %v", err)
+	}
+}
+
+func TestMessagePayloadSurvivesTransit(t *testing.T) {
+	// Transit round-trips through the wire codec; a full message must
+	// arrive intact.
+	n := New()
+	defer n.Close()
+	a, _ := n.Attach("a")
+	b, _ := n.Attach("b")
+	n.ConnectAll()
+	msg := &wire.Message{Type: wire.TAck, ID: 77, From: "a", OK: true, Err: "warn"}
+	if err := a.Send("b", msg); err != nil {
+		t.Fatal(err)
+	}
+	got := recvOne(t, b)
+	if got.Type != wire.TAck || got.ID != 77 || !got.OK || got.Err != "warn" {
+		t.Fatalf("payload mangled: %+v", got)
+	}
+}
+
+func TestAddrs(t *testing.T) {
+	n := New()
+	defer n.Close()
+	n.Attach("a")
+	n.Attach("b")
+	if len(n.Addrs()) != 2 {
+		t.Fatalf("Addrs = %v", n.Addrs())
+	}
+}
+
+func TestSetLossAndLatencyAtRuntime(t *testing.T) {
+	clk := clock.NewVirtual(time.Unix(0, 0))
+	n := New(WithClock(clk), WithSeed(5))
+	defer n.Close()
+	a, _ := n.Attach("a")
+	b, _ := n.Attach("b")
+	n.ConnectAll()
+	// Initially lossless and instant.
+	a.Send("b", disc("a", 1))
+	if m := recvOne(t, b); m.ID != 1 {
+		t.Fatal("baseline delivery failed")
+	}
+	// Total loss: nothing arrives.
+	n.SetLoss(1.0)
+	a.Send("b", disc("a", 2))
+	select {
+	case <-b.Recv():
+		t.Fatal("delivered under total loss")
+	default:
+	}
+	// Heal and add latency: delivery waits for the clock.
+	n.SetLoss(0)
+	n.SetLatency(time.Second)
+	a.Send("b", disc("a", 3))
+	select {
+	case <-b.Recv():
+		t.Fatal("latency ignored")
+	default:
+	}
+	clk.Advance(time.Second)
+	if m := recvOne(t, b); m.ID != 3 {
+		t.Fatalf("got %+v", m)
+	}
+}
+
+func TestMetricsAccessorAndInboxOverflow(t *testing.T) {
+	n := New()
+	defer n.Close()
+	if n.Metrics() == nil {
+		t.Fatal("Metrics accessor returned nil")
+	}
+	a, _ := n.Attach("a")
+	n.Attach("b") // never drains its inbox
+	n.ConnectAll()
+	// Overfill b's inbox; overflow must be counted as drops, not block.
+	for i := 0; i < inboxSize+10; i++ {
+		if err := a.Send("b", disc("a", uint64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n.Metrics().Get(trace.CtrMsgsDropped) < 10 {
+		t.Fatalf("drops = %d, want >= 10", n.Metrics().Get(trace.CtrMsgsDropped))
+	}
+}

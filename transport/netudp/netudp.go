@@ -1,0 +1,295 @@
+// Package netudp is the real-network transport: visibility is defined by
+// UDP multicast reachability (the paper's prototype mechanism, §3.1.3)
+// and operations travel over TCP unicast. It also supports a static-peer
+// mode for networks where multicast is unavailable (the probe is then
+// unicast to a configured peer set, preserving the same semantics).
+//
+// Frames use the tiamat/wire codec; TCP frames are
+// uvarint-length-prefixed, UDP datagrams carry exactly one frame.
+package netudp
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"tiamat/trace"
+	"tiamat/transport"
+	"tiamat/wire"
+)
+
+const (
+	// maxFrame bounds a single protocol frame on the wire.
+	maxFrame = 1 << 22 // 4 MiB
+	// dialTimeout bounds unicast connection establishment.
+	dialTimeout = 2 * time.Second
+	// writeTimeout bounds a frame write.
+	writeTimeout = 2 * time.Second
+	// maxDatagram is the largest multicast probe we send.
+	maxDatagram = 60 * 1024
+)
+
+// Config configures a Transport.
+type Config struct {
+	// Listen is the TCP listen address, e.g. "127.0.0.1:0". The resolved
+	// address becomes the instance's contact address.
+	Listen string
+	// Group is the UDP multicast group, e.g. "239.77.7.3:7703". Empty
+	// disables multicast (StaticPeers then carries discovery).
+	Group string
+	// StaticPeers are contact addresses probed on Multicast in addition
+	// to (or instead of) the multicast group.
+	StaticPeers []string
+	// Metrics receives transport counters (optional).
+	Metrics *trace.Metrics
+}
+
+// Transport implements transport.Endpoint over TCP + UDP multicast.
+type Transport struct {
+	cfg   Config
+	addr  wire.Addr
+	ln    net.Listener
+	udp   *net.UDPConn // multicast listener (nil if disabled)
+	group *net.UDPAddr
+	met   *trace.Metrics
+	inbox chan *wire.Message
+
+	mu     sync.Mutex
+	closed bool
+	wg     sync.WaitGroup
+}
+
+var _ transport.Endpoint = (*Transport)(nil)
+
+// New starts the transport: the TCP listener and, if configured, the
+// multicast receiver.
+func New(cfg Config) (*Transport, error) {
+	if cfg.Listen == "" {
+		cfg.Listen = "127.0.0.1:0"
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = &trace.Metrics{}
+	}
+	ln, err := net.Listen("tcp", cfg.Listen)
+	if err != nil {
+		return nil, fmt.Errorf("netudp: listen %s: %w", cfg.Listen, err)
+	}
+	t := &Transport{
+		cfg:   cfg,
+		addr:  wire.Addr(ln.Addr().String()),
+		ln:    ln,
+		met:   cfg.Metrics,
+		inbox: make(chan *wire.Message, 4096),
+	}
+	if cfg.Group != "" {
+		group, err := net.ResolveUDPAddr("udp", cfg.Group)
+		if err != nil {
+			ln.Close()
+			return nil, fmt.Errorf("netudp: group %s: %w", cfg.Group, err)
+		}
+		udp, err := net.ListenMulticastUDP("udp", nil, group)
+		if err != nil {
+			ln.Close()
+			return nil, fmt.Errorf("netudp: join %s: %w", cfg.Group, err)
+		}
+		t.udp = udp
+		t.group = group
+		t.wg.Add(1)
+		go t.udpLoop()
+	}
+	t.wg.Add(1)
+	go t.acceptLoop()
+	return t, nil
+}
+
+// Addr implements transport.Endpoint.
+func (t *Transport) Addr() wire.Addr { return t.addr }
+
+// Recv implements transport.Endpoint.
+func (t *Transport) Recv() <-chan *wire.Message { return t.inbox }
+
+// Close implements transport.Endpoint.
+func (t *Transport) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	t.mu.Unlock()
+	t.ln.Close()
+	if t.udp != nil {
+		t.udp.Close()
+	}
+	t.wg.Wait()
+	close(t.inbox)
+	return nil
+}
+
+func (t *Transport) isClosed() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.closed
+}
+
+// Send implements transport.Endpoint: one TCP connection per frame, with
+// dial and write deadlines. Connection errors surface as ErrUnreachable
+// so the communications manager evicts the responder.
+func (t *Transport) Send(to wire.Addr, m *wire.Message) error {
+	if t.isClosed() {
+		return transport.ErrClosed
+	}
+	conn, err := net.DialTimeout("tcp", string(to), dialTimeout)
+	if err != nil {
+		t.met.Inc(trace.CtrMsgsDropped)
+		return fmt.Errorf("%s: %v: %w", to, err, transport.ErrUnreachable)
+	}
+	defer conn.Close()
+	frame := wire.Encode(m)
+	buf := binary.AppendUvarint(nil, uint64(len(frame)))
+	buf = append(buf, frame...)
+	_ = conn.SetWriteDeadline(time.Now().Add(writeTimeout))
+	if _, err := conn.Write(buf); err != nil {
+		t.met.Inc(trace.CtrMsgsDropped)
+		return fmt.Errorf("%s: %v: %w", to, err, transport.ErrUnreachable)
+	}
+	t.met.Inc(trace.CtrMsgsSent)
+	t.met.Inc(trace.CtrUnicasts)
+	t.met.Add(trace.CtrBytesSent, int64(len(buf)))
+	return nil
+}
+
+// Multicast implements transport.Endpoint. With a multicast group the
+// audience is unknown (-1); in pure static-peer mode it returns the
+// number of peers successfully probed.
+func (t *Transport) Multicast(m *wire.Message) (int, error) {
+	if t.isClosed() {
+		return 0, transport.ErrClosed
+	}
+	t.met.Inc(trace.CtrMulticasts)
+	reached := 0
+	for _, peer := range t.cfg.StaticPeers {
+		if wire.Addr(peer) == t.addr {
+			continue
+		}
+		if err := t.Send(wire.Addr(peer), m); err == nil {
+			reached++
+		}
+	}
+	if t.group == nil {
+		return reached, nil
+	}
+	frame := wire.Encode(m)
+	if len(frame) > maxDatagram {
+		return -1, fmt.Errorf("netudp: frame too large for multicast (%d bytes)", len(frame))
+	}
+	conn, err := net.DialUDP("udp", nil, t.group)
+	if err != nil {
+		return -1, err
+	}
+	defer conn.Close()
+	if _, err := conn.Write(frame); err != nil {
+		return -1, err
+	}
+	t.met.Add(trace.CtrBytesSent, int64(len(frame)))
+	return -1, nil // audience unknown on a real network
+}
+
+// acceptLoop receives unicast frames.
+func (t *Transport) acceptLoop() {
+	defer t.wg.Done()
+	var connWG sync.WaitGroup
+	defer connWG.Wait()
+	for {
+		conn, err := t.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		connWG.Add(1)
+		go func() {
+			defer connWG.Done()
+			defer conn.Close()
+			t.readFrames(conn)
+		}()
+	}
+}
+
+// readFrames decodes length-prefixed frames from one connection.
+func (t *Transport) readFrames(conn net.Conn) {
+	r := &byteReaderConn{conn: conn}
+	for {
+		_ = conn.SetReadDeadline(time.Now().Add(30 * time.Second))
+		n, err := binary.ReadUvarint(r)
+		if err != nil {
+			return
+		}
+		if n == 0 || n > maxFrame {
+			return
+		}
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(conn, buf); err != nil {
+			return
+		}
+		m, err := wire.Decode(buf)
+		if err != nil {
+			continue // corrupt frame: skip, keep the connection
+		}
+		t.enqueue(m)
+	}
+}
+
+// udpLoop receives multicast probes.
+func (t *Transport) udpLoop() {
+	defer t.wg.Done()
+	buf := make([]byte, maxDatagram)
+	for {
+		n, _, err := t.udp.ReadFromUDP(buf)
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return
+			}
+			if t.isClosed() {
+				return
+			}
+			continue
+		}
+		m, err := wire.Decode(buf[:n])
+		if err != nil {
+			continue
+		}
+		if m.From == t.addr {
+			continue // our own probe echoed back
+		}
+		t.enqueue(m)
+	}
+}
+
+func (t *Transport) enqueue(m *wire.Message) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return
+	}
+	select {
+	case t.inbox <- m:
+	default:
+		t.met.Inc(trace.CtrMsgsDropped)
+	}
+}
+
+// byteReaderConn adapts a net.Conn to io.ByteReader for uvarint decoding.
+type byteReaderConn struct {
+	conn net.Conn
+	one  [1]byte
+}
+
+func (b *byteReaderConn) ReadByte() (byte, error) {
+	if _, err := io.ReadFull(b.conn, b.one[:]); err != nil {
+		return 0, err
+	}
+	return b.one[0], nil
+}

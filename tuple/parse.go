@@ -1,0 +1,222 @@
+package tuple
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// This file implements a small text syntax for tuples and templates, used
+// by the tsh shell and handy for configuration and tests:
+//
+//	tuple    := "(" [field ("," field)*] ")"
+//	field    := string | int | float | bool | tuple | formal
+//	string   := Go-quoted, e.g. "req"
+//	int      := 42, -7
+//	float    := 3.14, -0.5, 1e9 (anything with ".", "e", or "E")
+//	bool     := true | false
+//	formal   := ?int | ?float | ?string | ?bool | ?bytes | ?tuple | ?any
+//
+// Formals are only legal when parsing templates.
+
+// ErrParse reports malformed tuple/template text.
+var ErrParse = errors.New("tuple: parse error")
+
+// ParseTuple parses tuple text like ("req", 42, true).
+func ParseTuple(s string) (Tuple, error) {
+	fields, rest, err := parseFields(s, false)
+	if err != nil {
+		return Tuple{}, err
+	}
+	if strings.TrimSpace(rest) != "" {
+		return Tuple{}, fmt.Errorf("trailing input %q: %w", rest, ErrParse)
+	}
+	return Tuple{fields: fields}, nil
+}
+
+// ParseTemplate parses template text like ("req", ?int, ?any).
+func ParseTemplate(s string) (Template, error) {
+	fields, rest, err := parseFields(s, true)
+	if err != nil {
+		return Template{}, err
+	}
+	if strings.TrimSpace(rest) != "" {
+		return Template{}, fmt.Errorf("trailing input %q: %w", rest, ErrParse)
+	}
+	return Template{fields: fields}, nil
+}
+
+func parseFields(s string, allowFormals bool) ([]Field, string, error) {
+	s = strings.TrimSpace(s)
+	if !strings.HasPrefix(s, "(") {
+		return nil, "", fmt.Errorf("expected '(': %w", ErrParse)
+	}
+	s = s[1:]
+	var fields []Field
+	for {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			return nil, "", fmt.Errorf("unterminated tuple: %w", ErrParse)
+		}
+		if s[0] == ')' {
+			return fields, s[1:], nil
+		}
+		if len(fields) > 0 {
+			if s[0] != ',' {
+				return nil, "", fmt.Errorf("expected ',' before %q: %w", s, ErrParse)
+			}
+			s = strings.TrimSpace(s[1:])
+		}
+		var (
+			f   Field
+			err error
+		)
+		f, s, err = parseField(s, allowFormals)
+		if err != nil {
+			return nil, "", err
+		}
+		fields = append(fields, f)
+	}
+}
+
+func parseField(s string, allowFormals bool) (Field, string, error) {
+	if s == "" {
+		return Field{}, "", fmt.Errorf("empty field: %w", ErrParse)
+	}
+	switch {
+	case s[0] == '?':
+		if !allowFormals {
+			return Field{}, "", fmt.Errorf("formal in tuple: %w", ErrFormalInTuple)
+		}
+		word := takeWord(s[1:])
+		rest := s[1+len(word):]
+		switch word {
+		case "int":
+			return FormalInt(), rest, nil
+		case "float":
+			return FormalFloat(), rest, nil
+		case "string", "str":
+			return FormalString(), rest, nil
+		case "bool":
+			return FormalBool(), rest, nil
+		case "bytes":
+			return FormalBytes(), rest, nil
+		case "tuple":
+			return FormalTuple(), rest, nil
+		case "any", "":
+			return Any(), rest, nil
+		default:
+			return Field{}, "", fmt.Errorf("unknown formal ?%s: %w", word, ErrParse)
+		}
+
+	case s[0] == '"':
+		value, rest, err := takeQuoted(s)
+		if err != nil {
+			return Field{}, "", err
+		}
+		return String(value), rest, nil
+
+	case s[0] == '(':
+		fields, rest, err := parseFields(s, allowFormals)
+		if err != nil {
+			return Field{}, "", err
+		}
+		// Nested tuples in templates may not carry formals either (the
+		// wire model restricts formals to the top level of templates for
+		// simplicity; nested matching is by equality).
+		for _, f := range fields {
+			if f.formal {
+				return Field{}, "", fmt.Errorf("formal inside nested tuple: %w", ErrParse)
+			}
+		}
+		return Field{kind: KindTuple, t: fields}, rest, nil
+
+	default:
+		word := takeNumberOrWord(s)
+		if word == "" {
+			return Field{}, "", fmt.Errorf("unexpected input %q: %w", s, ErrParse)
+		}
+		rest := s[len(word):]
+		switch word {
+		case "true":
+			return Bool(true), rest, nil
+		case "false":
+			return Bool(false), rest, nil
+		}
+		if strings.ContainsAny(word, ".eE") && !strings.HasPrefix(word, "0x") {
+			v, err := strconv.ParseFloat(word, 64)
+			if err != nil {
+				return Field{}, "", fmt.Errorf("bad float %q: %w", word, ErrParse)
+			}
+			return Float(v), rest, nil
+		}
+		if strings.HasPrefix(word, "0x") {
+			b, err := decodeHex(word[2:])
+			if err != nil {
+				return Field{}, "", fmt.Errorf("bad bytes %q: %w", word, ErrParse)
+			}
+			return Bytes(b), rest, nil
+		}
+		v, err := strconv.ParseInt(word, 10, 64)
+		if err != nil {
+			return Field{}, "", fmt.Errorf("bad value %q: %w", word, ErrParse)
+		}
+		return Int(v), rest, nil
+	}
+}
+
+// takeQuoted consumes a Go-quoted string literal.
+func takeQuoted(s string) (value, rest string, err error) {
+	for i := 1; i < len(s); i++ {
+		if s[i] == '\\' {
+			i++
+			continue
+		}
+		if s[i] == '"' {
+			value, err := strconv.Unquote(s[:i+1])
+			if err != nil {
+				return "", "", fmt.Errorf("bad string %s: %w", s[:i+1], ErrParse)
+			}
+			return value, s[i+1:], nil
+		}
+	}
+	return "", "", fmt.Errorf("unterminated string: %w", ErrParse)
+}
+
+func takeWord(s string) string {
+	for i := 0; i < len(s); i++ {
+		c := rune(s[i])
+		if !unicode.IsLetter(c) && !unicode.IsDigit(c) {
+			return s[:i]
+		}
+	}
+	return s
+}
+
+func takeNumberOrWord(s string) string {
+	for i := 0; i < len(s); i++ {
+		c := rune(s[i])
+		if unicode.IsLetter(c) || unicode.IsDigit(c) || c == '.' || c == '-' || c == '+' {
+			continue
+		}
+		return s[:i]
+	}
+	return s
+}
+
+func decodeHex(s string) ([]byte, error) {
+	if len(s)%2 != 0 {
+		return nil, fmt.Errorf("odd hex length")
+	}
+	out := make([]byte, len(s)/2)
+	for i := 0; i < len(out); i++ {
+		v, err := strconv.ParseUint(s[2*i:2*i+2], 16, 8)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = byte(v)
+	}
+	return out, nil
+}

@@ -1,0 +1,130 @@
+package tuple
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseTupleBasic(t *testing.T) {
+	got, err := ParseTuple(`("req", 42, -7, 3.14, true, false, 0xdeadbeef)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := T(String("req"), Int(42), Int(-7), Float(3.14), Bool(true), Bool(false),
+		Bytes([]byte{0xde, 0xad, 0xbe, 0xef}))
+	if !got.Equal(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+func TestParseEmptyTuple(t *testing.T) {
+	got, err := ParseTuple("()")
+	if err != nil || got.Arity() != 0 {
+		t.Fatalf("got %v, %v", got, err)
+	}
+	got, err = ParseTuple("  (  )  ")
+	if err != nil || got.Arity() != 0 {
+		t.Fatalf("spaces: got %v, %v", got, err)
+	}
+}
+
+func TestParseNestedTuple(t *testing.T) {
+	got, err := ParseTuple(`("outer", ("inner", 1), 2)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := T(String("outer"), Nested(T(String("inner"), Int(1))), Int(2))
+	if !got.Equal(want) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestParseStringEscapes(t *testing.T) {
+	got, err := ParseTuple(`("a \"quoted\" string", "tab\there")`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s0, _ := got.StringAt(0)
+	s1, _ := got.StringAt(1)
+	if s0 != `a "quoted" string` || s1 != "tab\there" {
+		t.Fatalf("escapes wrong: %q %q", s0, s1)
+	}
+}
+
+func TestParseTemplateFormals(t *testing.T) {
+	p, err := ParseTemplate(`("req", ?int, ?float, ?string, ?str, ?bool, ?bytes, ?tuple, ?any, ?)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Arity() != 10 || !p.Wildcard() {
+		t.Fatalf("template = %v", p)
+	}
+	match := T(String("req"), Int(1), Float(2), String("x"), String("y"), Bool(true),
+		Bytes(nil), Nested(T()), Int(9), Float(1))
+	if !p.Matches(match) {
+		t.Fatal("parsed template does not match")
+	}
+}
+
+func TestParseTupleRejectsFormals(t *testing.T) {
+	if _, err := ParseTuple(`(?int)`); !errors.Is(err, ErrFormalInTuple) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		``, `(`, `)`, `(1`, `(1,)`, `(1 2)`, `("unterminated`, `(?wat)`,
+		`(1) extra`, `(nope)`, `(--3)`, `(0xzz)`, `(0x123)`, `((?int))`,
+		`(3.1.4)`,
+	}
+	for _, s := range bad {
+		if _, err := ParseTemplate(s); err == nil {
+			t.Errorf("ParseTemplate(%q) succeeded", s)
+		}
+	}
+}
+
+// Property: String() output of a bytes-free tuple parses back to an equal
+// tuple (bytes render truncated for large payloads, so they are excluded).
+func TestPropParseRoundTrip(t *testing.T) {
+	gen := func(r *rand.Rand) Tuple {
+		n := r.Intn(5)
+		fs := make([]Field, 0, n)
+		for i := 0; i < n; i++ {
+			switch r.Intn(4) {
+			case 0:
+				fs = append(fs, Int(r.Int63()-r.Int63()))
+			case 1:
+				fs = append(fs, String(randomASCII(r)))
+			case 2:
+				fs = append(fs, Bool(r.Intn(2) == 0))
+			default:
+				fs = append(fs, Float(float64(r.Intn(1000))+0.5))
+			}
+		}
+		return T(fs...)
+	}
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		tp := gen(r)
+		back, err := ParseTuple(tp.String())
+		if err != nil {
+			return false
+		}
+		return back.Equal(tp)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func randomASCII(r *rand.Rand) string {
+	b := make([]byte, r.Intn(10))
+	for i := range b {
+		b[i] = byte(' ' + r.Intn(94))
+	}
+	return string(b)
+}

@@ -1,0 +1,385 @@
+// Package wire defines Tiamat's protocol messages and their binary
+// encoding. Every exchange between instances — multicast discovery,
+// operation propagation, the first-responder-wins take protocol, direct
+// remote out/eval, and backbone relaying — is one of these messages.
+//
+// Frame layout (version 1):
+//
+//	frame  := magic:2 version:1 type:1 id:uvarint from:str body
+//	str    := len:uvarint bytes
+//	body   := type-specific fields (see each message's doc)
+//
+// The encoding is deliberately self-contained and versioned so the real
+// UDP/TCP transport and the simulated network share one codec.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"time"
+
+	"tiamat/tuple"
+)
+
+// Addr identifies a Tiamat instance on the network. For the simulated
+// transport it is a node name; for the real transport "host:port".
+type Addr string
+
+// version is the wire protocol version carried in every frame.
+const version = 1
+
+// Type discriminates protocol messages.
+type Type uint8
+
+// The protocol message set.
+const (
+	TInvalid Type = iota
+	// TDiscover is the multicast visibility probe sent when an operation
+	// needs more responders (paper §3.1.3).
+	TDiscover
+	// TAnnounce is the unicast reply to a discover, carrying the
+	// responder's contact address and space info.
+	TAnnounce
+	// TOp propagates a rd/rdp/in/inp to a visible instance. TTL bounds
+	// how long the responder may hold a waiter for blocking forms.
+	TOp
+	// TResult returns a match for a TOp. For removing ops the tuple is
+	// tentatively held under HoldID pending TAccept/TRelease.
+	TResult
+	// TAccept finalises a tentative removal (first responder wins).
+	TAccept
+	// TRelease reinstates a tentative removal (a later responder lost).
+	TRelease
+	// TCancel withdraws an outstanding TOp (requester lease expired).
+	TCancel
+	// TOut performs a remote out on a specific instance (paper §2.4).
+	TOut
+	// TEval performs a remote eval on a specific instance.
+	TEval
+	// TAck acknowledges TOut/TEval, reporting acceptance or refusal.
+	TAck
+	// TRelay carries an encapsulated frame via a backbone node (§6).
+	TRelay
+)
+
+// String names the message type.
+func (t Type) String() string {
+	switch t {
+	case TDiscover:
+		return "discover"
+	case TAnnounce:
+		return "announce"
+	case TOp:
+		return "op"
+	case TResult:
+		return "result"
+	case TAccept:
+		return "accept"
+	case TRelease:
+		return "release"
+	case TCancel:
+		return "cancel"
+	case TOut:
+		return "out"
+	case TEval:
+		return "eval"
+	case TAck:
+		return "ack"
+	case TRelay:
+		return "relay"
+	default:
+		return fmt.Sprintf("type(%d)", uint8(t))
+	}
+}
+
+// OpCode mirrors the subset of Linda operations that propagate (paper
+// §2.2: out/eval act locally by default; rd/rdp/in/inp propagate).
+type OpCode uint8
+
+// Propagating operations.
+const (
+	OpRd OpCode = iota + 1
+	OpRdp
+	OpIn
+	OpInp
+)
+
+// Removes reports whether the operation removes its match.
+func (o OpCode) Removes() bool { return o == OpIn || o == OpInp }
+
+// Blocking reports whether the operation may wait for a match.
+func (o OpCode) Blocking() bool { return o == OpRd || o == OpIn }
+
+// String names the op.
+func (o OpCode) String() string {
+	switch o {
+	case OpRd:
+		return "rd"
+	case OpRdp:
+		return "rdp"
+	case OpIn:
+		return "in"
+	case OpInp:
+		return "inp"
+	default:
+		return fmt.Sprintf("op(%d)", uint8(o))
+	}
+}
+
+// Message is a decoded protocol frame. Fields beyond Type/ID/From are
+// populated according to the type, as documented on each constant.
+type Message struct {
+	Type Type
+	// ID correlates requests with responses; unique per sender.
+	ID uint64
+	// From is the sender's contact address.
+	From Addr
+
+	// Op fields (TOp).
+	Op       OpCode
+	Template tuple.Template
+	// TTL bounds responder-side effort (blocking hold time, out expiry).
+	TTL time.Duration
+	// Hops is the remaining flood radius (used by flooding protocols;
+	// Tiamat proper does not re-flood).
+	Hops uint8
+
+	// Tuple payload (TResult, TOut, TEval args).
+	Tuple tuple.Tuple
+	// Found reports whether TResult carries a match.
+	Found bool
+	// HoldID identifies a tentative removal on the responder.
+	HoldID uint64
+
+	// OK and Err report TAck outcomes.
+	OK  bool
+	Err string
+
+	// Persistent is the space-info flag carried by TAnnounce.
+	Persistent bool
+
+	// Func is the registered eval function name (TEval).
+	Func string
+
+	// Target is the final destination of a TRelay frame.
+	Target Addr
+	// Payload is the encapsulated frame carried by TRelay.
+	Payload []byte
+}
+
+// Codec errors.
+var (
+	// ErrFrame reports a malformed or truncated frame.
+	ErrFrame = errors.New("wire: malformed frame")
+	// ErrVersion reports an unsupported protocol version.
+	ErrVersion = errors.New("wire: unsupported version")
+)
+
+const (
+	magicA = 0x7A // 'z'-ish arbitrary magic
+	magicB = 0x03 // protocol family
+	maxStr = 1 << 20
+)
+
+// Encode serialises the message to a fresh buffer.
+func Encode(m *Message) []byte {
+	b := make([]byte, 0, 64)
+	b = append(b, magicA, magicB, version, byte(m.Type))
+	b = binary.AppendUvarint(b, m.ID)
+	b = appendStr(b, string(m.From))
+	switch m.Type {
+	case TDiscover:
+		// header only
+	case TAnnounce:
+		b = appendBool(b, m.Persistent)
+	case TOp:
+		b = append(b, byte(m.Op), m.Hops)
+		b = binary.AppendUvarint(b, uint64(m.TTL/time.Millisecond))
+		b = m.Template.AppendBinary(b)
+	case TResult:
+		b = appendBool(b, m.Found)
+		b = binary.AppendUvarint(b, m.HoldID)
+		if m.Found {
+			b = m.Tuple.AppendBinary(b)
+		}
+	case TAccept, TRelease, TCancel:
+		b = binary.AppendUvarint(b, m.HoldID)
+	case TOut:
+		b = binary.AppendUvarint(b, uint64(m.TTL/time.Millisecond))
+		b = m.Tuple.AppendBinary(b)
+	case TEval:
+		b = appendStr(b, m.Func)
+		b = binary.AppendUvarint(b, uint64(m.TTL/time.Millisecond))
+		b = m.Tuple.AppendBinary(b)
+	case TAck:
+		b = appendBool(b, m.OK)
+		b = appendStr(b, m.Err)
+	case TRelay:
+		b = appendStr(b, string(m.Target))
+		b = binary.AppendUvarint(b, uint64(len(m.Payload)))
+		b = append(b, m.Payload...)
+	}
+	return b
+}
+
+// Decode parses a frame. The entire buffer must be consumed.
+func Decode(data []byte) (*Message, error) {
+	if len(data) < 4 {
+		return nil, fmt.Errorf("short frame (%d bytes): %w", len(data), ErrFrame)
+	}
+	if data[0] != magicA || data[1] != magicB {
+		return nil, fmt.Errorf("bad magic %x%x: %w", data[0], data[1], ErrFrame)
+	}
+	if data[2] != version {
+		return nil, fmt.Errorf("version %d: %w", data[2], ErrVersion)
+	}
+	m := &Message{Type: Type(data[3])}
+	if m.Type == TInvalid || m.Type > TRelay {
+		return nil, fmt.Errorf("type %d: %w", data[3], ErrFrame)
+	}
+	src := data[4:]
+	var err error
+	if m.ID, src, err = readUvarint(src); err != nil {
+		return nil, fmt.Errorf("id: %w", err)
+	}
+	var from string
+	if from, src, err = readStr(src); err != nil {
+		return nil, fmt.Errorf("from: %w", err)
+	}
+	m.From = Addr(from)
+
+	switch m.Type {
+	case TDiscover:
+	case TAnnounce:
+		if m.Persistent, src, err = readBool(src); err != nil {
+			return nil, err
+		}
+	case TOp:
+		if len(src) < 1 {
+			return nil, fmt.Errorf("op code: %w", ErrFrame)
+		}
+		m.Op = OpCode(src[0])
+		src = src[1:]
+		if m.Op < OpRd || m.Op > OpInp {
+			return nil, fmt.Errorf("op %d: %w", m.Op, ErrFrame)
+		}
+		if len(src) < 1 {
+			return nil, fmt.Errorf("hops: %w", ErrFrame)
+		}
+		m.Hops = src[0]
+		src = src[1:]
+		var ttl uint64
+		if ttl, src, err = readUvarint(src); err != nil {
+			return nil, err
+		}
+		m.TTL = time.Duration(ttl) * time.Millisecond
+		if m.Template, src, err = tuple.DecodeTemplate(src); err != nil {
+			return nil, fmt.Errorf("template: %w", err)
+		}
+	case TResult:
+		if m.Found, src, err = readBool(src); err != nil {
+			return nil, err
+		}
+		if m.HoldID, src, err = readUvarint(src); err != nil {
+			return nil, err
+		}
+		if m.Found {
+			if m.Tuple, src, err = tuple.DecodeTuple(src); err != nil {
+				return nil, fmt.Errorf("tuple: %w", err)
+			}
+		}
+	case TAccept, TRelease, TCancel:
+		if m.HoldID, src, err = readUvarint(src); err != nil {
+			return nil, err
+		}
+	case TOut:
+		var ttl uint64
+		if ttl, src, err = readUvarint(src); err != nil {
+			return nil, err
+		}
+		m.TTL = time.Duration(ttl) * time.Millisecond
+		if m.Tuple, src, err = tuple.DecodeTuple(src); err != nil {
+			return nil, fmt.Errorf("tuple: %w", err)
+		}
+	case TEval:
+		if m.Func, src, err = readStr(src); err != nil {
+			return nil, err
+		}
+		var ttl uint64
+		if ttl, src, err = readUvarint(src); err != nil {
+			return nil, err
+		}
+		m.TTL = time.Duration(ttl) * time.Millisecond
+		if m.Tuple, src, err = tuple.DecodeTuple(src); err != nil {
+			return nil, fmt.Errorf("args: %w", err)
+		}
+	case TAck:
+		if m.OK, src, err = readBool(src); err != nil {
+			return nil, err
+		}
+		if m.Err, src, err = readStr(src); err != nil {
+			return nil, err
+		}
+	case TRelay:
+		var target string
+		if target, src, err = readStr(src); err != nil {
+			return nil, err
+		}
+		m.Target = Addr(target)
+		var n uint64
+		if n, src, err = readUvarint(src); err != nil {
+			return nil, err
+		}
+		if n > maxStr || uint64(len(src)) < n {
+			return nil, fmt.Errorf("payload %d: %w", n, ErrFrame)
+		}
+		m.Payload = append([]byte(nil), src[:n]...)
+		src = src[n:]
+	}
+	if len(src) != 0 {
+		return nil, fmt.Errorf("%d trailing bytes: %w", len(src), ErrFrame)
+	}
+	return m, nil
+}
+
+func appendStr(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+func appendBool(b []byte, v bool) []byte {
+	if v {
+		return append(b, 1)
+	}
+	return append(b, 0)
+}
+
+func readUvarint(src []byte) (uint64, []byte, error) {
+	v, n := binary.Uvarint(src)
+	if n <= 0 {
+		return 0, nil, ErrFrame
+	}
+	return v, src[n:], nil
+}
+
+func readStr(src []byte) (string, []byte, error) {
+	n, src, err := readUvarint(src)
+	if err != nil {
+		return "", nil, err
+	}
+	if n > maxStr || uint64(len(src)) < n {
+		return "", nil, ErrFrame
+	}
+	return string(src[:n]), src[n:], nil
+}
+
+func readBool(src []byte) (bool, []byte, error) {
+	if len(src) < 1 {
+		return false, nil, ErrFrame
+	}
+	if src[0] > 1 {
+		return false, nil, fmt.Errorf("bool %d: %w", src[0], ErrFrame)
+	}
+	return src[0] == 1, src[1:], nil
+}

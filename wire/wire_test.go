@@ -1,0 +1,237 @@
+package wire
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"tiamat/tuple"
+)
+
+func roundTrip(t *testing.T, m *Message) *Message {
+	t.Helper()
+	data := Encode(m)
+	back, err := Decode(data)
+	if err != nil {
+		t.Fatalf("decode %s: %v", m.Type, err)
+	}
+	return back
+}
+
+func TestRoundTripAllTypes(t *testing.T) {
+	tp := tuple.T(tuple.String("req"), tuple.Int(7))
+	pl := Encode(&Message{Type: TDiscover, ID: 1, From: "x"})
+	msgs := []*Message{
+		{Type: TDiscover, ID: 1, From: "a"},
+		{Type: TAnnounce, ID: 2, From: "b", Persistent: true},
+		{Type: TOp, ID: 3, From: "c", Op: OpIn, TTL: 1500 * time.Millisecond,
+			Template: tuple.Tmpl(tuple.String("req"), tuple.FormalInt())},
+		{Type: TResult, ID: 3, From: "d", Found: true, HoldID: 9, Tuple: tp},
+		{Type: TResult, ID: 4, From: "d", Found: false, HoldID: 0},
+		{Type: TAccept, ID: 3, From: "c", HoldID: 9},
+		{Type: TRelease, ID: 3, From: "c", HoldID: 9},
+		{Type: TCancel, ID: 3, From: "c", HoldID: 0},
+		{Type: TOut, ID: 5, From: "e", TTL: time.Minute, Tuple: tp},
+		{Type: TEval, ID: 6, From: "f", Func: "mandel", TTL: time.Second, Tuple: tp},
+		{Type: TAck, ID: 5, From: "g", OK: false, Err: "lease: refused"},
+		{Type: TRelay, ID: 7, From: "h", Target: "far", Payload: pl},
+	}
+	for _, m := range msgs {
+		back := roundTrip(t, m)
+		if back.Type != m.Type || back.ID != m.ID || back.From != m.From {
+			t.Fatalf("%s header mismatch: %+v", m.Type, back)
+		}
+		switch m.Type {
+		case TAnnounce:
+			if back.Persistent != m.Persistent {
+				t.Fatal("persistent lost")
+			}
+		case TOp:
+			if back.Op != m.Op || back.TTL != m.TTL || back.Template.Arity() != m.Template.Arity() {
+				t.Fatalf("op mismatch: %+v", back)
+			}
+			if !back.Template.Matches(tp) {
+				t.Fatal("template lost match behaviour")
+			}
+		case TResult:
+			if back.Found != m.Found || back.HoldID != m.HoldID {
+				t.Fatalf("result mismatch: %+v", back)
+			}
+			if m.Found && !back.Tuple.Equal(m.Tuple) {
+				t.Fatal("tuple lost")
+			}
+		case TAccept, TRelease, TCancel:
+			if back.HoldID != m.HoldID {
+				t.Fatal("holdID lost")
+			}
+		case TOut:
+			if back.TTL != m.TTL || !back.Tuple.Equal(m.Tuple) {
+				t.Fatal("out payload lost")
+			}
+		case TEval:
+			if back.Func != m.Func || !back.Tuple.Equal(m.Tuple) || back.TTL != m.TTL {
+				t.Fatal("eval payload lost")
+			}
+		case TAck:
+			if back.OK != m.OK || back.Err != m.Err {
+				t.Fatal("ack payload lost")
+			}
+		case TRelay:
+			if back.Target != m.Target {
+				t.Fatal("target lost")
+			}
+			inner, err := Decode(back.Payload)
+			if err != nil || inner.Type != TDiscover {
+				t.Fatalf("relay payload corrupt: %v", err)
+			}
+		}
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	good := Encode(&Message{Type: TDiscover, ID: 1, From: "a"})
+	cases := map[string][]byte{
+		"empty":       {},
+		"short":       {magicA, magicB, version},
+		"bad magic":   {0, 0, version, byte(TDiscover), 0, 0},
+		"bad version": {magicA, magicB, 99, byte(TDiscover), 0, 0},
+		"bad type":    {magicA, magicB, version, 200, 0, 0},
+		"zero type":   {magicA, magicB, version, 0, 0, 0},
+		"trailing":    append(append([]byte{}, good...), 1, 2, 3),
+		"truncated":   good[:len(good)-1],
+	}
+	for name, data := range cases {
+		if _, err := Decode(data); err == nil {
+			t.Errorf("%s: decode succeeded", name)
+		}
+	}
+	if _, err := Decode([]byte{magicA, magicB, 99, byte(TDiscover), 0, 0}); !errors.Is(err, ErrVersion) {
+		t.Errorf("version error = %v", err)
+	}
+}
+
+func TestDecodeBadOpCode(t *testing.T) {
+	m := &Message{Type: TOp, ID: 1, From: "a", Op: OpRd, TTL: time.Second,
+		Template: tuple.Tmpl(tuple.Any())}
+	data := Encode(m)
+	// Corrupt the op code byte (immediately after header id+from).
+	for i, b := range data {
+		if b == byte(OpRd) && i > 4 {
+			data[i] = 99
+			break
+		}
+	}
+	if _, err := Decode(data); err == nil {
+		t.Fatal("bad op code accepted")
+	}
+}
+
+func TestOpCodeHelpers(t *testing.T) {
+	if !OpIn.Removes() || !OpInp.Removes() || OpRd.Removes() || OpRdp.Removes() {
+		t.Error("Removes wrong")
+	}
+	if !OpIn.Blocking() || !OpRd.Blocking() || OpInp.Blocking() || OpRdp.Blocking() {
+		t.Error("Blocking wrong")
+	}
+	for _, o := range []OpCode{OpRd, OpRdp, OpIn, OpInp} {
+		if o.String() == "" {
+			t.Error("empty op name")
+		}
+	}
+	if OpCode(99).String() == "" || Type(99).String() == "" {
+		t.Error("unknown codes must render")
+	}
+	for ty := TDiscover; ty <= TRelay; ty++ {
+		if ty.String() == "" {
+			t.Errorf("type %d has empty name", ty)
+		}
+	}
+}
+
+type randMsg struct{ M *Message }
+
+func (randMsg) Generate(r *rand.Rand, _ int) reflect.Value {
+	types := []Type{TDiscover, TAnnounce, TOp, TResult, TAccept, TRelease, TCancel, TOut, TEval, TAck, TRelay}
+	m := &Message{Type: types[r.Intn(len(types))], ID: r.Uint64() >> 1, From: Addr(randWord(r))}
+	switch m.Type {
+	case TAnnounce:
+		m.Persistent = r.Intn(2) == 0
+	case TOp:
+		m.Op = OpCode(1 + r.Intn(4))
+		m.TTL = time.Duration(r.Intn(10000)) * time.Millisecond
+		m.Template = tuple.Tmpl(tuple.FormalString(), tuple.Int(int64(r.Intn(100))))
+	case TResult:
+		m.Found = r.Intn(2) == 0
+		m.HoldID = uint64(r.Intn(1000))
+		if m.Found {
+			m.Tuple = tuple.T(tuple.String(randWord(r)), tuple.Int(r.Int63()))
+		}
+	case TAccept, TRelease, TCancel:
+		m.HoldID = uint64(r.Intn(1000))
+	case TOut:
+		m.TTL = time.Duration(r.Intn(10000)) * time.Millisecond
+		m.Tuple = tuple.T(tuple.String(randWord(r)))
+	case TEval:
+		m.Func = randWord(r)
+		m.TTL = time.Duration(r.Intn(10000)) * time.Millisecond
+		m.Tuple = tuple.T(tuple.Int(r.Int63()))
+	case TAck:
+		m.OK = r.Intn(2) == 0
+		m.Err = randWord(r)
+	case TRelay:
+		m.Target = Addr(randWord(r))
+		m.Payload = []byte(randWord(r))
+	}
+	return reflect.ValueOf(randMsg{M: m})
+}
+
+func randWord(r *rand.Rand) string {
+	b := make([]byte, r.Intn(12))
+	for i := range b {
+		b[i] = byte('a' + r.Intn(26))
+	}
+	return string(b)
+}
+
+func TestPropRoundTrip(t *testing.T) {
+	prop := func(rm randMsg) bool {
+		data := Encode(rm.M)
+		back, err := Decode(data)
+		if err != nil {
+			return false
+		}
+		// Compare via re-encoding: stable encodings imply field equality.
+		data2 := Encode(back)
+		if len(data) != len(data2) {
+			return false
+		}
+		for i := range data {
+			if data[i] != data2[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func FuzzDecode(f *testing.F) {
+	f.Add(Encode(&Message{Type: TDiscover, ID: 1, From: "seed"}))
+	f.Add(Encode(&Message{Type: TOp, ID: 2, From: "s", Op: OpIn, TTL: time.Second,
+		Template: tuple.Tmpl(tuple.Any())}))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Decode(data)
+		if err != nil {
+			return
+		}
+		// Valid frames must re-encode and re-decode.
+		if _, err := Decode(Encode(m)); err != nil {
+			t.Fatalf("re-decode: %v", err)
+		}
+	})
+}

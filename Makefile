@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: build test check bench chaos
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# check is the pre-merge gate: vet + tests + race detector (includes
+# the chaos suite in internal/core, which takes seconds of wall time).
+check:
+	./scripts/check.sh
+
+bench:
+	$(GO) run ./cmd/tiamat-bench -quick
+
+# chaos runs the fault-injection benchmarks: E2/E9/E10 over a lossy,
+# duplicating, reordering network, reporting retry/dedup counters.
+chaos:
+	$(GO) run ./cmd/tiamat-bench -quick -chaos E2 E9 E10

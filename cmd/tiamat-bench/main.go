@@ -4,10 +4,13 @@
 //
 // Usage:
 //
-//	tiamat-bench [-quick] [id ...]
+//	tiamat-bench [-quick] [-chaos] [id ...]
 //
 // With no ids, every experiment runs. Ids: E1 E2 E3 E4 E5 E6 E7 E8 E9
-// E10 T1 T2 X1 X2.
+// E10 T1 T2 X1 X2. -chaos injects loss, duplication, and reordering
+// into the simulated network so the experiments (E2/E9/E10 in
+// particular) exercise the retry and dedup machinery; affected tables
+// report the retransmission and duplicate-suppression counts.
 package main
 
 import (
@@ -29,7 +32,14 @@ type experiment struct {
 func main() {
 	quick := flag.Bool("quick", false, "run reduced-scale experiments")
 	list := flag.Bool("list", false, "list experiment ids and exit")
+	chaos := flag.Bool("chaos", false, "inject loss/duplication/reordering into the simulated network")
 	flag.Parse()
+
+	if *chaos {
+		f := harness.DefaultChaos()
+		harness.SetChaos(&f)
+		fmt.Printf("chaos enabled: loss=%.2f dup=%.2f reorder=%.2f\n\n", f.Loss, f.Dup, f.Reorder)
+	}
 
 	experiments := []experiment{
 		{"E1", "Figure 1 logical spaces", func(harness.Scale) (*harness.Table, error) { return harness.E1Figure1() }},

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"tiamat/lease"
+	"tiamat/trace"
 	"tiamat/wire"
 )
 
@@ -48,7 +49,7 @@ func TestLostResultReinstatedByHoldGrace(t *testing.T) {
 	if !ok {
 		t.Fatal("setup: hold failed")
 	}
-	holdID := a.registerHold(hold, time.Second)
+	holdID := a.registerHold(hold, time.Second, waitKey{from: "b", id: 999})
 	_ = holdID
 	if a.LocalSpace().Count() != 1 {
 		t.Fatal("held tuple still visible")
@@ -184,5 +185,125 @@ func TestChurnDuringTakesNeverDuplicatesOrLoses(t *testing.T) {
 	}
 	if len(seen) != len(producers)*perProducer {
 		t.Fatalf("collected %d/%d tuples", len(seen), len(producers)*perProducer)
+	}
+}
+
+func TestDuplicatedAcceptAndLateReleaseAreIdempotent(t *testing.T) {
+	// At-least-once delivery means a responder can see the same TAccept
+	// twice, and a TRelease duplicate can trail in after the accept. The
+	// hold must settle exactly once: the tuple stays removed.
+	r := newRig(t, []wire.Addr{"a", "b"}, nil)
+	r.net.ConnectAll()
+	a := r.inst["a"]
+	if err := a.Out(req(1), lease.Flexible(lease.Terms{Duration: time.Hour, MaxBytes: 100})); err != nil {
+		t.Fatal(err)
+	}
+	hold, ok := a.LocalSpace().Hold(reqTmpl())
+	if !ok {
+		t.Fatal("setup: hold failed")
+	}
+	holdID := a.registerHold(hold, time.Second, waitKey{from: "b", id: 9})
+
+	accept := &wire.Message{Type: wire.TAccept, ID: 50, From: "b", HoldID: holdID}
+	a.dispatch(accept)
+	a.dispatch(accept) // duplicate: hold already settled, just re-acked
+	a.dispatch(&wire.Message{Type: wire.TRelease, ID: 9, From: "b", HoldID: holdID})
+	if n := a.LocalSpace().Count(); n != 1 {
+		t.Fatalf("space count = %d after accept + dup + late release, want 1", n)
+	}
+	// Even long after every grace period the tuple must not reappear.
+	r.clk.Advance(time.Hour)
+	if n := a.LocalSpace().Count(); n != 1 {
+		t.Fatalf("tuple reinstated after accepted hold: count = %d", n)
+	}
+}
+
+func TestDuplicatedReleaseReinstatesOnce(t *testing.T) {
+	r := newRig(t, []wire.Addr{"a", "b"}, nil)
+	r.net.ConnectAll()
+	a := r.inst["a"]
+	if err := a.Out(req(1), lease.Flexible(lease.Terms{Duration: time.Hour, MaxBytes: 100})); err != nil {
+		t.Fatal(err)
+	}
+	hold, ok := a.LocalSpace().Hold(reqTmpl())
+	if !ok {
+		t.Fatal("setup: hold failed")
+	}
+	holdID := a.registerHold(hold, time.Second, waitKey{from: "b", id: 10})
+
+	release := &wire.Message{Type: wire.TRelease, ID: 10, From: "b", HoldID: holdID}
+	a.dispatch(release)
+	a.dispatch(release) // duplicate: nothing left to reinstate
+	if n := a.LocalSpace().Count(); n != 2 {
+		t.Fatalf("space count = %d after release + dup, want 2", n)
+	}
+	// A late duplicate accept for the already-released hold is a no-op:
+	// the tuple stays in the space.
+	a.dispatch(&wire.Message{Type: wire.TAccept, ID: 50, From: "b", HoldID: holdID})
+	if n := a.LocalSpace().Count(); n != 2 {
+		t.Fatalf("late accept on released hold removed the tuple: count = %d", n)
+	}
+}
+
+func TestDuplicatedTakeRequestServedFromCache(t *testing.T) {
+	// A duplicated nonblocking take frame must not remove a second tuple:
+	// the responder replays the cached reply instead of re-executing.
+	r := newRig(t, []wire.Addr{"a", "b"}, nil)
+	r.net.ConnectAll()
+	a := r.inst["a"]
+	for id := int64(1); id <= 2; id++ {
+		if err := a.Out(req(id), lease.Flexible(lease.Terms{Duration: time.Hour, MaxBytes: 100})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := r.met.Get(trace.CtrDedupDrops)
+	op := &wire.Message{Type: wire.TOp, ID: 77, From: "b", Op: wire.OpInp, TTL: time.Second, Template: reqTmpl()}
+	a.dispatch(op)
+	a.dispatch(op) // duplicate of the same request
+	if n := a.LocalSpace().Count(); n != 2 {
+		t.Fatalf("space count = %d after duplicated take, want 2 (one held)", n)
+	}
+	a.mu.Lock()
+	holds := len(a.holds)
+	a.mu.Unlock()
+	if holds != 1 {
+		t.Fatalf("pending holds = %d, want 1", holds)
+	}
+	if got := r.met.Get(trace.CtrDedupDrops); got == before {
+		t.Fatal("duplicate request not counted as dedup drop")
+	}
+}
+
+func TestReinstatedHoldInvalidatesCachedReply(t *testing.T) {
+	// If the requester never accepts (its reply was lost and its op
+	// expired), the grace timer reinstates the tuple AND must forget the
+	// cached found-reply: a later retransmission of the same request has
+	// to take the tuple afresh rather than replay a dead hold.
+	r := newRig(t, []wire.Addr{"a", "b"}, nil)
+	r.net.ConnectAll()
+	a := r.inst["a"]
+	if err := a.Out(req(1), lease.Flexible(lease.Terms{Duration: time.Hour, MaxBytes: 100})); err != nil {
+		t.Fatal(err)
+	}
+	op := &wire.Message{Type: wire.TOp, ID: 88, From: "b", Op: wire.OpInp, TTL: time.Second, Template: reqTmpl()}
+	a.dispatch(op)
+	if n := a.LocalSpace().Count(); n != 1 {
+		t.Fatalf("take did not hold: count = %d", n)
+	}
+	r.clk.Advance(time.Second + a.cfg.HoldGrace + time.Millisecond) // reinstate
+	if n := a.LocalSpace().Count(); n != 2 {
+		t.Fatalf("grace did not reinstate: count = %d", n)
+	}
+	// Retransmission of the same frame: must create a fresh hold, not
+	// replay the invalidated reply naming the dead one.
+	a.dispatch(op)
+	if n := a.LocalSpace().Count(); n != 1 {
+		t.Fatalf("retransmission after reinstatement: count = %d, want 1", n)
+	}
+	a.mu.Lock()
+	holds := len(a.holds)
+	a.mu.Unlock()
+	if holds != 1 {
+		t.Fatalf("pending holds = %d, want a fresh hold", holds)
 	}
 }

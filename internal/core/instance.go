@@ -121,6 +121,18 @@ type Config struct {
 	// HoldGrace is how long a responder keeps a tentative removal alive
 	// past the op TTL before reinstating it (default 2s).
 	HoldGrace time.Duration
+	// ContactTimeout is how long the communications manager waits for a
+	// contacted responder's reply before retransmitting (default 250ms).
+	ContactTimeout time.Duration
+	// RetryBackoff is the base backoff added to successive retransmit
+	// waits: attempt k waits ContactTimeout + RetryBackoff·2^(k-1) plus
+	// up to RetryBackoff of jitter (default 50ms).
+	RetryBackoff time.Duration
+	// RetryAttempts bounds transmissions per contact per operation
+	// (default 3: one send plus two retries). Every retransmission also
+	// consumes one unit of the operation lease's remote budget, so the
+	// lease still bounds total communication effort (§2.5).
+	RetryAttempts int
 	// RoutePolicy selects OutBack behaviour (default RouteLocal).
 	RoutePolicy RoutePolicy
 	// Persistent marks this space as persistent in announcements and in
@@ -166,6 +178,15 @@ func (c *Config) applyDefaults() {
 	if c.HoldGrace <= 0 {
 		c.HoldGrace = 2 * time.Second
 	}
+	if c.ContactTimeout <= 0 {
+		c.ContactTimeout = 250 * time.Millisecond
+	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = 50 * time.Millisecond
+	}
+	if c.RetryAttempts <= 0 {
+		c.RetryAttempts = 3
+	}
 	if c.EvalWorkers <= 0 {
 		c.EvalWorkers = 4
 	}
@@ -195,6 +216,17 @@ type Instance struct {
 	nextHold  uint64
 	waits     map[waitKey]*remoteWait   // blocking waiters we serve for peers
 	announces map[uint64]chan SpaceInfo // open Spaces() discovery rounds
+	// served caches replies to already-handled remote requests, keyed by
+	// (requester, op ID). Retransmitted or duplicated frames are answered
+	// from the cache instead of re-executed: at-least-once delivery plus
+	// idempotent handlers yields effectively-once semantics (§3.1.3).
+	served      map[waitKey]*wire.Message
+	servedOrder []waitKey // FIFO eviction order for served
+	// accepted records holds this instance has accepted, so a late
+	// duplicate result never triggers a release that could overtake the
+	// accept and reinstate a taken tuple.
+	accepted      map[acceptKey]bool
+	acceptedOrder []acceptKey // FIFO eviction order for accepted
 	// Out-lease bookkeeping in both directions: a removed tuple releases
 	// its lease immediately (removal hook), and a revoked lease drops its
 	// tuple (OnRevoke).
@@ -213,6 +245,12 @@ type waitKey struct {
 	id   uint64
 }
 
+// acceptKey identifies a tentative hold at its owner.
+type acceptKey struct {
+	owner  wire.Addr
+	holdID uint64
+}
+
 // New creates and starts an instance.
 func New(cfg Config) (*Instance, error) {
 	if cfg.Endpoint == nil {
@@ -225,11 +263,13 @@ func New(cfg Config) (*Instance, error) {
 		clk:        cfg.Clock,
 		met:        cfg.Metrics,
 		mgr:        lease.NewManager(cfg.Leases, cfg.Clock),
-		list:       discovery.NewResponderList(cfg.ResponderListMax, cfg.Metrics),
+		list:       discovery.NewResponderList(cfg.ResponderListMax, cfg.Metrics, discovery.WithClock(cfg.Clock)),
 		ops:        make(map[uint64]*opState),
 		holds:      make(map[uint64]*pendingHold),
 		waits:      make(map[waitKey]*remoteWait),
 		announces:  make(map[uint64]chan SpaceInfo),
+		served:     make(map[waitKey]*wire.Message),
+		accepted:   make(map[acceptKey]bool),
 		outBySid:   make(map[uint64]*lease.Lease),
 		sidByLease: make(map[uint64]uint64),
 		evals:      make(map[string]EvalFunc),

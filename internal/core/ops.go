@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"time"
 
 	"tiamat/lease"
@@ -17,6 +18,26 @@ import (
 type opState struct {
 	id      uint64
 	results chan *wire.Message
+}
+
+// contactState tracks the retransmission budget for one contacted
+// responder within an operation.
+type contactState struct {
+	attempts int       // transmissions so far
+	deadline time.Time // when the current wait for a reply expires
+	done     bool      // replied, or given up on
+}
+
+// retryWait returns how long to wait for a reply after transmission k
+// before retransmitting: the contact timeout plus exponential backoff plus
+// up to RetryBackoff of jitter so concurrent operations do not retry in
+// lockstep.
+func (i *Instance) retryWait(k int) time.Duration {
+	wait := i.cfg.ContactTimeout
+	if k > 0 {
+		wait += i.cfg.RetryBackoff << (k - 1)
+	}
+	return wait + time.Duration(rand.Int63n(int64(i.cfg.RetryBackoff)))
 }
 
 // Out places a tuple in the local space under a negotiated lease (paper
@@ -248,7 +269,7 @@ func (i *Instance) propagate(ctx context.Context, code wire.OpCode, p tuple.Temp
 	i.ops[opID] = st
 	i.mu.Unlock()
 
-	contacted := make(map[wire.Addr]bool)
+	contacted := make(map[wire.Addr]*contactState)
 	multicasted := false
 	defer func() {
 		i.mu.Lock()
@@ -279,6 +300,33 @@ func (i *Instance) propagate(ctx context.Context, code wire.OpCode, p tuple.Temp
 	// remaining counts replies still expected; nonblocking ops complete
 	// when it reaches zero.
 	remaining := 0
+	// replied tracks responders that already answered, so duplicated
+	// replies are visible in the dedup counter.
+	replied := make(map[wire.Addr]bool)
+
+	// retryTimer fires when the earliest outstanding contact has waited
+	// long enough for a retransmission (or a give-up).
+	var retryTimer <-chan time.Time
+	armRetry := func() {
+		retryTimer = nil
+		var earliest time.Time
+		for _, cs := range contacted {
+			if cs.done {
+				continue
+			}
+			if earliest.IsZero() || cs.deadline.Before(earliest) {
+				earliest = cs.deadline
+			}
+		}
+		if earliest.IsZero() {
+			return
+		}
+		d := earliest.Sub(i.clk.Now())
+		if d < time.Millisecond {
+			d = time.Millisecond
+		}
+		retryTimer = i.clk.After(d)
+	}
 
 	// Nonblocking ops contact the responder list incrementally, top-down,
 	// ContactFanout at a time (paper §3.1.3: "operation propagation always
@@ -293,12 +341,15 @@ func (i *Instance) propagate(ctx context.Context, code wire.OpCode, p tuple.Temp
 		for limit > 0 && len(queue) > 0 {
 			a := queue[0]
 			queue = queue[1:]
+			if contacted[a] != nil {
+				continue
+			}
 			if lse.ConsumeRemote() != nil {
 				queue = nil
 				return
 			}
 			if err := i.send(a, msg); err == nil {
-				contacted[a] = true
+				contacted[a] = &contactState{attempts: 1, deadline: i.clk.Now().Add(i.retryWait(1))}
 				remaining++
 				limit--
 			}
@@ -309,6 +360,7 @@ func (i *Instance) propagate(ctx context.Context, code wire.OpCode, p tuple.Temp
 	} else {
 		contactNext(i.cfg.ContactFanout)
 	}
+	armRetry()
 
 	// unknownAudience is set when the transport cannot count multicast
 	// recipients (real UDP); nonblocking ops then wait out the lease
@@ -339,6 +391,34 @@ func (i *Instance) propagate(ctx context.Context, code wire.OpCode, p tuple.Temp
 		return Result{}, false, nil // nobody visible: nothing to wait for
 	}
 
+	// tryConcludeNB decides whether a nonblocking op is over: advance down
+	// the responder list before resorting to a multicast (paper §3.1.3:
+	// "if the end of the list is reached, and the request is not
+	// satisfied, then another multicast may be used"), then conclude
+	// not-found once nobody is left to answer.
+	tryConcludeNB := func() bool {
+		if code.Blocking() || remaining > 0 {
+			return false
+		}
+		if len(queue) > 0 {
+			contactNext(i.cfg.ContactFanout)
+			armRetry()
+			if remaining > 0 {
+				return false
+			}
+		}
+		if unknownAudience {
+			return false
+		}
+		if !multicasted {
+			doMulticast()
+			if remaining > 0 || unknownAudience {
+				return false
+			}
+		}
+		return true
+	}
+
 	var rediscover <-chan time.Time
 	if code.Blocking() && i.cfg.ContinuousDiscovery {
 		rediscover = i.clk.After(i.cfg.RediscoverInterval)
@@ -355,37 +435,60 @@ func (i *Instance) propagate(ctx context.Context, code wire.OpCode, p tuple.Temp
 
 		case m := <-st.results:
 			remaining--
+			if cs := contacted[m.From]; cs != nil && !cs.done {
+				cs.done = true
+				armRetry()
+			}
+			if m.Type == wire.TResult {
+				if replied[m.From] {
+					i.met.Inc(trace.CtrDedupDrops)
+				}
+				replied[m.From] = true
+			}
 			if m.Type == wire.TResult && m.Found {
 				if code.Removes() && m.HoldID != 0 {
 					// First responder wins: accept this hold; the
 					// deferred drain releases any later ones.
-					_ = i.send(m.From, &wire.Message{
-						Type: wire.TAccept, ID: opID, From: i.Addr(), HoldID: m.HoldID,
-					})
+					i.acceptHold(m.From, m.HoldID, lse)
 				}
 				i.met.Inc(trace.CtrOpsRemoteHit)
 				return Result{Tuple: m.Tuple, From: m.From}, true, nil
 			}
-			if remaining <= 0 && !code.Blocking() {
-				// Advance down the responder list before resorting to
-				// a multicast (paper §3.1.3: "if the end of the list is
-				// reached, and the request is not satisfied, then
-				// another multicast may be used").
-				if len(queue) > 0 {
-					contactNext(i.cfg.ContactFanout)
-					if remaining > 0 {
-						continue
-					}
+			if tryConcludeNB() {
+				return Result{}, false, nil
+			}
+
+		case <-retryTimer:
+			now := i.clk.Now()
+			for a, cs := range contacted {
+				if cs.done || now.Before(cs.deadline) {
+					continue
 				}
-				if !unknownAudience {
-					if !multicasted {
-						doMulticast()
-						if remaining > 0 || unknownAudience {
-							continue
-						}
+				if cs.attempts >= i.cfg.RetryAttempts {
+					// Out of retries. Silence from a nonblocking probe is
+					// a soft failure; a blocking responder is expected to
+					// stay silent until it has a match, so no blame there.
+					cs.done = true
+					remaining--
+					if !code.Blocking() {
+						i.list.Fail(a)
 					}
-					return Result{}, false, nil
+					continue
 				}
+				if lse.ConsumeRemote() != nil {
+					cs.done = true // lease budget exhausted: stop trying
+					remaining--
+					continue
+				}
+				cs.attempts++
+				msg.TTL = lse.Deadline().Sub(now)
+				_ = i.send(a, msg)
+				i.met.Inc(trace.CtrRetries)
+				cs.deadline = now.Add(i.retryWait(cs.attempts))
+			}
+			armRetry()
+			if tryConcludeNB() {
+				return Result{}, false, nil
 			}
 
 		case <-lse.Done():
@@ -406,10 +509,60 @@ func (i *Instance) propagate(ctx context.Context, code wire.OpCode, p tuple.Temp
 	}
 }
 
+// acceptHold claims a tentative hold at its owner (first responder wins,
+// paper §3.1.3). The TAccept is retransmitted until the owner
+// acknowledges it: a lost accept would otherwise let the owner's grace
+// timer reinstate a tuple the requester is already using — a duplication.
+// The retry loop runs in the background so the operation returns at once.
+func (i *Instance) acceptHold(owner wire.Addr, holdID uint64, lse *lease.Lease) {
+	i.rememberAccepted(acceptKey{owner: owner, holdID: holdID})
+	budget := lse.Deadline().Sub(i.clk.Now()) + i.cfg.HoldGrace
+	if budget < i.cfg.HoldGrace {
+		budget = i.cfg.HoldGrace
+	}
+	deadline := i.clk.Now().Add(budget)
+
+	ackID := i.nextOp()
+	st := &opState{id: ackID, results: make(chan *wire.Message, 4)}
+	i.mu.Lock()
+	if i.closed {
+		i.mu.Unlock()
+		return
+	}
+	i.ops[ackID] = st
+	i.wg.Add(1)
+	i.mu.Unlock()
+	go func() {
+		defer i.wg.Done()
+		defer func() {
+			i.mu.Lock()
+			delete(i.ops, ackID)
+			i.mu.Unlock()
+		}()
+		msg := &wire.Message{Type: wire.TAccept, ID: ackID, From: i.Addr(), HoldID: holdID}
+		for attempt := 1; ; attempt++ {
+			if i.send(owner, msg) != nil {
+				return // owner unreachable: its grace timer takes over
+			}
+			select {
+			case <-st.results:
+				return // acknowledged
+			case <-i.clk.After(i.retryWait(attempt)):
+				if !i.clk.Now().Before(deadline) {
+					return // past the owner's grace window: moot
+				}
+				i.met.Inc(trace.CtrRetries)
+			case <-i.stopped:
+				return
+			}
+		}
+	}()
+}
+
 // cancelRemotes tells contacted instances (and, if the operation was
 // multicast, all listeners) that the operation is over so they can free
 // any held waiters.
-func (i *Instance) cancelRemotes(opID uint64, contacted map[wire.Addr]bool, multicasted bool) {
+func (i *Instance) cancelRemotes(opID uint64, contacted map[wire.Addr]*contactState, multicasted bool) {
 	if i.isClosed() {
 		return
 	}
@@ -423,13 +576,24 @@ func (i *Instance) cancelRemotes(opID uint64, contacted map[wire.Addr]bool, mult
 }
 
 // releaseLate releases a found-result that lost the race (or arrived
-// after completion), reinstating the tuple at its owner.
+// after completion), reinstating the tuple at its owner. Results naming a
+// hold this instance accepted are duplicates of the winning reply:
+// releasing them could overtake the accept and reinstate a taken tuple,
+// so they are dropped instead.
 func (i *Instance) releaseLate(m *wire.Message) {
-	if m.Type == wire.TResult && m.Found && m.HoldID != 0 && !i.isClosed() {
-		_ = i.send(m.From, &wire.Message{
-			Type: wire.TRelease, ID: m.ID, From: i.Addr(), HoldID: m.HoldID,
-		})
+	if m.Type != wire.TResult || !m.Found || m.HoldID == 0 || i.isClosed() {
+		return
 	}
+	i.mu.Lock()
+	accepted := i.accepted[acceptKey{owner: m.From, holdID: m.HoldID}]
+	i.mu.Unlock()
+	if accepted {
+		i.met.Inc(trace.CtrDedupDrops)
+		return
+	}
+	_ = i.send(m.From, &wire.Message{
+		Type: wire.TRelease, ID: m.ID, From: i.Addr(), HoldID: m.HoldID,
+	})
 }
 
 // handleResult routes an inbound TResult/TAck to its operation, or
@@ -596,17 +760,28 @@ func (i *Instance) directOp(ctx context.Context, addr wire.Addr, code wire.OpCod
 	if err := i.send(addr, msg); err != nil {
 		return Result{}, false, err
 	}
+	attempts := 1
+	retry := i.clk.After(i.retryWait(attempts))
 	for {
 		select {
 		case m := <-st.results:
 			if m.Type == wire.TResult && m.Found {
 				if code.Removes() && m.HoldID != 0 {
-					_ = i.send(m.From, &wire.Message{Type: wire.TAccept, ID: opID, From: i.Addr(), HoldID: m.HoldID})
+					i.acceptHold(m.From, m.HoldID, lse)
 				}
 				return Result{Tuple: m.Tuple, From: m.From}, true, nil
 			}
 			if !code.Blocking() {
 				return Result{}, false, nil
+			}
+		case <-retry:
+			retry = nil // a nil channel blocks: retries stop when exhausted
+			if attempts < i.cfg.RetryAttempts && lse.ConsumeRemote() == nil {
+				attempts++
+				msg.TTL = lse.Deadline().Sub(i.clk.Now())
+				_ = i.send(addr, msg)
+				i.met.Inc(trace.CtrRetries)
+				retry = i.clk.After(i.retryWait(attempts))
 			}
 		case <-lse.Done():
 			return Result{}, false, nil
@@ -721,12 +896,25 @@ func (i *Instance) rpc(addr wire.Addr, m *wire.Message, lse *lease.Lease) (*wire
 	if err := i.send(addr, m); err != nil {
 		return nil, err
 	}
-	select {
-	case ack := <-st.results:
-		return ack, nil
-	case <-lse.Done():
-		return nil, fmt.Errorf("%s: no ack within lease: %w", addr, lse.Err())
-	case <-i.stopped:
-		return nil, ErrClosed
+	attempts := 1
+	retry := i.clk.After(i.retryWait(attempts))
+	for {
+		select {
+		case ack := <-st.results:
+			return ack, nil
+		case <-retry:
+			retry = nil
+			if attempts < i.cfg.RetryAttempts && lse.ConsumeRemote() == nil {
+				attempts++
+				m.TTL = lse.Deadline().Sub(i.clk.Now())
+				_ = i.send(addr, m)
+				i.met.Inc(trace.CtrRetries)
+				retry = i.clk.After(i.retryWait(attempts))
+			}
+		case <-lse.Done():
+			return nil, fmt.Errorf("%s: no ack within lease: %w", addr, lse.Err())
+		case <-i.stopped:
+			return nil, ErrClosed
+		}
 	}
 }

@@ -6,6 +6,7 @@ import (
 
 	"tiamat/lease"
 	"tiamat/space"
+	"tiamat/trace"
 	"tiamat/wire"
 )
 
@@ -23,8 +24,49 @@ import (
 // A grace timer reinstates it if the requester disappears.
 type pendingHold struct {
 	id   uint64
+	key  waitKey // the request this hold answers, for cache invalidation
 	hold space.Hold
 	stop func() bool
+}
+
+// servedCacheMax bounds the dedup caches (served replies, accepted
+// holds); the oldest entries are evicted first. The bound only has to
+// outlast retransmission windows, which are seconds, so even a busy
+// instance keeps every live entry.
+const servedCacheMax = 4096
+
+// recordServed caches the reply sent for a remote request so a
+// retransmitted or duplicated frame is answered identically instead of
+// re-executed (at-least-once delivery + idempotent handlers, §3.1.3).
+func (i *Instance) recordServed(key waitKey, m *wire.Message) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	if _, ok := i.served[key]; !ok {
+		i.servedOrder = append(i.servedOrder, key)
+		if len(i.servedOrder) > servedCacheMax {
+			old := i.servedOrder[0]
+			i.servedOrder = i.servedOrder[1:]
+			delete(i.served, old)
+		}
+	}
+	i.served[key] = m
+}
+
+// rememberAccepted records that this instance accepted a hold, so late
+// duplicates of the winning result are never released (see releaseLate).
+func (i *Instance) rememberAccepted(k acceptKey) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	if i.accepted[k] {
+		return
+	}
+	i.accepted[k] = true
+	i.acceptedOrder = append(i.acceptedOrder, k)
+	if len(i.acceptedOrder) > servedCacheMax {
+		old := i.acceptedOrder[0]
+		i.acceptedOrder = i.acceptedOrder[1:]
+		delete(i.accepted, old)
+	}
 }
 
 // remoteWait is a blocking operation we are serving for a peer.
@@ -71,6 +113,25 @@ func serveTerms(ttl time.Duration) lease.Terms {
 
 // handleOp serves a propagated rd/rdp/in/inp against the local space.
 func (i *Instance) handleOp(m *wire.Message) {
+	// At-least-once delivery: answer retransmitted or duplicated requests
+	// from the served cache (or stay silent while a blocking waiter for
+	// the same request is still registered) instead of re-executing —
+	// re-execution of a take would remove a second tuple.
+	key := waitKey{from: m.From, id: m.ID}
+	i.mu.Lock()
+	cached := i.served[key]
+	_, waiting := i.waits[key]
+	i.mu.Unlock()
+	if cached != nil {
+		i.met.Inc(trace.CtrDedupDrops)
+		_ = i.send(m.From, cached)
+		return
+	}
+	if waiting {
+		i.met.Inc(trace.CtrDedupDrops)
+		return
+	}
+
 	notFound := &wire.Message{Type: wire.TResult, ID: m.ID, From: i.Addr(), Found: false}
 
 	// Admit the work through our own lease manager; refusal means we
@@ -84,25 +145,30 @@ func (i *Instance) handleOp(m *wire.Message) {
 	// Immediate attempt.
 	if m.Op.Removes() {
 		if h, ok := i.local.Hold(m.Template); ok {
-			holdID := i.registerHold(h, m.TTL)
-			_ = i.send(m.From, &wire.Message{
+			holdID := i.registerHold(h, m.TTL, key)
+			reply := &wire.Message{
 				Type: wire.TResult, ID: m.ID, From: i.Addr(),
 				Found: true, HoldID: holdID, Tuple: h.Tuple(),
-			})
+			}
+			i.recordServed(key, reply)
+			_ = i.send(m.From, reply)
 			lse.Cancel()
 			return
 		}
 	} else {
 		if t, ok := i.local.Rdp(m.Template); ok {
-			_ = i.send(m.From, &wire.Message{
+			reply := &wire.Message{
 				Type: wire.TResult, ID: m.ID, From: i.Addr(), Found: true, Tuple: t,
-			})
+			}
+			i.recordServed(key, reply)
+			_ = i.send(m.From, reply)
 			lse.Cancel()
 			return
 		}
 	}
 
 	if !m.Op.Blocking() {
+		i.recordServed(key, notFound)
 		_ = i.send(m.From, notFound)
 		lse.Cancel()
 		return
@@ -123,8 +189,14 @@ func (i *Instance) serveBlocking(m *wire.Message, lse *lease.Lease) {
 		lse.Cancel()
 		return
 	}
-	if old, ok := i.waits[key]; ok {
-		old.stop() // duplicate (e.g. rediscovery re-multicast): replace
+	if _, ok := i.waits[key]; ok {
+		// Duplicate of an operation we are already serving (a chaos
+		// duplicate, a retransmission, or a rediscovery re-multicast):
+		// the existing waiter stands; a second would double-serve.
+		i.mu.Unlock()
+		i.met.Inc(trace.CtrDedupDrops)
+		lse.Cancel()
+		return
 	}
 	i.waits[key] = rw
 	i.mu.Unlock()
@@ -154,21 +226,29 @@ func (i *Instance) serveBlocking(m *wire.Message, lse *lease.Lease) {
 					if !ok {
 						continue // lost the race; wait again
 					}
-					holdID := i.registerHold(h, m.TTL)
-					_ = i.send(m.From, &wire.Message{
+					holdID := i.registerHold(h, m.TTL, key)
+					reply := &wire.Message{
 						Type: wire.TResult, ID: m.ID, From: i.Addr(),
 						Found: true, HoldID: holdID, Tuple: h.Tuple(),
-					})
+					}
+					i.recordServed(key, reply)
+					_ = i.send(m.From, reply)
 					return
 				}
 				// rd: the delivered copy is the answer (rd semantics
 				// permit any tuple that was in the space during the op).
-				_ = i.send(m.From, &wire.Message{
+				reply := &wire.Message{
 					Type: wire.TResult, ID: m.ID, From: i.Addr(), Found: true, Tuple: t,
-				})
+				}
+				i.recordServed(key, reply)
+				_ = i.send(m.From, reply)
 				return
 
 			case <-lse.Done():
+				// Deliberately not cached: if the requester's operation
+				// outlives our granted lease, a later retransmission or
+				// rediscovery multicast should register a fresh waiter
+				// rather than replay this not-found.
 				w.Cancel()
 				_ = i.send(m.From, &wire.Message{Type: wire.TResult, ID: m.ID, From: i.Addr(), Found: false})
 				return
@@ -185,12 +265,14 @@ func (i *Instance) serveBlocking(m *wire.Message, lse *lease.Lease) {
 	}()
 }
 
-// registerHold records a tentative removal and arms its grace timer.
-func (i *Instance) registerHold(h space.Hold, ttl time.Duration) uint64 {
+// registerHold records a tentative removal and arms its grace timer. key
+// names the request the hold answers, so reinstatement can invalidate the
+// cached reply.
+func (i *Instance) registerHold(h space.Hold, ttl time.Duration, key waitKey) uint64 {
 	i.mu.Lock()
 	i.nextHold++
 	id := i.nextHold
-	ph := &pendingHold{id: id, hold: h}
+	ph := &pendingHold{id: id, key: key, hold: h}
 	i.holds[id] = ph
 	i.mu.Unlock()
 
@@ -219,6 +301,14 @@ func (i *Instance) settleHold(id uint64, accept bool) {
 	ph, ok := i.holds[id]
 	if ok {
 		delete(i.holds, id)
+		if !accept {
+			// The tuple goes back into the space, so the cached found
+			// reply naming this hold must never be replayed: a
+			// retransmitted request re-executes and takes it afresh.
+			if r := i.served[ph.key]; r != nil && r.HoldID == id {
+				delete(i.served, ph.key)
+			}
+		}
 	}
 	i.mu.Unlock()
 	if !ok {
@@ -234,6 +324,14 @@ func (i *Instance) settleHold(id uint64, accept bool) {
 	}
 }
 
+// handleAccept finalises a tentative hold and acknowledges, letting the
+// requester stop retransmitting the accept. A duplicate accept finds the
+// hold already settled and is simply acknowledged again — idempotent.
+func (i *Instance) handleAccept(m *wire.Message) {
+	i.settleHold(m.HoldID, true)
+	_ = i.send(m.From, &wire.Message{Type: wire.TAck, ID: m.ID, From: i.Addr(), OK: true})
+}
+
 // handleCancel stops a blocking waiter we are serving.
 func (i *Instance) handleCancel(m *wire.Message) {
 	key := waitKey{from: m.From, id: m.ID}
@@ -246,28 +344,37 @@ func (i *Instance) handleCancel(m *wire.Message) {
 }
 
 // handleRemoteOut admits a direct remote out (paper §2.4): the tuple is
-// stored under a lease this instance negotiates for itself.
+// stored under a lease this instance negotiates for itself. Duplicated
+// frames replay the cached ack — re-executing would store a second copy.
 func (i *Instance) handleRemoteOut(m *wire.Message) {
+	key := waitKey{from: m.From, id: m.ID}
+	if i.resendServed(key) {
+		return
+	}
 	ack := &wire.Message{Type: wire.TAck, ID: m.ID, From: i.Addr()}
+	reply := func() {
+		i.recordServed(key, ack)
+		_ = i.send(m.From, ack)
+	}
 	terms := serveTerms(m.TTL)
 	terms.MaxBytes = m.Tuple.Size()
 	lse, err := i.mgr.Grant(lease.OpOut, lease.Flexible(terms))
 	if err != nil {
 		ack.Err = err.Error()
-		_ = i.send(m.From, ack)
+		reply()
 		return
 	}
 	if err := lse.ConsumeBytes(m.Tuple.Size()); err != nil {
 		lse.Cancel()
 		ack.Err = err.Error()
-		_ = i.send(m.From, ack)
+		reply()
 		return
 	}
 	sid, err := i.local.Out(m.Tuple, lse.Deadline())
 	if err != nil {
 		lse.Cancel()
 		ack.Err = err.Error()
-		_ = i.send(m.From, ack)
+		reply()
 		return
 	}
 	if sid != 0 {
@@ -277,19 +384,41 @@ func (i *Instance) handleRemoteOut(m *wire.Message) {
 		lse.Cancel() // consumed by a waiting taker
 	}
 	ack.OK = true
-	_ = i.send(m.From, ack)
+	reply()
+}
+
+// resendServed replays the cached reply for a duplicated request, if any.
+func (i *Instance) resendServed(key waitKey) bool {
+	i.mu.Lock()
+	cached := i.served[key]
+	i.mu.Unlock()
+	if cached == nil {
+		return false
+	}
+	i.met.Inc(trace.CtrDedupDrops)
+	_ = i.send(key.from, cached)
+	return true
 }
 
 // handleRemoteEval admits a direct remote eval: the function must be
-// registered here and a thread and lease must be available.
+// registered here and a thread and lease must be available. Duplicated
+// frames replay the cached ack — re-executing would run the eval twice.
 func (i *Instance) handleRemoteEval(m *wire.Message) {
+	key := waitKey{from: m.From, id: m.ID}
+	if i.resendServed(key) {
+		return
+	}
 	ack := &wire.Message{Type: wire.TAck, ID: m.ID, From: i.Addr()}
+	reply := func() {
+		i.recordServed(key, ack)
+		_ = i.send(m.From, ack)
+	}
 	i.mu.Lock()
 	f, ok := i.evals[m.Func]
 	i.mu.Unlock()
 	if !ok {
 		ack.Err = ErrUnknownEval.Error()
-		_ = i.send(m.From, ack)
+		reply()
 		return
 	}
 	terms := serveTerms(m.TTL)
@@ -297,18 +426,18 @@ func (i *Instance) handleRemoteEval(m *wire.Message) {
 	lse, err := i.mgr.Grant(lease.OpEval, lease.Flexible(terms))
 	if err != nil {
 		ack.Err = err.Error()
-		_ = i.send(m.From, ack)
+		reply()
 		return
 	}
 	release, err := i.mgr.Acquire(lease.ResThreads, 1)
 	if err != nil {
 		lse.Cancel()
 		ack.Err = err.Error()
-		_ = i.send(m.From, ack)
+		reply()
 		return
 	}
 	ack.OK = true
-	_ = i.send(m.From, ack)
+	reply()
 	i.wg.Add(1)
 	go func() {
 		defer i.wg.Done()
@@ -368,7 +497,7 @@ func (i *Instance) dispatch(m *wire.Message) {
 	case wire.TResult:
 		i.handleResult(m)
 	case wire.TAccept:
-		i.settleHold(m.HoldID, true)
+		i.handleAccept(m)
 	case wire.TRelease:
 		i.settleHold(m.HoldID, false)
 	case wire.TCancel:

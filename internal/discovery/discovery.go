@@ -8,41 +8,142 @@
 //     (if not already present);
 //   - consequently, consistently visible instances migrate toward the
 //     top by attrition and are contacted first.
+//
+// On top of the paper's hard evict-on-unreachable rule, each entry
+// carries a health score: consecutive soft failures (timeouts after
+// retries) raise suspicion, and a suspected responder is temporarily
+// skipped by Snapshot — a circuit breaker for flapping nodes. Suspicion
+// decays: after a cooldown the entry becomes eligible again (half-open),
+// and a single further failure re-suspends it with a doubled cooldown,
+// capped. Any successful response fully restores the entry's health.
+// The list order itself never changes on suspicion, preserving the
+// paper's top-down / append-at-bottom structure.
 package discovery
 
 import (
 	"sync"
+	"time"
 
+	"tiamat/clock"
 	"tiamat/trace"
 	"tiamat/wire"
 )
+
+// Health policy defaults.
+const (
+	// DefaultSuspectThreshold is how many consecutive soft failures put
+	// an entry under suspicion.
+	DefaultSuspectThreshold = 3
+	// DefaultSuspectCooldown is the first suspension length; it doubles
+	// on each re-suspension up to DefaultSuspectMax.
+	DefaultSuspectCooldown = 2 * time.Second
+	// DefaultSuspectMax caps the doubling cooldown.
+	DefaultSuspectMax = 30 * time.Second
+)
+
+// entry is one cached responder plus its health state.
+type entry struct {
+	addr         wire.Addr
+	fails        int           // consecutive soft failures
+	cooldown     time.Duration // next suspension length
+	suspectUntil time.Time     // zero when not suspected
+}
 
 // ResponderList is the ordered cache of known-visible instances. It is
 // safe for concurrent use.
 type ResponderList struct {
 	mu    sync.Mutex
-	addrs []wire.Addr
-	index map[wire.Addr]bool
+	addrs []*entry
+	index map[wire.Addr]*entry
 	met   *trace.Metrics
+	clk   clock.Clock
 	max   int
+
+	threshold   int
+	cooldown    time.Duration
+	maxCooldown time.Duration
+}
+
+// Option configures a ResponderList.
+type Option func(*ResponderList)
+
+// WithClock sets the time source used for suspicion decay (default:
+// wall clock).
+func WithClock(clk clock.Clock) Option {
+	return func(l *ResponderList) { l.clk = clk }
+}
+
+// WithHealthPolicy overrides the suspicion thresholds. threshold <= 0
+// disables suspicion entirely.
+func WithHealthPolicy(threshold int, cooldown, maxCooldown time.Duration) Option {
+	return func(l *ResponderList) {
+		l.threshold = threshold
+		l.cooldown = cooldown
+		l.maxCooldown = maxCooldown
+	}
 }
 
 // NewResponderList returns an empty list. max bounds the number of cached
 // responders (0 means unbounded); met may be nil.
-func NewResponderList(max int, met *trace.Metrics) *ResponderList {
+func NewResponderList(max int, met *trace.Metrics, opts ...Option) *ResponderList {
 	if met == nil {
 		met = &trace.Metrics{}
 	}
-	return &ResponderList{index: make(map[wire.Addr]bool), met: met, max: max}
+	l := &ResponderList{
+		index:       make(map[wire.Addr]*entry),
+		met:         met,
+		clk:         clock.Real{},
+		max:         max,
+		threshold:   DefaultSuspectThreshold,
+		cooldown:    DefaultSuspectCooldown,
+		maxCooldown: DefaultSuspectMax,
+	}
+	for _, o := range opts {
+		o(l)
+	}
+	return l
 }
 
-// Snapshot returns the current contact order, top first.
+// Snapshot returns the current contact order, top first, skipping
+// responders under active suspicion.
 func (l *ResponderList) Snapshot() []wire.Addr {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	out := make([]wire.Addr, len(l.addrs))
-	copy(out, l.addrs)
+	now := l.clk.Now()
+	out := make([]wire.Addr, 0, len(l.addrs))
+	for _, e := range l.addrs {
+		if l.suspectedLocked(e, now) {
+			l.met.Inc(trace.CtrSuspectSkips)
+			continue
+		}
+		out = append(out, e.addr)
+	}
 	return out
+}
+
+// All returns the full contact order including suspected entries, for
+// monitoring.
+func (l *ResponderList) All() []wire.Addr {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]wire.Addr, len(l.addrs))
+	for i, e := range l.addrs {
+		out[i] = e.addr
+	}
+	return out
+}
+
+// suspectedLocked reports whether e is under active suspicion at now.
+func (l *ResponderList) suspectedLocked(e *entry, now time.Time) bool {
+	return !e.suspectUntil.IsZero() && now.Before(e.suspectUntil)
+}
+
+// Suspected reports whether addr is currently suspected.
+func (l *ResponderList) Suspected(addr wire.Addr) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	e, ok := l.index[addr]
+	return ok && l.suspectedLocked(e, l.clk.Now())
 }
 
 // Len returns the number of cached responders.
@@ -56,15 +157,15 @@ func (l *ResponderList) Len() int {
 func (l *ResponderList) Contains(addr wire.Addr) bool {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	return l.index[addr]
+	return l.index[addr] != nil
 }
 
 // Position returns addr's 0-based position from the top, or -1.
 func (l *ResponderList) Position(addr wire.Addr) int {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	for i, a := range l.addrs {
-		if a == addr {
+	for i, e := range l.addrs {
+		if e.addr == addr {
 			return i
 		}
 	}
@@ -73,25 +174,66 @@ func (l *ResponderList) Position(addr wire.Addr) int {
 
 // Observe records a responder discovered via multicast: appended at the
 // bottom if not already present (paper: "responding instances are added
-// to the bottom of the list").
+// to the bottom of the list"). An observation is evidence of life, so it
+// also restores the entry's health.
 func (l *ResponderList) Observe(addr wire.Addr) {
 	if addr == "" {
 		return
 	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	if l.index[addr] {
+	if e := l.index[addr]; e != nil {
+		l.restoreLocked(e)
 		return
 	}
 	if l.max > 0 && len(l.addrs) >= l.max {
 		// Evict the bottom entry: it is the least-proven responder.
 		victim := l.addrs[len(l.addrs)-1]
 		l.addrs = l.addrs[:len(l.addrs)-1]
-		delete(l.index, victim)
+		delete(l.index, victim.addr)
 		l.met.Inc(trace.CtrListEvictions)
 	}
-	l.addrs = append(l.addrs, addr)
-	l.index[addr] = true
+	e := &entry{addr: addr, cooldown: l.cooldown}
+	l.addrs = append(l.addrs, e)
+	l.index[addr] = e
+}
+
+// Success records a response from addr, fully restoring its health.
+func (l *ResponderList) Success(addr wire.Addr) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if e := l.index[addr]; e != nil {
+		l.restoreLocked(e)
+	}
+}
+
+func (l *ResponderList) restoreLocked(e *entry) {
+	e.fails = 0
+	e.cooldown = l.cooldown
+	e.suspectUntil = time.Time{}
+}
+
+// Fail records a soft failure for addr: the responder was contacted (with
+// retries) and never answered, but the transport did not prove it
+// unreachable. At the threshold the entry is suspended; a failure while
+// half-open re-suspends with a doubled cooldown.
+func (l *ResponderList) Fail(addr wire.Addr) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	e := l.index[addr]
+	if e == nil || l.threshold <= 0 {
+		return
+	}
+	e.fails++
+	if e.fails < l.threshold {
+		return
+	}
+	e.suspectUntil = l.clk.Now().Add(e.cooldown)
+	e.cooldown *= 2
+	if e.cooldown > l.maxCooldown {
+		e.cooldown = l.maxCooldown
+	}
+	l.met.Inc(trace.CtrSuspicions)
 }
 
 // Evict removes an instance that failed to respond (paper: "removing any
@@ -99,12 +241,12 @@ func (l *ResponderList) Observe(addr wire.Addr) {
 func (l *ResponderList) Evict(addr wire.Addr) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	if !l.index[addr] {
+	if l.index[addr] == nil {
 		return
 	}
 	delete(l.index, addr)
-	for i, a := range l.addrs {
-		if a == addr {
+	for i, e := range l.addrs {
+		if e.addr == addr {
 			l.addrs = append(l.addrs[:i], l.addrs[i+1:]...)
 			break
 		}
@@ -118,5 +260,5 @@ func (l *ResponderList) Clear() {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	l.addrs = l.addrs[:0]
-	l.index = make(map[wire.Addr]bool)
+	l.index = make(map[wire.Addr]*entry)
 }

@@ -3,7 +3,9 @@ package discovery
 import (
 	"testing"
 	"testing/quick"
+	"time"
 
+	"tiamat/clock"
 	"tiamat/trace"
 	"tiamat/wire"
 )
@@ -129,5 +131,111 @@ func TestPropNoDuplicates(t *testing.T) {
 	}
 	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// --- health scores -------------------------------------------------------
+
+func TestSuspicionSkipsFlappingResponder(t *testing.T) {
+	clk := clock.NewVirtual(time.Unix(0, 0))
+	met := &trace.Metrics{}
+	l := NewResponderList(0, met, WithClock(clk),
+		WithHealthPolicy(2, time.Second, 8*time.Second))
+	l.Observe("good")
+	l.Observe("flappy")
+	l.Fail("flappy")
+	if l.Suspected("flappy") {
+		t.Fatal("suspected below threshold")
+	}
+	l.Fail("flappy")
+	if !l.Suspected("flappy") {
+		t.Fatal("not suspected at threshold")
+	}
+	snap := l.Snapshot()
+	if len(snap) != 1 || snap[0] != "good" {
+		t.Fatalf("snapshot = %v, want [good]", snap)
+	}
+	// The full order is preserved: suspicion does not restructure.
+	if all := l.All(); len(all) != 2 || all[1] != "flappy" {
+		t.Fatalf("all = %v", all)
+	}
+	if met.Get(trace.CtrSuspicions) != 1 || met.Get(trace.CtrSuspectSkips) != 1 {
+		t.Fatalf("counters: suspicions=%d skips=%d",
+			met.Get(trace.CtrSuspicions), met.Get(trace.CtrSuspectSkips))
+	}
+}
+
+func TestSuspicionDecaysThenRedoubles(t *testing.T) {
+	clk := clock.NewVirtual(time.Unix(0, 0))
+	l := NewResponderList(0, nil, WithClock(clk),
+		WithHealthPolicy(1, time.Second, 4*time.Second))
+	l.Observe("x")
+	l.Fail("x") // suspect for 1s
+	if !l.Suspected("x") {
+		t.Fatal("not suspected")
+	}
+	clk.Advance(time.Second)
+	if l.Suspected("x") {
+		t.Fatal("suspicion did not decay")
+	}
+	if snap := l.Snapshot(); len(snap) != 1 {
+		t.Fatalf("half-open entry missing: %v", snap)
+	}
+	// Half-open failure re-suspends with doubled cooldown (2s).
+	l.Fail("x")
+	clk.Advance(time.Second)
+	if !l.Suspected("x") {
+		t.Fatal("cooldown did not double")
+	}
+	clk.Advance(time.Second)
+	if l.Suspected("x") {
+		t.Fatal("second suspicion did not decay")
+	}
+	// Cooldown doubling is capped at 4s: fail 3 more times, each
+	// suspension is at most 4s.
+	l.Fail("x")
+	l.Fail("x")
+	clk.Advance(4 * time.Second)
+	if l.Suspected("x") {
+		t.Fatal("cooldown exceeded cap")
+	}
+}
+
+func TestSuccessRestoresHealth(t *testing.T) {
+	clk := clock.NewVirtual(time.Unix(0, 0))
+	l := NewResponderList(0, nil, WithClock(clk),
+		WithHealthPolicy(2, time.Second, 8*time.Second))
+	l.Observe("x")
+	l.Fail("x")
+	l.Fail("x")
+	if !l.Suspected("x") {
+		t.Fatal("not suspected")
+	}
+	l.Success("x")
+	if l.Suspected("x") {
+		t.Fatal("success did not clear suspicion")
+	}
+	// Health fully reset: the next failure starts from zero again.
+	l.Fail("x")
+	if l.Suspected("x") {
+		t.Fatal("fail count not reset by success")
+	}
+	// Re-observing is also evidence of life.
+	l.Fail("x")
+	if !l.Suspected("x") {
+		t.Fatal("setup: should be suspected")
+	}
+	l.Observe("x")
+	if l.Suspected("x") {
+		t.Fatal("observe did not clear suspicion")
+	}
+}
+
+func TestFailUnknownAddrIsNoop(t *testing.T) {
+	l := NewResponderList(0, nil)
+	l.Fail("ghost")
+	l.Success("ghost")
+	if l.Len() != 0 {
+		t.Fatal("health ops created entries")
 	}
 }

@@ -9,6 +9,7 @@ import (
 	"tiamat/internal/baselines/replica"
 	"tiamat/internal/core"
 	"tiamat/lease"
+	"tiamat/trace"
 	"tiamat/transport/memnet"
 	"tiamat/tuple"
 	"tiamat/wire"
@@ -78,6 +79,7 @@ func E2ResponderList(scale Scale) (*Table, error) {
 		Title:   "responder-list cache vs per-operation multicast (§3.1.3)",
 		Columns: []string{"churn/10ops", "strategy", "multicasts/op", "unicasts/op", "total msgs/op", "found%"},
 	}
+	var chaosRetries, chaosDedups int64
 	for _, churn := range churns {
 		for _, disable := range []bool{false, true} {
 			c, err := newCluster(clusterOpts{
@@ -120,6 +122,8 @@ func E2ResponderList(scale Scale) (*Table, error) {
 			}
 			time.Sleep(50 * time.Millisecond) // let straggler replies land
 			d := c.met.Diff(base)
+			chaosRetries += d[trace.CtrRetries]
+			chaosDedups += d[trace.CtrDedupDrops]
 			name := "cached list"
 			if disable {
 				name = "multicast always"
@@ -134,6 +138,7 @@ func E2ResponderList(scale Scale) (*Table, error) {
 		}
 	}
 	t.AddNote("cached list answers from the top of the list after the first discovery; multicast-always pays a full broadcast (and %d replies) every operation", nodes-1)
+	chaosSummary(t, chaosRetries, chaosDedups)
 	return t, nil
 }
 

@@ -170,6 +170,7 @@ func E9Availability(scale Scale) (*Table, error) {
 		t.AddRow(ph.name, pct(cOut), pct(cRd), pct(tOut), pct(tRd))
 	}
 	t.AddNote("during the partition the central client cannot even store data it produced itself; the Tiamat node keeps full local service and re-joins the logical space when visibility returns")
+	chaosSummary(t, c.met.Get(trace.CtrRetries), c.met.Get(trace.CtrDedupDrops))
 	return t, nil
 }
 
@@ -191,6 +192,7 @@ func E10Churn(scale Scale) (*Table, error) {
 		Title:   "goodput under churn: opportunistic vs explicit sessions (§2.3)",
 		Columns: []string{"churn events", "system", "wall time", "ops/s"},
 	}
+	var chaosRetries, chaosDedups int64
 	for _, churn := range churnRates {
 		// Tiamat: visibility flips cost nothing; ops are local+visible.
 		c, err := newCluster(clusterOpts{n: nodes})
@@ -217,6 +219,8 @@ func E10Churn(scale Scale) (*Table, error) {
 		}
 		tiWall := time.Since(start)
 		tiOps := float64(doneOps) / tiWall.Seconds()
+		chaosRetries += c.met.Get(trace.CtrRetries)
+		chaosDedups += c.met.Get(trace.CtrDedupDrops)
 		c.close()
 
 		// Explicit sessions: every churn event forces one host through an
@@ -259,5 +263,6 @@ func E10Churn(scale Scale) (*Table, error) {
 		t.AddRow(fmtI(int64(churn)), "explicit sessions", fmtD(fWall), fmtF(fOps))
 	}
 	t.AddNote("each explicit-session churn event holds the global engagement lock for 2×RTT (%v); the opportunistic model treats the same visibility flips as free", rtt)
+	chaosSummary(t, chaosRetries, chaosDedups)
 	return t, nil
 }

@@ -102,6 +102,33 @@ type clusterOpts struct {
 	netOpts []memnet.Option
 }
 
+// chaosFaults, when non-nil, is injected into every cluster built by
+// newCluster so the experiments run over a lossy, duplicating,
+// reordering network. cmd/tiamat-bench sets it via -chaos.
+var chaosFaults *memnet.Faults
+
+// SetChaos enables (or, with nil, disables) fault injection for
+// subsequently built clusters.
+func SetChaos(f *memnet.Faults) { chaosFaults = f }
+
+// DefaultChaos is the fault mix -chaos applies: enough loss and
+// duplication to exercise every retry and dedup path without drowning
+// the experiments.
+func DefaultChaos() memnet.Faults {
+	return memnet.Faults{Loss: 0.1, Dup: 0.1, Reorder: 0.2}
+}
+
+// chaosSummary records the recovery work done under -chaos so tables
+// show the retry/dedup machinery earning its keep. No-op otherwise.
+func chaosSummary(t *Table, retries, dedups int64) {
+	f := chaosFaults
+	if f == nil {
+		return
+	}
+	t.AddNote("chaos: loss=%.2f dup=%.2f reorder=%.2f — %d retransmissions, %d duplicate frames suppressed",
+		f.Loss, f.Dup, f.Reorder, retries, dedups)
+}
+
 func addr(i int) wire.Addr { return wire.Addr(fmt.Sprintf("n%02d", i)) }
 
 func newCluster(o clusterOpts) (*cluster, error) {
@@ -111,6 +138,9 @@ func newCluster(o clusterOpts) (*cluster, error) {
 		clk = o.virtual
 	}
 	opts := append([]memnet.Option{memnet.WithClock(clk), memnet.WithMetrics(met)}, o.netOpts...)
+	if chaosFaults != nil {
+		opts = append(opts, memnet.WithFaults(*chaosFaults), memnet.WithSeed(7))
+	}
 	net := memnet.New(opts...)
 	c := &cluster{clk: clk, net: net, met: met}
 	for i := 0; i < o.n; i++ {
@@ -120,6 +150,12 @@ func newCluster(o clusterOpts) (*cluster, error) {
 			return nil, err
 		}
 		cfg := core.Config{Endpoint: ep, Clock: clk, Metrics: met}
+		if chaosFaults != nil {
+			// Tight retry timers keep chaos runs within experiment
+			// wall-time budgets; defaults target real networks.
+			cfg.ContactTimeout = 30 * time.Millisecond
+			cfg.RetryBackoff = 10 * time.Millisecond
+		}
 		if o.mutate != nil {
 			o.mutate(i, &cfg)
 		}

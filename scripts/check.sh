@@ -1,0 +1,20 @@
+#!/bin/sh
+# check.sh — the full pre-merge gate: vet, unit tests, and the race
+# detector over everything (including the chaos suite, which runs real
+# instances over a faulty network on the wall clock).
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> go test ./..."
+go test ./...
+
+echo "==> go test -race ./..."
+go test -race ./...
+
+echo "OK"

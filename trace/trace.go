@@ -116,6 +116,14 @@ const (
 	CtrMulticasts     = "net.multicasts"
 	CtrMulticastRecvs = "net.multicast_recvs"
 	CtrUnicasts       = "net.unicasts"
+	CtrRetries        = "net.retries"
+	CtrCorruptFrames  = "net.corrupt_frames"
+	CtrDedupDrops     = "net.dedup_drops"
+
+	// Fault-injection counters (simulated network chaos knobs).
+	CtrChaosDups     = "chaos.dups"
+	CtrChaosReorders = "chaos.reorders"
+	CtrChaosCorrupts = "chaos.corrupts"
 
 	CtrOpsOut       = "ops.out"
 	CtrOpsEval      = "ops.eval"
@@ -132,6 +140,8 @@ const (
 	CtrDiscoverRounds = "disc.rounds"
 	CtrListHits       = "disc.list_hits"
 	CtrListEvictions  = "disc.list_evictions"
+	CtrSuspicions     = "disc.suspicions"
+	CtrSuspectSkips   = "disc.suspect_skips"
 
 	CtrTuplesStored     = "store.tuples_stored"
 	CtrTuplesTaken      = "store.tuples_taken"

@@ -2,8 +2,14 @@
 // suite and the experiment harness. It models exactly what the paper's
 // pervasive environment provides: a mutable, symmetric, non-transitive
 // visibility relation between instances (paper Figure 1), multicast that
-// reaches only currently visible instances, optional per-message latency
-// and loss, node departure/arrival (churn), and message/byte accounting.
+// reaches only currently visible instances, node departure/arrival
+// (churn), and message/byte accounting.
+//
+// Beyond plain loss and latency, the network exposes a full
+// fault-injection surface (Faults): per-message duplication, reordering,
+// payload corruption, and latency jitter, each settable globally or per
+// visibility edge. Chaos tests drive these knobs to verify the protocol's
+// at-least-once + idempotent-handler delivery semantics.
 package memnet
 
 import (
@@ -22,18 +28,41 @@ import (
 // mirroring a saturated radio.
 const inboxSize = 4096
 
+// Faults describes the failure behaviour injected on a link: independent
+// per-message probabilities plus delivery timing. The zero value is a
+// perfect link (synchronous, lossless delivery).
+type Faults struct {
+	// Loss is the independent per-message drop probability.
+	Loss float64
+	// Dup is the probability a message is delivered twice.
+	Dup float64
+	// Reorder is the probability a message is held back and delivered
+	// after a subsequently sent message (or after a short flush delay if
+	// no later traffic arrives).
+	Reorder float64
+	// Corrupt is the probability a random bit of the encoded frame is
+	// flipped in transit. Receivers detect this via the wire checksum and
+	// drop the frame, so corruption degrades to loss — but exercises the
+	// validation path.
+	Corrupt float64
+	// Latency is the fixed one-way delivery latency.
+	Latency time.Duration
+	// Jitter adds a uniform random [0,Jitter) to each delivery.
+	Jitter time.Duration
+}
+
 // Network is a simulated broadcast domain.
 type Network struct {
 	clk clock.Clock
 	met *trace.Metrics
 
-	mu      sync.Mutex
-	rng     *rand.Rand
-	nodes   map[wire.Addr]*node
-	vis     map[edge]bool
-	latency time.Duration
-	loss    float64
-	closed  bool
+	mu         sync.Mutex
+	rng        *rand.Rand
+	nodes      map[wire.Addr]*node
+	vis        map[edge]bool
+	faults     Faults
+	edgeFaults map[edge]Faults
+	closed     bool
 }
 
 type edge struct{ a, b wire.Addr }
@@ -49,7 +78,14 @@ type node struct {
 	net    *Network
 	addr   wire.Addr
 	inbox  chan *wire.Message
+	held   []heldFrame // reorder holdback, flushed behind later traffic
 	closed bool
+}
+
+// heldFrame is a frame parked by reorder injection.
+type heldFrame struct {
+	data []byte
+	lat  time.Duration
 }
 
 var _ transport.Endpoint = (*node)(nil)
@@ -65,10 +101,13 @@ func WithMetrics(m *trace.Metrics) Option { return func(n *Network) { n.met = m 
 
 // WithLatency sets a fixed one-way delivery latency (default 0:
 // synchronous delivery).
-func WithLatency(d time.Duration) Option { return func(n *Network) { n.latency = d } }
+func WithLatency(d time.Duration) Option { return func(n *Network) { n.faults.Latency = d } }
 
 // WithLoss sets an independent per-message drop probability.
-func WithLoss(p float64) Option { return func(n *Network) { n.loss = p } }
+func WithLoss(p float64) Option { return func(n *Network) { n.faults.Loss = p } }
+
+// WithFaults sets the whole default fault plan.
+func WithFaults(f Faults) Option { return func(n *Network) { n.faults = f } }
 
 // WithSeed seeds the loss/jitter PRNG (default 1).
 func WithSeed(seed int64) Option {
@@ -78,11 +117,12 @@ func WithSeed(seed int64) Option {
 // New returns an empty network.
 func New(opts ...Option) *Network {
 	n := &Network{
-		clk:   clock.Real{},
-		met:   &trace.Metrics{},
-		rng:   rand.New(rand.NewSource(1)),
-		nodes: make(map[wire.Addr]*node),
-		vis:   make(map[edge]bool),
+		clk:        clock.Real{},
+		met:        &trace.Metrics{},
+		rng:        rand.New(rand.NewSource(1)),
+		nodes:      make(map[wire.Addr]*node),
+		vis:        make(map[edge]bool),
+		edgeFaults: make(map[edge]Faults),
 	}
 	for _, o := range opts {
 		o(n)
@@ -178,14 +218,57 @@ func (n *Network) Partition(groups ...[]wire.Addr) {
 func (n *Network) SetLoss(p float64) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	n.loss = p
+	n.faults.Loss = p
 }
 
 // SetLatency changes the one-way delivery latency at runtime.
 func (n *Network) SetLatency(d time.Duration) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	n.latency = d
+	n.faults.Latency = d
+}
+
+// SetFaults replaces the default fault plan applied to every link that
+// has no per-edge override.
+func (n *Network) SetFaults(f Faults) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.faults = f
+}
+
+// Faults returns the current default fault plan.
+func (n *Network) Faults() Faults {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.faults
+}
+
+// SetEdgeFaults overrides the fault plan for the (symmetric) edge a<->b,
+// modelling one bad link in an otherwise healthy neighbourhood.
+func (n *Network) SetEdgeFaults(a, b wire.Addr, f Faults) {
+	if a == b {
+		return
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.edgeFaults[mkEdge(a, b)] = f
+}
+
+// ClearEdgeFaults removes the per-edge override for a<->b; the default
+// plan applies again.
+func (n *Network) ClearEdgeFaults(a, b wire.Addr) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.edgeFaults, mkEdge(a, b))
+}
+
+// faultsForLocked returns the plan governing the a->b transmission.
+// Callers must hold n.mu.
+func (n *Network) faultsForLocked(a, b wire.Addr) Faults {
+	if f, ok := n.edgeFaults[mkEdge(a, b)]; ok {
+		return f
+	}
+	return n.faults
 }
 
 // Neighbors returns the addresses currently visible from a, in
@@ -317,14 +400,9 @@ func (nd *node) Send(to wire.Addr, m *wire.Message) error {
 	n.met.Inc(trace.CtrMsgsSent)
 	n.met.Inc(trace.CtrUnicasts)
 	n.met.Add(trace.CtrBytesSent, int64(len(data)))
-	drop := n.loss > 0 && n.rng.Float64() < n.loss
-	lat := n.latency
+	f := n.faultsForLocked(nd.addr, to)
 	n.mu.Unlock()
-	if drop {
-		n.met.Inc(trace.CtrMsgsDropped)
-		return nil // loss is silent, like the real world
-	}
-	n.deliver(dst, data, lat)
+	n.transmit(dst, data, f)
 	return nil
 }
 
@@ -340,35 +418,112 @@ func (nd *node) Multicast(m *wire.Message) (int, error) {
 	neighbors := n.neighborsLocked(nd.addr)
 	n.met.Inc(trace.CtrMulticasts)
 	n.met.Add(trace.CtrBytesSent, int64(len(data)))
-	lat := n.latency
 	type target struct {
-		nd   *node
-		drop bool
+		nd *node
+		f  Faults
 	}
 	targets := make([]target, 0, len(neighbors))
 	for _, a := range neighbors {
-		dst := n.nodes[a]
-		drop := n.loss > 0 && n.rng.Float64() < n.loss
-		targets = append(targets, target{dst, drop})
+		targets = append(targets, target{n.nodes[a], n.faultsForLocked(nd.addr, a)})
 	}
 	n.mu.Unlock()
 	for _, tg := range targets {
-		if tg.drop {
-			n.met.Inc(trace.CtrMsgsDropped)
-			continue
+		if n.transmit(tg.nd, data, tg.f) {
+			n.met.Inc(trace.CtrMulticastRecvs)
 		}
-		n.met.Inc(trace.CtrMulticastRecvs)
-		n.deliver(tg.nd, data, lat)
 	}
 	return len(targets), nil
 }
 
+// transmit runs one frame through the link's fault plan: corruption,
+// loss, duplication, reordering, and latency+jitter. It reports whether
+// the primary copy was put on its way to dst (false only for loss).
+func (n *Network) transmit(dst *node, data []byte, f Faults) bool {
+	if f.Corrupt > 0 && n.chance(f.Corrupt) {
+		// Flip one bit of a private copy so multicast siblings and
+		// duplicate deliveries of the same frame are unaffected.
+		data = append([]byte(nil), data...)
+		pos := n.intn(len(data) * 8)
+		data[pos/8] ^= 1 << (pos % 8)
+		n.met.Inc(trace.CtrChaosCorrupts)
+	}
+	if f.Loss > 0 && n.chance(f.Loss) {
+		n.met.Inc(trace.CtrMsgsDropped)
+		return false // loss is silent, like the real world
+	}
+	lat := f.Latency + n.jitter(f.Jitter)
+	if f.Dup > 0 && n.chance(f.Dup) {
+		n.met.Inc(trace.CtrChaosDups)
+		n.deliver(dst, data, f.Latency+n.jitter(f.Jitter))
+	}
+	if f.Reorder > 0 && n.chance(f.Reorder) {
+		n.holdBack(dst, data, lat, f)
+		return true
+	}
+	n.deliver(dst, data, lat)
+	n.flushHeld(dst)
+	return true
+}
+
+// holdBack parks a frame so it is delivered behind the next frame sent
+// to dst, or after a short flush delay if no later traffic arrives.
+func (n *Network) holdBack(dst *node, data []byte, lat time.Duration, f Faults) {
+	n.mu.Lock()
+	if dst.closed {
+		n.mu.Unlock()
+		n.met.Inc(trace.CtrMsgsDropped)
+		return
+	}
+	dst.held = append(dst.held, heldFrame{data: data, lat: lat})
+	n.mu.Unlock()
+	n.met.Inc(trace.CtrChaosReorders)
+	flushAfter := f.Latency + f.Jitter + time.Millisecond
+	n.clk.AfterFunc(flushAfter, func() { n.flushHeld(dst) })
+}
+
+// flushHeld releases any parked frames for dst.
+func (n *Network) flushHeld(dst *node) {
+	n.mu.Lock()
+	held := dst.held
+	dst.held = nil
+	n.mu.Unlock()
+	for _, h := range held {
+		n.deliver(dst, h.data, h.lat)
+	}
+}
+
+// chance reports a Bernoulli trial against the network PRNG.
+func (n *Network) chance(p float64) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.rng.Float64() < p
+}
+
+// intn draws a uniform int in [0,k) from the network PRNG.
+func (n *Network) intn(k int) int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.rng.Intn(k)
+}
+
+// jitter draws a uniform duration in [0,d).
+func (n *Network) jitter(d time.Duration) time.Duration {
+	if d <= 0 {
+		return 0
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return time.Duration(n.rng.Int63n(int64(d)))
+}
+
 // deliver decodes and enqueues the frame, after the configured latency.
+// Validation happens here, at the receiving edge: a frame corrupted in
+// transit fails its checksum and is counted and dropped, exactly as the
+// real transport does.
 func (n *Network) deliver(dst *node, data []byte, lat time.Duration) {
 	msg, err := wire.Decode(data)
 	if err != nil {
-		// A frame we encoded must decode; failure is a programming error
-		// surfaced as a dropped message rather than a panic in transit.
+		n.met.Inc(trace.CtrCorruptFrames)
 		n.met.Inc(trace.CtrMsgsDropped)
 		return
 	}

@@ -379,3 +379,142 @@ func TestMetricsAccessorAndInboxOverflow(t *testing.T) {
 		t.Fatalf("drops = %d, want >= 10", n.Metrics().Get(trace.CtrMsgsDropped))
 	}
 }
+
+// --- fault injection -----------------------------------------------------
+
+func TestDuplicationDeliversTwice(t *testing.T) {
+	met := &trace.Metrics{}
+	n := New(WithMetrics(met), WithFaults(Faults{Dup: 1.0}))
+	defer n.Close()
+	a, _ := n.Attach("a")
+	b, _ := n.Attach("b")
+	n.SetVisible("a", "b", true)
+	if err := a.Send("b", disc("a", 1)); err != nil {
+		t.Fatal(err)
+	}
+	first := recvOne(t, b)
+	second := recvOne(t, b)
+	if first.ID != 1 || second.ID != 1 {
+		t.Fatalf("got %d and %d, want the same frame twice", first.ID, second.ID)
+	}
+	if met.Get(trace.CtrChaosDups) != 1 {
+		t.Fatalf("dups counter = %d", met.Get(trace.CtrChaosDups))
+	}
+}
+
+func TestCorruptionIsDetectedAndDropped(t *testing.T) {
+	met := &trace.Metrics{}
+	n := New(WithMetrics(met), WithFaults(Faults{Corrupt: 1.0}))
+	defer n.Close()
+	a, _ := n.Attach("a")
+	b, _ := n.Attach("b")
+	n.SetVisible("a", "b", true)
+	if err := a.Send("b", disc("a", 1)); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case m := <-b.Recv():
+		t.Fatalf("corrupt frame delivered: %+v", m)
+	case <-time.After(50 * time.Millisecond):
+	}
+	if met.Get(trace.CtrChaosCorrupts) != 1 || met.Get(trace.CtrCorruptFrames) != 1 {
+		t.Fatalf("corrupt counters = %d injected / %d rejected",
+			met.Get(trace.CtrChaosCorrupts), met.Get(trace.CtrCorruptFrames))
+	}
+}
+
+func TestReorderHoldsFrameBehindLaterTraffic(t *testing.T) {
+	met := &trace.Metrics{}
+	n := New(WithMetrics(met))
+	defer n.Close()
+	a, _ := n.Attach("a")
+	b, _ := n.Attach("b")
+	n.SetVisible("a", "b", true)
+	// Reorder exactly the first frame: set the knob, send, clear, send.
+	n.SetFaults(Faults{Reorder: 1.0})
+	if err := a.Send("b", disc("a", 1)); err != nil {
+		t.Fatal(err)
+	}
+	n.SetFaults(Faults{})
+	if err := a.Send("b", disc("a", 2)); err != nil {
+		t.Fatal(err)
+	}
+	first := recvOne(t, b)
+	second := recvOne(t, b)
+	if first.ID != 2 || second.ID != 1 {
+		t.Fatalf("delivery order = %d,%d, want 2,1", first.ID, second.ID)
+	}
+	if met.Get(trace.CtrChaosReorders) != 1 {
+		t.Fatalf("reorders counter = %d", met.Get(trace.CtrChaosReorders))
+	}
+}
+
+func TestReorderedFrameFlushesWithoutLaterTraffic(t *testing.T) {
+	n := New(WithFaults(Faults{Reorder: 1.0}))
+	defer n.Close()
+	a, _ := n.Attach("a")
+	b, _ := n.Attach("b")
+	n.SetVisible("a", "b", true)
+	if err := a.Send("b", disc("a", 1)); err != nil {
+		t.Fatal(err)
+	}
+	// No later traffic: the flush timer must still deliver the frame.
+	if m := recvOne(t, b); m.ID != 1 {
+		t.Fatalf("got %+v", m)
+	}
+}
+
+func TestPerEdgeFaultOverrides(t *testing.T) {
+	met := &trace.Metrics{}
+	n := New(WithMetrics(met))
+	defer n.Close()
+	a, _ := n.Attach("a")
+	b, _ := n.Attach("b")
+	c, _ := n.Attach("c")
+	_, _ = b, c
+	n.ConnectAll()
+	n.SetEdgeFaults("a", "b", Faults{Loss: 1.0})
+	// a->b is black-holed, a->c is untouched.
+	if err := a.Send("b", disc("a", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send("c", disc("a", 2)); err != nil {
+		t.Fatal(err)
+	}
+	if m := recvOne(t, c); m.ID != 2 {
+		t.Fatalf("got %+v", m)
+	}
+	select {
+	case m := <-b.Recv():
+		t.Fatalf("lossy edge delivered: %+v", m)
+	case <-time.After(50 * time.Millisecond):
+	}
+	n.ClearEdgeFaults("a", "b")
+	if err := a.Send("b", disc("a", 3)); err != nil {
+		t.Fatal(err)
+	}
+	if m := recvOne(t, b); m.ID != 3 {
+		t.Fatalf("after clear: got %+v", m)
+	}
+}
+
+func TestJitterDelaysDelivery(t *testing.T) {
+	clk := clock.NewVirtual(time.Unix(0, 0))
+	n := New(WithClock(clk), WithFaults(Faults{Latency: time.Millisecond, Jitter: 4 * time.Millisecond}))
+	defer n.Close()
+	a, _ := n.Attach("a")
+	b, _ := n.Attach("b")
+	n.SetVisible("a", "b", true)
+	if err := a.Send("b", disc("a", 1)); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case m := <-b.Recv():
+		t.Fatalf("delivered before time advanced: %+v", m)
+	default:
+	}
+	clk.Advance(5 * time.Millisecond) // latency + max jitter
+	if m := recvOne(t, b); m.ID != 1 {
+		t.Fatalf("got %+v", m)
+	}
+}

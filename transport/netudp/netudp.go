@@ -13,6 +13,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"sync"
 	"time"
@@ -44,6 +45,13 @@ type Config struct {
 	// StaticPeers are contact addresses probed on Multicast in addition
 	// to (or instead of) the multicast group.
 	StaticPeers []string
+	// SendAttempts bounds transmissions per Send call: the unicast path
+	// redials with exponential backoff before reporting the peer
+	// unreachable (default 3: one dial plus two retries).
+	SendAttempts int
+	// SendBackoff is the base pause before a redial; attempt k waits
+	// SendBackoff·2^(k-1) plus up to SendBackoff of jitter (default 50ms).
+	SendBackoff time.Duration
 	// Metrics receives transport counters (optional).
 	Metrics *trace.Metrics
 }
@@ -73,6 +81,12 @@ func New(cfg Config) (*Transport, error) {
 	}
 	if cfg.Metrics == nil {
 		cfg.Metrics = &trace.Metrics{}
+	}
+	if cfg.SendAttempts <= 0 {
+		cfg.SendAttempts = 3
+	}
+	if cfg.SendBackoff <= 0 {
+		cfg.SendBackoff = 50 * time.Millisecond
 	}
 	ln, err := net.Listen("tcp", cfg.Listen)
 	if err != nil {
@@ -137,30 +151,49 @@ func (t *Transport) isClosed() bool {
 }
 
 // Send implements transport.Endpoint: one TCP connection per frame, with
-// dial and write deadlines. Connection errors surface as ErrUnreachable
-// so the communications manager evicts the responder.
+// dial and write deadlines. A failed dial or write is retried with
+// exponential backoff up to SendAttempts times — transient listen-queue
+// drops and route flaps are common on the networks §5 targets — before
+// the peer is reported ErrUnreachable so the communications manager
+// evicts it.
 func (t *Transport) Send(to wire.Addr, m *wire.Message) error {
 	if t.isClosed() {
 		return transport.ErrClosed
 	}
-	conn, err := net.DialTimeout("tcp", string(to), dialTimeout)
-	if err != nil {
-		t.met.Inc(trace.CtrMsgsDropped)
-		return fmt.Errorf("%s: %v: %w", to, err, transport.ErrUnreachable)
-	}
-	defer conn.Close()
 	frame := wire.Encode(m)
 	buf := binary.AppendUvarint(nil, uint64(len(frame)))
 	buf = append(buf, frame...)
-	_ = conn.SetWriteDeadline(time.Now().Add(writeTimeout))
-	if _, err := conn.Write(buf); err != nil {
-		t.met.Inc(trace.CtrMsgsDropped)
-		return fmt.Errorf("%s: %v: %w", to, err, transport.ErrUnreachable)
+	var lastErr error
+	for attempt := 1; ; attempt++ {
+		lastErr = t.sendOnce(to, buf)
+		if lastErr == nil {
+			t.met.Inc(trace.CtrMsgsSent)
+			t.met.Inc(trace.CtrUnicasts)
+			t.met.Add(trace.CtrBytesSent, int64(len(buf)))
+			return nil
+		}
+		if attempt >= t.cfg.SendAttempts || t.isClosed() {
+			break
+		}
+		wait := t.cfg.SendBackoff << (attempt - 1)
+		wait += time.Duration(rand.Int63n(int64(t.cfg.SendBackoff)))
+		time.Sleep(wait)
+		t.met.Inc(trace.CtrRetries)
 	}
-	t.met.Inc(trace.CtrMsgsSent)
-	t.met.Inc(trace.CtrUnicasts)
-	t.met.Add(trace.CtrBytesSent, int64(len(buf)))
-	return nil
+	t.met.Inc(trace.CtrMsgsDropped)
+	return fmt.Errorf("%s: %v: %w", to, lastErr, transport.ErrUnreachable)
+}
+
+// sendOnce makes a single delivery attempt.
+func (t *Transport) sendOnce(to wire.Addr, buf []byte) error {
+	conn, err := net.DialTimeout("tcp", string(to), dialTimeout)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	_ = conn.SetWriteDeadline(time.Now().Add(writeTimeout))
+	_, err = conn.Write(buf)
+	return err
 }
 
 // Multicast implements transport.Endpoint. With a multicast group the
@@ -236,7 +269,11 @@ func (t *Transport) readFrames(conn net.Conn) {
 		}
 		m, err := wire.Decode(buf)
 		if err != nil {
-			continue // corrupt frame: skip, keep the connection
+			// Corrupt frame (checksum or structure): drop it, keep the
+			// connection — later frames are independent.
+			t.met.Inc(trace.CtrCorruptFrames)
+			t.met.Inc(trace.CtrMsgsDropped)
+			continue
 		}
 		t.enqueue(m)
 	}
@@ -259,6 +296,8 @@ func (t *Transport) udpLoop() {
 		}
 		m, err := wire.Decode(buf[:n])
 		if err != nil {
+			t.met.Inc(trace.CtrCorruptFrames)
+			t.met.Inc(trace.CtrMsgsDropped)
 			continue
 		}
 		if m.From == t.addr {

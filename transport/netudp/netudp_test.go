@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"tiamat/internal/core"
+	"tiamat/trace"
 	"tiamat/transport"
 	"tiamat/tuple"
 	"tiamat/wire"
@@ -299,5 +300,20 @@ func TestOversizedFrameClosesConnection(t *testing.T) {
 	one := make([]byte, 1)
 	if _, err := conn.Read(one); err == nil {
 		t.Fatal("connection still open after oversized frame")
+	}
+}
+
+func TestSendRetriesBeforeGivingUp(t *testing.T) {
+	a, err := New(Config{SendAttempts: 2, SendBackoff: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	err = a.Send("127.0.0.1:1", &wire.Message{Type: wire.TDiscover, ID: 1, From: a.Addr()})
+	if !errors.Is(err, transport.ErrUnreachable) {
+		t.Fatalf("err = %v", err)
+	}
+	if got := a.met.Get(trace.CtrRetries); got != 1 {
+		t.Fatalf("retries = %d, want 1", got)
 	}
 }

@@ -3,11 +3,17 @@
 // operation propagation, the first-responder-wins take protocol, direct
 // remote out/eval, and backbone relaying — is one of these messages.
 //
-// Frame layout (version 1):
+// Frame layout (version 2):
 //
-//	frame  := magic:2 version:1 type:1 id:uvarint from:str body
+//	frame  := magic:2 version:1 type:1 id:uvarint from:str body crc:4
 //	str    := len:uvarint bytes
 //	body   := type-specific fields (see each message's doc)
+//	crc    := IEEE CRC-32 of everything before it, little-endian
+//
+// The trailing checksum lets every receiver reject corrupted frames
+// instead of propagating garbage: a frame that decodes is a frame that
+// was received exactly as sent. Version 2 added the checksum; version 1
+// frames are rejected with ErrVersion.
 //
 // The encoding is deliberately self-contained and versioned so the real
 // UDP/TCP transport and the simulated network share one codec.
@@ -17,6 +23,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"time"
 
 	"tiamat/tuple"
@@ -27,7 +34,7 @@ import (
 type Addr string
 
 // version is the wire protocol version carried in every frame.
-const version = 1
+const version = 2
 
 // Type discriminates protocol messages.
 type Type uint8
@@ -174,6 +181,9 @@ var (
 	ErrFrame = errors.New("wire: malformed frame")
 	// ErrVersion reports an unsupported protocol version.
 	ErrVersion = errors.New("wire: unsupported version")
+	// ErrChecksum reports a frame whose CRC trailer does not match its
+	// contents: the frame was corrupted in transit.
+	ErrChecksum = errors.New("wire: checksum mismatch")
 )
 
 const (
@@ -220,10 +230,11 @@ func Encode(m *Message) []byte {
 		b = binary.AppendUvarint(b, uint64(len(m.Payload)))
 		b = append(b, m.Payload...)
 	}
-	return b
+	return binary.LittleEndian.AppendUint32(b, crc32.ChecksumIEEE(b))
 }
 
-// Decode parses a frame. The entire buffer must be consumed.
+// Decode parses a frame, verifying its checksum. The entire buffer must
+// be consumed.
 func Decode(data []byte) (*Message, error) {
 	if len(data) < 4 {
 		return nil, fmt.Errorf("short frame (%d bytes): %w", len(data), ErrFrame)
@@ -234,11 +245,18 @@ func Decode(data []byte) (*Message, error) {
 	if data[2] != version {
 		return nil, fmt.Errorf("version %d: %w", data[2], ErrVersion)
 	}
+	if len(data) < 8 {
+		return nil, fmt.Errorf("short frame (%d bytes): %w", len(data), ErrFrame)
+	}
+	body, trailer := data[:len(data)-4], data[len(data)-4:]
+	if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(trailer) {
+		return nil, ErrChecksum
+	}
 	m := &Message{Type: Type(data[3])}
 	if m.Type == TInvalid || m.Type > TRelay {
 		return nil, fmt.Errorf("type %d: %w", data[3], ErrFrame)
 	}
-	src := data[4:]
+	src := body[4:]
 	var err error
 	if m.ID, src, err = readUvarint(src); err != nil {
 		return nil, fmt.Errorf("id: %w", err)

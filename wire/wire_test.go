@@ -113,6 +113,27 @@ func TestDecodeErrors(t *testing.T) {
 	}
 }
 
+func TestDecodeRejectsCorruptFrames(t *testing.T) {
+	// Any single-byte corruption anywhere in the frame must be caught by
+	// the CRC trailer (or an earlier structural check) — never decoded
+	// into a different message.
+	m := &Message{Type: TResult, ID: 42, From: "node-7", Found: true, HoldID: 3,
+		Tuple: tuple.T(tuple.String("req"), tuple.Int(99))}
+	good := Encode(m)
+	for i := range good {
+		bad := append([]byte(nil), good...)
+		bad[i] ^= 0x55
+		if _, err := Decode(bad); err == nil {
+			t.Fatalf("corruption at byte %d accepted", i)
+		}
+	}
+	flipped := append([]byte(nil), good...)
+	flipped[len(flipped)-1] ^= 0xFF
+	if _, err := Decode(flipped); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("trailer corruption: err = %v, want ErrChecksum", err)
+	}
+}
+
 func TestDecodeBadOpCode(t *testing.T) {
 	m := &Message{Type: TOp, ID: 1, From: "a", Op: OpRd, TTL: time.Second,
 		Template: tuple.Tmpl(tuple.Any())}

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench chaos
+.PHONY: build test check bench bench-json chaos
 
 build:
 	$(GO) build ./...
@@ -10,11 +10,20 @@ test:
 
 # check is the pre-merge gate: vet + tests + race detector (includes
 # the chaos suite in internal/core, which takes seconds of wall time).
+# The benchdiff step is advisory (leading -): perf regressions are
+# reported against the last two BENCH_*.json baselines but don't block.
 check:
 	./scripts/check.sh
+	-./scripts/benchdiff.sh
 
 bench:
 	$(GO) run ./cmd/tiamat-bench -quick
+
+# bench-json records a machine-readable benchmark baseline at the next
+# free BENCH_<n>.json (see scripts/bench-json.sh; BENCH_INDEX=n
+# overwrites a specific baseline).
+bench-json:
+	./scripts/bench-json.sh
 
 # chaos runs the fault-injection benchmarks: E2/E9/E10 over a lossy,
 # duplicating, reordering network, reporting retry/dedup counters.

@@ -4,19 +4,24 @@
 //
 // Usage:
 //
-//	tiamat-bench [-quick] [-chaos] [id ...]
+//	tiamat-bench [-quick] [-chaos] [-cpuprofile f] [-memprofile f] [id ...]
 //
 // With no ids, every experiment runs. Ids: E1 E2 E3 E4 E5 E6 E7 E8 E9
 // E10 T1 T2 X1 X2. -chaos injects loss, duplication, and reordering
 // into the simulated network so the experiments (E2/E9/E10 in
 // particular) exercise the retry and dedup machinery; affected tables
 // report the retransmission and duplicate-suppression counts.
+// -cpuprofile and -memprofile write pprof profiles covering the selected
+// experiments, for digging into hot paths the BENCH_*.json numbers
+// surface.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -30,10 +35,46 @@ type experiment struct {
 }
 
 func main() {
+	// The body lives in run so the profile-writing defers execute before
+	// the process exits.
+	os.Exit(run())
+}
+
+func run() int {
 	quick := flag.Bool("quick", false, "run reduced-scale experiments")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	chaos := flag.Bool("chaos", false, "inject loss/duplication/reordering into the simulated network")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the experiment run to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile after the experiment run to this file")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // report live allocations, not transient garbage
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			}
+		}()
+	}
 
 	if *chaos {
 		f := harness.DefaultChaos()
@@ -63,7 +104,7 @@ func main() {
 		for _, e := range experiments {
 			fmt.Printf("%-4s %s\n", e.id, e.desc)
 		}
-		return
+		return 0
 	}
 
 	want := map[string]bool{}
@@ -91,6 +132,7 @@ func main() {
 		fmt.Printf("  (%s completed in %v)\n\n", e.id, time.Since(start).Round(time.Millisecond))
 	}
 	if failed {
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }

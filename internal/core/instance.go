@@ -121,6 +121,13 @@ type Config struct {
 	// HoldGrace is how long a responder keeps a tentative removal alive
 	// past the op TTL before reinstating it (default 2s).
 	HoldGrace time.Duration
+	// DedupTTL is how long cached replies to remote requests are kept for
+	// duplicate suppression. It only has to outlast a requester's
+	// retransmission window (seconds), so expiring entries bounds the
+	// cache on long-lived responders even below the size cap. 0 selects
+	// the default 30s; negative disables expiry (size bound still
+	// applies).
+	DedupTTL time.Duration
 	// ContactTimeout is how long the communications manager waits for a
 	// contacted responder's reply before retransmitting (default 250ms).
 	ContactTimeout time.Duration
@@ -178,6 +185,9 @@ func (c *Config) applyDefaults() {
 	if c.HoldGrace <= 0 {
 		c.HoldGrace = 2 * time.Second
 	}
+	if c.DedupTTL == 0 {
+		c.DedupTTL = 30 * time.Second
+	}
 	if c.ContactTimeout <= 0 {
 		c.ContactTimeout = 250 * time.Millisecond
 	}
@@ -220,8 +230,11 @@ type Instance struct {
 	// (requester, op ID). Retransmitted or duplicated frames are answered
 	// from the cache instead of re-executed: at-least-once delivery plus
 	// idempotent handlers yields effectively-once semantics (§3.1.3).
-	served      map[waitKey]*wire.Message
-	servedOrder []waitKey // FIFO eviction order for served
+	// Entries expire after cfg.DedupTTL and the cache is size-bounded;
+	// see recordServed.
+	served      map[waitKey]servedReply
+	servedOrder []servedRef // FIFO eviction order for served
+	servedSeq   uint64      // stamps entries so refs track re-recordings
 	// accepted records holds this instance has accepted, so a late
 	// duplicate result never triggers a release that could overtake the
 	// accept and reinstate a taken tuple.
@@ -268,7 +281,7 @@ func New(cfg Config) (*Instance, error) {
 		holds:      make(map[uint64]*pendingHold),
 		waits:      make(map[waitKey]*remoteWait),
 		announces:  make(map[uint64]chan SpaceInfo),
-		served:     make(map[waitKey]*wire.Message),
+		served:     make(map[waitKey]servedReply),
 		accepted:   make(map[acceptKey]bool),
 		outBySid:   make(map[uint64]*lease.Lease),
 		sidByLease: make(map[uint64]uint64),

@@ -35,21 +35,64 @@ type pendingHold struct {
 // instance keeps every live entry.
 const servedCacheMax = 4096
 
+// servedReply is a cached reply plus the metadata bounding its life: the
+// record time for cfg.DedupTTL expiry, and a sequence stamp so eviction
+// refs can tell whether the entry under their key is still the one they
+// enqueued (settleHold deletes entries out of band and the key may be
+// re-recorded afterwards; without the stamp the stale ref would evict
+// the fresh entry early).
+type servedReply struct {
+	msg *wire.Message
+	at  time.Time
+	seq uint64
+}
+
+// servedRef is one FIFO eviction-order slot.
+type servedRef struct {
+	key waitKey
+	seq uint64
+}
+
 // recordServed caches the reply sent for a remote request so a
 // retransmitted or duplicated frame is answered identically instead of
 // re-executed (at-least-once delivery + idempotent handlers, §3.1.3).
+// The cache is bounded two ways: entries older than cfg.DedupTTL are
+// swept on every insert, and the size cap evicts the oldest beyond
+// servedCacheMax — so a long-lived responder's memory is bounded by
+// min(cap, request rate × TTL).
 func (i *Instance) recordServed(key waitKey, m *wire.Message) {
+	now := i.clk.Now()
 	i.mu.Lock()
 	defer i.mu.Unlock()
-	if _, ok := i.served[key]; !ok {
-		i.servedOrder = append(i.servedOrder, key)
-		if len(i.servedOrder) > servedCacheMax {
-			old := i.servedOrder[0]
-			i.servedOrder = i.servedOrder[1:]
-			delete(i.served, old)
+	i.servedSeq++
+	i.served[key] = servedReply{msg: m, at: now, seq: i.servedSeq}
+	i.servedOrder = append(i.servedOrder, servedRef{key: key, seq: i.servedSeq})
+	for len(i.servedOrder) > 0 {
+		ref := i.servedOrder[0]
+		r, live := i.served[ref.key]
+		if live && r.seq == ref.seq {
+			expired := i.cfg.DedupTTL > 0 && now.Sub(r.at) > i.cfg.DedupTTL
+			if len(i.servedOrder) <= servedCacheMax && !expired {
+				break // oldest entry is live and fresh; the rest are fresher
+			}
+			delete(i.served, ref.key)
 		}
+		i.servedOrder = i.servedOrder[1:]
 	}
-	i.served[key] = m
+}
+
+// servedLookupLocked returns the cached reply for key, treating expired
+// entries as misses. now is sampled outside i.mu by the caller.
+func (i *Instance) servedLookupLocked(key waitKey, now time.Time) *wire.Message {
+	r, ok := i.served[key]
+	if !ok {
+		return nil
+	}
+	if i.cfg.DedupTTL > 0 && now.Sub(r.at) > i.cfg.DedupTTL {
+		delete(i.served, key)
+		return nil
+	}
+	return r.msg
 }
 
 // rememberAccepted records that this instance accepted a hold, so late
@@ -118,8 +161,9 @@ func (i *Instance) handleOp(m *wire.Message) {
 	// the same request is still registered) instead of re-executing —
 	// re-execution of a take would remove a second tuple.
 	key := waitKey{from: m.From, id: m.ID}
+	now := i.clk.Now()
 	i.mu.Lock()
-	cached := i.served[key]
+	cached := i.servedLookupLocked(key, now)
 	_, waiting := i.waits[key]
 	i.mu.Unlock()
 	if cached != nil {
@@ -305,7 +349,7 @@ func (i *Instance) settleHold(id uint64, accept bool) {
 			// The tuple goes back into the space, so the cached found
 			// reply naming this hold must never be replayed: a
 			// retransmitted request re-executes and takes it afresh.
-			if r := i.served[ph.key]; r != nil && r.HoldID == id {
+			if r, ok := i.served[ph.key]; ok && r.msg.HoldID == id {
 				delete(i.served, ph.key)
 			}
 		}
@@ -389,8 +433,9 @@ func (i *Instance) handleRemoteOut(m *wire.Message) {
 
 // resendServed replays the cached reply for a duplicated request, if any.
 func (i *Instance) resendServed(key waitKey) bool {
+	now := i.clk.Now()
 	i.mu.Lock()
-	cached := i.served[key]
+	cached := i.servedLookupLocked(key, now)
 	i.mu.Unlock()
 	if cached == nil {
 		return false
@@ -449,7 +494,9 @@ func (i *Instance) handleRemoteEval(m *wire.Message) {
 // handleRelay forwards an encapsulated frame to its target (backbone
 // routing, §6 extension). Forwarding is best-effort.
 func (i *Instance) handleRelay(m *wire.Message) {
-	inner, err := wire.Decode(m.Payload)
+	// The payload buffer belongs to this message alone, so the inner
+	// frame may alias it instead of re-copying every field.
+	inner, err := wire.DecodeNoCopy(m.Payload)
 	if err != nil {
 		return
 	}

@@ -1,15 +1,42 @@
 // Package store is the default local tuple space (paper §3.1.2): a
-// lease-aware, arity-indexed, concurrency-safe implementation of the
+// lease-aware, sharded, concurrency-safe implementation of the
 // space.Space contract with blocking waiters, tentative holds for the
 // distributed take protocol, and a janitor that reclaims tuples whose out
 // leases have expired.
+//
+// # Sharding
+//
+// The space is partitioned into shards so that concurrent operations on
+// disjoint tag classes never contend on one lock. A tuple whose first
+// field is a string (the conventional type tag) lives in the shard chosen
+// by hashing its (arity, tag) key; every other tuple lives in a dedicated
+// scan shard. Template routing follows the matching rules:
+//
+//   - first field is an actual string  → exactly one tag shard
+//   - first field is an actual non-string, or arity 0 → the scan shard
+//     (a string-lead tuple can never match such a template)
+//   - first field is a formal/Any      → all shards
+//
+// Blocking waiters are indexed by (arity, tag) within their shard, so an
+// Out wakes only plausible matches instead of scanning every same-arity
+// waiter. Waiters for formal-lead templates go on a small global list
+// consulted by every Out; an atomic counter lets the common case (no such
+// waiter) skip the global lock entirely. Wildcard registration is made
+// race-free by registering first and scanning the shards second: an Out
+// that misses the registration stores its tuple before the scan can
+// reach that shard's lock, and an Out that sees it delivers directly —
+// settlement is a per-waiter CAS, so the two paths cannot double-serve.
 package store
 
 import (
 	"container/heap"
 	"errors"
+	"hash/maphash"
+	"math/bits"
 	"math/rand"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"tiamat/clock"
@@ -23,36 +50,73 @@ var ErrClosed = errors.New("store: closed")
 
 // Store implements space.Space.
 type Store struct {
-	clk clock.Clock
-	met *trace.Metrics
+	clk  clock.Clock
+	met  *trace.Metrics
+	seed int64
 	// onRemove, if set, observes every finalised removal (take, accepted
 	// hold, explicit Remove, janitor reclaim) with the entry's storage
-	// id. It is always invoked without the store lock held.
+	// id. It is always invoked without any shard lock held.
 	onRemove func(id uint64)
+
+	// nTagShards is the number of tag shards (a power of two); the shard
+	// slice additionally holds the scan shard at index nTagShards.
+	nTagShards int
+	shardBits  uint // low bits of a storage id carrying the shard index
+	shards     []*shard
+
+	closed     atomic.Bool
+	waiterSeq  atomic.Uint64 // FIFO ordering across shard and global lists
+	scanCursor atomic.Uint64 // rotates the start shard of wildcard scans
+
+	// Global waiters: blocking templates whose first field is a formal,
+	// which can match tuples in any shard. nGlobal lets Out skip the
+	// global lock when the list is empty (the common case).
+	gmu      sync.Mutex
+	gwaiters []*waiter
+	nGlobal  atomic.Int64
+}
+
+var _ space.Space = (*Store)(nil)
+
+// shard is one independently locked partition of the space.
+type shard struct {
+	st  *Store
+	idx uint64
 
 	mu      sync.Mutex
 	rng     *rand.Rand
 	closed  bool
-	nextID  uint64
-	nextSeq uint64
+	nextSeq uint64 // per-shard entry counter; id = seq<<shardBits | idx
+	bytes   int64  // live footprint, maintained incrementally
 	byID    map[uint64]*entry
 	byArity map[int]map[uint64]*entry
-	// byTag indexes tuples whose first field is a string (the
-	// conventional type tag) for sublinear matching: most templates pin
-	// that field, so lookups scan only same-tag candidates.
 	byTag   map[tagKey]map[uint64]*entry
-	waiters map[int][]*waiter // FIFO per arity
+	// waiters indexes blocking interest by (arity, tag). Tag shards key
+	// by the full tag; the scan shard keys by arity alone (tag "").
+	waiters map[tagKey][]*waiter
 	expiry  expiryHeap
 	stopJan func() bool // pending janitor timer
 }
-
-var _ space.Space = (*Store)(nil)
 
 // tagKey identifies a (arity, leading string tag) index bucket.
 type tagKey struct {
 	arity int
 	tag   string
 }
+
+var tagHashSeed = maphash.MakeSeed()
+
+// shardOf maps a tag key to its tag shard index.
+func (s *Store) shardOf(tk tagKey) *shard {
+	var h maphash.Hash
+	h.SetSeed(tagHashSeed)
+	_, _ = h.WriteString(tk.tag)
+	_ = h.WriteByte(byte(tk.arity))
+	return s.shards[h.Sum64()&uint64(s.nTagShards-1)]
+}
+
+// scanShard returns the shard holding every tuple without a string tag.
+func (s *Store) scanShard() *shard { return s.shards[s.nTagShards] }
 
 // tagOfTuple returns the index key for a tuple, if it has one.
 func tagOfTuple(t tuple.Tuple) (tagKey, bool) {
@@ -87,20 +151,63 @@ func tagOfTemplate(p tuple.Template) (tagKey, bool) {
 	return tagKey{arity: p.Arity(), tag: s}, true
 }
 
+// Template routing classes (see package doc).
+const (
+	classPinned = iota // one tag shard
+	classScan          // the scan shard only
+	classGlobal        // all shards
+)
+
+// classify routes a template: the bucket key it waits under (pinned and
+// scan classes) and which shards its matches can live in.
+func classify(p tuple.Template) (tagKey, int) {
+	if p.Arity() == 0 {
+		return tagKey{}, classScan
+	}
+	f, err := p.Field(0)
+	if err != nil {
+		return tagKey{}, classScan
+	}
+	if f.Formal() {
+		return tagKey{}, classGlobal
+	}
+	if s, ok := f.StringValue(); ok {
+		return tagKey{arity: p.Arity(), tag: s}, classPinned
+	}
+	// Actual non-string lead: only scan-shard tuples can match.
+	return tagKey{arity: p.Arity()}, classScan
+}
+
+// waiterKeyOfTuple is the bucket an Out of t must wake: the tuple's tag
+// key in a tag shard, the arity-only key in the scan shard.
+func waiterKeyOfTuple(t tuple.Tuple) (tagKey, *shard, bool) {
+	if tk, ok := tagOfTuple(t); ok {
+		return tk, nil, true
+	}
+	return tagKey{arity: t.Arity()}, nil, false
+}
+
 type entry struct {
 	id     uint64
 	t      tuple.Tuple
+	size   int64     // cached t.Size() for byte accounting
 	expiry time.Time // zero = never
 	index  int       // position in expiry heap, -1 if absent
 }
 
+// waiter is a one-shot blocking interest. claimed settles the race
+// between delivery (an Out or the waiter's own registration scan) and
+// Cancel: exactly one claimant touches ch afterwards.
 type waiter struct {
-	seq    uint64
-	p      tuple.Template
-	remove bool
-	ch     chan tuple.Tuple
-	done   bool
+	seq     uint64
+	p       tuple.Template
+	remove  bool
+	ch      chan tuple.Tuple
+	claimed atomic.Bool
 }
+
+// claim reports whether the caller won settlement of this waiter.
+func (w *waiter) claim() bool { return w.claimed.CompareAndSwap(false, true) }
 
 // Option configures a Store.
 type Option func(*Store)
@@ -111,9 +218,17 @@ func WithClock(c clock.Clock) Option { return func(s *Store) { s.clk = c } }
 // WithMetrics attaches a metrics registry.
 func WithMetrics(m *trace.Metrics) Option { return func(s *Store) { s.met = m } }
 
-// WithSeed seeds the nondeterministic match selector (default 1).
+// WithSeed seeds the nondeterministic match selectors (default 1).
 func WithSeed(seed int64) Option {
-	return func(s *Store) { s.rng = rand.New(rand.NewSource(seed)) }
+	return func(s *Store) { s.seed = seed }
+}
+
+// WithShards sets the number of tag shards, rounded up to a power of two
+// and clamped to [1, 256]. The default scales with GOMAXPROCS. One extra
+// scan shard always exists for untagged tuples, so WithShards(1) is the
+// two-lock near-equivalent of the historical single-mutex store.
+func WithShards(n int) Option {
+	return func(s *Store) { s.nTagShards = n }
 }
 
 // WithRemovalHook observes finalised removals by storage id; the Tiamat
@@ -123,7 +238,7 @@ func WithRemovalHook(f func(id uint64)) Option {
 	return func(s *Store) { s.onRemove = f }
 }
 
-// notifyRemoved invokes the removal hook outside the store lock.
+// notifyRemoved invokes the removal hook outside all shard locks.
 func (s *Store) notifyRemoved(ids ...uint64) {
 	if s.onRemove == nil {
 		return
@@ -133,89 +248,226 @@ func (s *Store) notifyRemoved(ids ...uint64) {
 	}
 }
 
+// defaultShards scales the tag-shard count with available parallelism.
+func defaultShards() int {
+	n := runtime.GOMAXPROCS(0)
+	if n < 4 {
+		n = 4
+	}
+	if n > 64 {
+		n = 64
+	}
+	return n
+}
+
 // New returns an empty Store.
 func New(opts ...Option) *Store {
 	s := &Store{
-		clk:     clock.Real{},
-		met:     &trace.Metrics{},
-		rng:     rand.New(rand.NewSource(1)),
-		byID:    make(map[uint64]*entry),
-		byArity: make(map[int]map[uint64]*entry),
-		byTag:   make(map[tagKey]map[uint64]*entry),
-		waiters: make(map[int][]*waiter),
+		clk:  clock.Real{},
+		met:  &trace.Metrics{},
+		seed: 1,
 	}
 	for _, o := range opts {
 		o(s)
+	}
+	if s.nTagShards <= 0 {
+		s.nTagShards = defaultShards()
+	}
+	if s.nTagShards > 256 {
+		s.nTagShards = 256
+	}
+	// Round up to a power of two so tag routing is a mask.
+	s.nTagShards = 1 << uint(bits.Len(uint(s.nTagShards-1)))
+	// shardBits must index tag shards plus the scan shard.
+	s.shardBits = uint(bits.Len(uint(s.nTagShards)))
+	s.shards = make([]*shard, s.nTagShards+1)
+	for i := range s.shards {
+		s.shards[i] = &shard{
+			st:      s,
+			idx:     uint64(i),
+			rng:     rand.New(rand.NewSource(s.seed + int64(i)*7919)),
+			byID:    make(map[uint64]*entry),
+			byArity: make(map[int]map[uint64]*entry),
+			byTag:   make(map[tagKey]map[uint64]*entry),
+			waiters: make(map[tagKey][]*waiter),
+		}
 	}
 	return s
 }
 
 // Out implements space.Space.
 func (s *Store) Out(t tuple.Tuple, expiry time.Time) (uint64, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
+	key, _, tagged := waiterKeyOfTuple(t)
+	var sh *shard
+	if tagged {
+		sh = s.shardOf(key)
+	} else {
+		sh = s.scanShard()
+	}
+	sh.mu.Lock()
+	if sh.closed {
+		sh.mu.Unlock()
 		return 0, ErrClosed
 	}
-	// Hand the tuple to pending waiters first, FIFO: every matching
-	// reader gets a copy until a taker consumes it.
-	ws := s.waiters[t.Arity()]
-	for i := 0; i < len(ws); {
-		w := ws[i]
-		if w.done || !w.p.Matches(t) {
-			i++
-			continue
-		}
-		w.done = true
-		w.ch <- t
-		close(w.ch)
-		ws = append(ws[:i], ws[i+1:]...)
-		s.waiters[t.Arity()] = ws
-		if w.remove {
-			// Consumed by an in-waiter: never stored.
-			s.met.Inc(trace.CtrTuplesTaken)
-			return 0, nil
-		}
+	if sh.deliverLocked(key, t) {
+		sh.mu.Unlock()
+		// Consumed by an in-waiter: never stored.
+		s.met.Inc(trace.CtrTuplesTaken)
+		return 0, nil
 	}
-
-	s.nextID++
-	e := &entry{id: s.nextID, t: t, expiry: expiry, index: -1}
-	s.byID[e.id] = e
-	bucket := s.byArity[t.Arity()]
-	if bucket == nil {
-		bucket = make(map[uint64]*entry)
-		s.byArity[t.Arity()] = bucket
-	}
-	bucket[e.id] = e
-	if tk, ok := tagOfTuple(t); ok {
-		tb := s.byTag[tk]
-		if tb == nil {
-			tb = make(map[uint64]*entry)
-			s.byTag[tk] = tb
-		}
-		tb[e.id] = e
-	}
-	if !expiry.IsZero() {
-		heap.Push(&s.expiry, e)
-		s.scheduleJanitorLocked()
-	}
+	id := sh.insertLocked(t, expiry)
+	sh.mu.Unlock()
 	s.met.Inc(trace.CtrTuplesStored)
-	return e.id, nil
+	return id, nil
 }
 
-// pick chooses a matching live entry nondeterministically, or nil.
-func (s *Store) pickLocked(p tuple.Template) *entry {
+// deliverLocked hands t to pending waiters in FIFO (seq) order across the
+// shard's (arity, tag) bucket and the global formal-lead list: every
+// matching reader gets a copy until a taker consumes it. It reports
+// whether a taker consumed the tuple. Caller holds sh.mu.
+func (sh *shard) deliverLocked(key tagKey, t tuple.Tuple) (consumed bool) {
+	s := sh.st
+	ws := sh.waiters[key]
+	var gs []*waiter
+	globalLocked := false
+	if s.nGlobal.Load() > 0 {
+		// Lock order is always shard → global; see package doc.
+		s.gmu.Lock()
+		globalLocked = true
+		gs = s.gwaiters
+	}
+	if len(ws) == 0 && len(gs) == 0 {
+		if globalLocked {
+			s.gmu.Unlock()
+		}
+		return false
+	}
+
+	// Merge-iterate the two seq-ordered lists, compacting settled waiters
+	// as we go. wi/gi are read cursors; wk/gk are write cursors.
+	wi, gi, wk, gk := 0, 0, 0, 0
+	dropGlobal := 0
+	defer func() {
+		// Keep the unvisited tails, drop the settled prefix entries.
+		if wk != wi {
+			wk += copy(ws[wk:], ws[wi:])
+			sh.setWaitersLocked(key, ws[:wk])
+		}
+		if globalLocked {
+			if gk != gi {
+				gk += copy(gs[gk:], gs[gi:])
+				clear(s.gwaiters[gk:])
+				s.gwaiters = gs[:gk]
+			}
+			if dropGlobal > 0 {
+				s.nGlobal.Add(int64(-dropGlobal))
+			}
+			s.gmu.Unlock()
+		}
+	}()
+
+	for wi < len(ws) || gi < len(gs) {
+		var w *waiter
+		fromGlobal := false
+		switch {
+		case wi >= len(ws):
+			w, fromGlobal = gs[gi], true
+		case gi >= len(gs):
+			w = ws[wi]
+		case gs[gi].seq < ws[wi].seq:
+			w, fromGlobal = gs[gi], true
+		default:
+			w = ws[wi]
+		}
+		if w.claimed.Load() {
+			// Cancelled or served elsewhere: compact it away.
+			if fromGlobal {
+				gi++
+				dropGlobal++
+			} else {
+				wi++
+			}
+			continue
+		}
+		if !w.p.Matches(t) || !w.claim() {
+			// Keep unmatched (and lost-race) waiters registered.
+			if fromGlobal {
+				gs[gk] = gs[gi]
+				gi++
+				gk++
+			} else {
+				ws[wk] = ws[wi]
+				wi++
+				wk++
+			}
+			continue
+		}
+		w.ch <- t
+		close(w.ch)
+		if fromGlobal {
+			gi++
+			dropGlobal++
+		} else {
+			wi++
+		}
+		if w.remove {
+			return true
+		}
+	}
+	return false
+}
+
+// setWaitersLocked stores a waiter bucket, removing empty buckets.
+func (sh *shard) setWaitersLocked(key tagKey, ws []*waiter) {
+	if len(ws) == 0 {
+		delete(sh.waiters, key)
+		return
+	}
+	sh.waiters[key] = ws
+}
+
+// insertLocked stores t and returns its id. Caller holds sh.mu.
+func (sh *shard) insertLocked(t tuple.Tuple, expiry time.Time) uint64 {
+	sh.nextSeq++
+	id := sh.nextSeq<<sh.st.shardBits | sh.idx
+	e := &entry{id: id, t: t, size: t.Size(), expiry: expiry, index: -1}
+	sh.byID[id] = e
+	bucket := sh.byArity[t.Arity()]
+	if bucket == nil {
+		bucket = make(map[uint64]*entry)
+		sh.byArity[t.Arity()] = bucket
+	}
+	bucket[id] = e
+	if tk, ok := tagOfTuple(t); ok {
+		tb := sh.byTag[tk]
+		if tb == nil {
+			tb = make(map[uint64]*entry)
+			sh.byTag[tk] = tb
+		}
+		tb[id] = e
+	}
+	sh.bytes += e.size
+	if !expiry.IsZero() {
+		heap.Push(&sh.expiry, e)
+		sh.scheduleJanitorLocked()
+	}
+	return id
+}
+
+// pickLocked chooses a matching live entry nondeterministically, or nil.
+// Caller holds sh.mu.
+func (sh *shard) pickLocked(p tuple.Template) *entry {
 	var bucket map[uint64]*entry
 	if tk, ok := tagOfTemplate(p); ok {
 		// Tag-pinned templates scan only same-tag candidates.
-		bucket = s.byTag[tk]
+		bucket = sh.byTag[tk]
 	} else {
-		bucket = s.byArity[p.Arity()]
+		bucket = sh.byArity[p.Arity()]
 	}
 	if len(bucket) == 0 {
 		return nil
 	}
-	now := s.clk.Now()
+	now := sh.st.clk.Now()
 	// Collect a bounded candidate set: Linda only requires that one
 	// match be selected nondeterministically, and Go's randomised map
 	// iteration varies which region of the bucket we sample, so capping
@@ -240,127 +492,283 @@ func (s *Store) pickLocked(p tuple.Template) *entry {
 	if len(matches) == 1 {
 		return matches[0]
 	}
-	return matches[s.rng.Intn(len(matches))]
+	return matches[sh.rng.Intn(len(matches))]
 }
 
-func (s *Store) removeLocked(e *entry) {
-	delete(s.byID, e.id)
-	if bucket := s.byArity[e.t.Arity()]; bucket != nil {
+// removeLocked unlinks e from every index. Emptied buckets are kept: a
+// hot out→in cycle on one tag class would otherwise free and reallocate
+// its bucket maps on every pair, and an empty map costs ~48 bytes per
+// tag class ever seen — workloads keep tag sets small, so retention is
+// cheaper than churn.
+func (sh *shard) removeLocked(e *entry) {
+	delete(sh.byID, e.id)
+	if bucket := sh.byArity[e.t.Arity()]; bucket != nil {
 		delete(bucket, e.id)
-		if len(bucket) == 0 {
-			delete(s.byArity, e.t.Arity())
-		}
 	}
 	if tk, ok := tagOfTuple(e.t); ok {
-		if tb := s.byTag[tk]; tb != nil {
+		if tb := sh.byTag[tk]; tb != nil {
 			delete(tb, e.id)
-			if len(tb) == 0 {
-				delete(s.byTag, tk)
-			}
 		}
 	}
+	sh.bytes -= e.size
 	if e.index >= 0 {
-		heap.Remove(&s.expiry, e.index)
+		heap.Remove(&sh.expiry, e.index)
 	}
+}
+
+// routeShard returns the single shard a pinned or scan-class template
+// operates on, or nil for formal-lead templates whose matches may live
+// in any shard.
+func (s *Store) routeShard(p tuple.Template) *shard {
+	key, class := classify(p)
+	switch class {
+	case classPinned:
+		return s.shardOf(key)
+	case classScan:
+		return s.scanShard()
+	}
+	return nil
+}
+
+// scanStart rotates the starting shard of cross-shard searches so
+// repeated wildcard probes spread across the space instead of always
+// favouring shard 0.
+func (s *Store) scanStart() int {
+	return int(s.scanCursor.Add(1)) % len(s.shards)
+}
+
+// rdpShard reads one match from sh, if any.
+func (sh *shard) rdpShard(p tuple.Template) (tuple.Tuple, bool) {
+	sh.mu.Lock()
+	if e := sh.pickLocked(p); e != nil {
+		t := e.t
+		sh.mu.Unlock()
+		return t, true
+	}
+	sh.mu.Unlock()
+	return tuple.Tuple{}, false
 }
 
 // Rdp implements space.Space.
 func (s *Store) Rdp(p tuple.Template) (tuple.Tuple, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if e := s.pickLocked(p); e != nil {
-		return e.t, true
+	if sh := s.routeShard(p); sh != nil {
+		return sh.rdpShard(p)
+	}
+	n, start := len(s.shards), s.scanStart()
+	for k := 0; k < n; k++ {
+		if t, ok := s.shards[(start+k)%n].rdpShard(p); ok {
+			return t, true
+		}
 	}
 	return tuple.Tuple{}, false
 }
 
-// Inp implements space.Space.
-func (s *Store) Inp(p tuple.Template) (tuple.Tuple, bool) {
-	s.mu.Lock()
-	e := s.pickLocked(p)
+// inpShard takes one match from sh, if any.
+func (sh *shard) inpShard(p tuple.Template) (tuple.Tuple, bool) {
+	sh.mu.Lock()
+	e := sh.pickLocked(p)
 	if e == nil {
-		s.mu.Unlock()
+		sh.mu.Unlock()
 		return tuple.Tuple{}, false
 	}
-	s.removeLocked(e)
-	s.met.Inc(trace.CtrTuplesTaken)
-	s.mu.Unlock()
-	s.notifyRemoved(e.id)
+	sh.removeLocked(e)
+	sh.mu.Unlock()
+	sh.st.met.Inc(trace.CtrTuplesTaken)
+	sh.st.notifyRemoved(e.id)
 	return e.t, true
+}
+
+// Inp implements space.Space.
+func (s *Store) Inp(p tuple.Template) (tuple.Tuple, bool) {
+	if sh := s.routeShard(p); sh != nil {
+		return sh.inpShard(p)
+	}
+	n, start := len(s.shards), s.scanStart()
+	for k := 0; k < n; k++ {
+		if t, ok := s.shards[(start+k)%n].inpShard(p); ok {
+			return t, true
+		}
+	}
+	return tuple.Tuple{}, false
 }
 
 // Wait implements space.Space. If a matching tuple is already present it
 // is delivered immediately (removed first when remove is true); otherwise
 // the waiter is registered for the next matching Out. This atomicity is
 // what makes the blocking rd/in race-free: there is no window between
-// "check the space" and "register interest".
+// "check the space" and "register interest". For pinned and scan
+// templates both steps happen under one shard lock; formal-lead
+// templates register globally first and then scan, which is equivalent
+// (see package doc).
 func (s *Store) Wait(p tuple.Template, remove bool) space.Waiter {
-	s.mu.Lock()
 	w := &waiter{p: p, remove: remove, ch: make(chan tuple.Tuple, 1)}
-	if s.closed {
-		s.mu.Unlock()
-		w.done = true
+	key, class := classify(p)
+	if class == classGlobal {
+		return s.waitGlobal(w)
+	}
+	var sh *shard
+	if class == classPinned {
+		sh = s.shardOf(key)
+	} else {
+		sh = s.scanShard()
+	}
+	sh.mu.Lock()
+	if sh.closed {
+		sh.mu.Unlock()
+		w.claimed.Store(true)
 		close(w.ch)
 		return &waiterHandle{s: s, w: w}
 	}
-	if e := s.pickLocked(p); e != nil {
-		removed := uint64(0)
+	if e := sh.pickLocked(p); e != nil {
+		var removedID uint64
 		if remove {
-			s.removeLocked(e)
-			s.met.Inc(trace.CtrTuplesTaken)
-			removed = e.id
+			sh.removeLocked(e)
+			removedID = e.id
 		}
-		w.done = true
+		w.claimed.Store(true)
 		w.ch <- e.t
 		close(w.ch)
-		s.mu.Unlock()
-		if removed != 0 {
-			s.notifyRemoved(removed)
+		sh.mu.Unlock()
+		if removedID != 0 {
+			s.met.Inc(trace.CtrTuplesTaken)
+			s.notifyRemoved(removedID)
 		}
 		return &waiterHandle{s: s, w: w}
 	}
-	s.nextSeq++
-	w.seq = s.nextSeq
-	s.waiters[p.Arity()] = append(s.waiters[p.Arity()], w)
-	s.mu.Unlock()
-	return &waiterHandle{s: s, w: w}
+	w.seq = s.waiterSeq.Add(1)
+	sh.waiters[key] = append(sh.waiters[key], w)
+	sh.mu.Unlock()
+	return &waiterHandle{s: s, w: w, sh: sh, key: key}
+}
+
+// waitGlobal registers a formal-lead waiter on the global list, then
+// scans the shards for an already-present match. Registration-first makes
+// the check-then-register step race-free without a store-wide lock: any
+// Out that stores after our registration sees us on the list; any Out
+// that stored before is found by the scan.
+func (s *Store) waitGlobal(w *waiter) space.Waiter {
+	s.gmu.Lock()
+	if s.closed.Load() {
+		s.gmu.Unlock()
+		w.claimed.Store(true)
+		close(w.ch)
+		return &waiterHandle{s: s, w: w}
+	}
+	w.seq = s.waiterSeq.Add(1)
+	s.gwaiters = append(s.gwaiters, w)
+	s.nGlobal.Add(1)
+	s.gmu.Unlock()
+
+	h := &waiterHandle{s: s, w: w, global: true}
+	n, start := len(s.shards), s.scanStart()
+	for k := 0; k < n; k++ {
+		sh := s.shards[(start+k)%n]
+		sh.mu.Lock()
+		e := sh.pickLocked(w.p)
+		if e == nil {
+			sh.mu.Unlock()
+			continue
+		}
+		if !w.claim() {
+			// A concurrent Out already delivered to us; its tuple is the
+			// answer and e stays in the space.
+			sh.mu.Unlock()
+			return h
+		}
+		var removedID uint64
+		if w.remove {
+			sh.removeLocked(e)
+			removedID = e.id
+		}
+		w.ch <- e.t
+		close(w.ch)
+		sh.mu.Unlock()
+		s.dropGlobal(w)
+		if removedID != 0 {
+			s.met.Inc(trace.CtrTuplesTaken)
+			s.notifyRemoved(removedID)
+		}
+		return h
+	}
+	return h
+}
+
+// dropGlobal removes w from the global list if still present (Out's
+// compaction may already have dropped it).
+func (s *Store) dropGlobal(w *waiter) {
+	s.gmu.Lock()
+	defer s.gmu.Unlock()
+	for i, g := range s.gwaiters {
+		if g == w {
+			s.gwaiters = append(s.gwaiters[:i], s.gwaiters[i+1:]...)
+			s.nGlobal.Add(-1)
+			return
+		}
+	}
 }
 
 type waiterHandle struct {
-	s *Store
-	w *waiter
+	s      *Store
+	w      *waiter
+	sh     *shard // set for shard-registered waiters
+	key    tagKey
+	global bool // set for globally registered waiters
 }
 
 func (h *waiterHandle) Chan() <-chan tuple.Tuple { return h.w.ch }
 
 func (h *waiterHandle) Cancel() {
-	h.s.mu.Lock()
-	defer h.s.mu.Unlock()
-	if h.w.done {
-		return
-	}
-	h.w.done = true
-	close(h.w.ch)
-	arity := h.w.p.Arity()
-	ws := h.s.waiters[arity]
-	for i, w := range ws {
-		if w == h.w {
-			h.s.waiters[arity] = append(ws[:i], ws[i+1:]...)
-			break
+	switch {
+	case h.sh != nil:
+		h.sh.mu.Lock()
+		if h.w.claim() {
+			close(h.w.ch)
+			ws := h.sh.waiters[h.key]
+			for i, w := range ws {
+				if w == h.w {
+					h.sh.setWaitersLocked(h.key, append(ws[:i], ws[i+1:]...))
+					break
+				}
+			}
 		}
+		h.sh.mu.Unlock()
+	case h.global:
+		if h.w.claim() {
+			close(h.w.ch)
+		}
+		h.s.dropGlobal(h.w)
+	default:
+		// Never registered (immediate hit or closed store): nothing to
+		// unlink; claim just blocks a late delivery path (there is none).
+		h.w.claimed.Store(true)
 	}
+}
+
+// holdShard tentatively takes one match from sh, if any.
+func (sh *shard) holdShard(p tuple.Template) (space.Hold, bool) {
+	sh.mu.Lock()
+	e := sh.pickLocked(p)
+	if e == nil {
+		sh.mu.Unlock()
+		return nil, false
+	}
+	sh.removeLocked(e)
+	sh.mu.Unlock()
+	return &hold{s: sh.st, e: e}, true
 }
 
 // Hold implements space.Space.
 func (s *Store) Hold(p tuple.Template) (space.Hold, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	e := s.pickLocked(p)
-	if e == nil {
-		return nil, false
+	if sh := s.routeShard(p); sh != nil {
+		return sh.holdShard(p)
 	}
-	s.removeLocked(e)
-	return &hold{s: s, e: e}, true
+	n, start := len(s.shards), s.scanStart()
+	for k := 0; k < n; k++ {
+		if h, ok := s.shards[(start+k)%n].holdShard(p); ok {
+			return h, true
+		}
+	}
+	return nil, false
 }
 
 type hold struct {
@@ -399,69 +807,95 @@ func (h *hold) Release() {
 	}
 }
 
-// Remove implements space.Space.
+// Remove implements space.Space. The shard index is carried in the id's
+// low bits, so removal is a single-shard operation.
 func (s *Store) Remove(id uint64) bool {
-	s.mu.Lock()
-	e, ok := s.byID[id]
-	if !ok {
-		s.mu.Unlock()
+	idx := id & (1<<s.shardBits - 1)
+	if idx >= uint64(len(s.shards)) {
 		return false
 	}
-	s.removeLocked(e)
-	s.mu.Unlock()
+	sh := s.shards[idx]
+	sh.mu.Lock()
+	e, ok := sh.byID[id]
+	if !ok {
+		sh.mu.Unlock()
+		return false
+	}
+	sh.removeLocked(e)
+	sh.mu.Unlock()
 	s.notifyRemoved(id)
 	return true
 }
 
 // Count implements space.Space.
 func (s *Store) Count() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return len(s.byID)
-}
-
-// Bytes implements space.Space.
-func (s *Store) Bytes() int64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	var n int64
-	for _, e := range s.byID {
-		n += e.t.Size()
+	n := 0
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		n += len(sh.byID)
+		sh.mu.Unlock()
 	}
 	return n
 }
 
-// Snapshot implements space.Space.
+// Bytes implements space.Space.
+func (s *Store) Bytes() int64 {
+	var n int64
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		n += sh.bytes
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// Snapshot implements space.Space. Entry references are collected under
+// each shard lock and the tuples deep-copied outside it, so diagnostics
+// on a large space never stall the hot path for the duration of the copy.
 func (s *Store) Snapshot() []tuple.Tuple {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	out := make([]tuple.Tuple, 0, len(s.byID))
-	for _, e := range s.byID {
-		out = append(out, e.t)
+	refs := make([]tuple.Tuple, 0, 64)
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		for _, e := range sh.byID {
+			refs = append(refs, e.t)
+		}
+		sh.mu.Unlock()
+	}
+	out := make([]tuple.Tuple, len(refs))
+	for i, t := range refs {
+		out[i] = t.Copy()
 	}
 	return out
 }
 
 // Close implements space.Space.
 func (s *Store) Close() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
+	if !s.closed.CompareAndSwap(false, true) {
 		return nil
 	}
-	s.closed = true
-	if s.stopJan != nil {
-		s.stopJan()
-		s.stopJan = nil
-	}
-	for arity, ws := range s.waiters {
-		for _, w := range ws {
-			if !w.done {
-				w.done = true
-				close(w.ch)
-			}
+	var ws []*waiter
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		sh.closed = true
+		if sh.stopJan != nil {
+			sh.stopJan()
+			sh.stopJan = nil
 		}
-		delete(s.waiters, arity)
+		for _, list := range sh.waiters {
+			ws = append(ws, list...)
+		}
+		sh.waiters = make(map[tagKey][]*waiter)
+		sh.mu.Unlock()
+	}
+	s.gmu.Lock()
+	ws = append(ws, s.gwaiters...)
+	s.gwaiters = nil
+	s.nGlobal.Store(0)
+	s.gmu.Unlock()
+	for _, w := range ws {
+		if w.claim() {
+			close(w.ch)
+		}
 	}
 	return nil
 }
@@ -484,56 +918,45 @@ func (h *expiryHeap) Pop() any {
 	return e
 }
 
-// scheduleJanitorLocked arms a timer for the earliest expiry.
-func (s *Store) scheduleJanitorLocked() {
-	if s.stopJan != nil {
-		s.stopJan()
-		s.stopJan = nil
+// scheduleJanitorLocked arms a timer for the shard's earliest expiry.
+// Caller holds sh.mu.
+func (sh *shard) scheduleJanitorLocked() {
+	if sh.stopJan != nil {
+		sh.stopJan()
+		sh.stopJan = nil
 	}
-	if s.closed || len(s.expiry) == 0 {
+	if sh.closed || len(sh.expiry) == 0 {
 		return
 	}
-	d := s.expiry[0].expiry.Sub(s.clk.Now())
+	d := sh.expiry[0].expiry.Sub(sh.st.clk.Now())
 	if d < 0 {
 		d = 0
 	}
-	s.stopJan = s.clk.AfterFunc(d, s.reclaim)
+	sh.stopJan = sh.st.clk.AfterFunc(d, sh.reclaim)
 }
 
-// reclaim removes all expired tuples and re-arms the janitor.
-func (s *Store) reclaim() {
+// reclaim removes the shard's expired tuples and re-arms its janitor.
+func (sh *shard) reclaim() {
+	s := sh.st
 	var reclaimed []uint64
-	s.mu.Lock()
+	sh.mu.Lock()
 	defer func() {
-		s.mu.Unlock()
+		sh.mu.Unlock()
 		s.notifyRemoved(reclaimed...)
 	}()
-	if s.closed {
+	if sh.closed {
 		return
 	}
 	now := s.clk.Now()
-	for len(s.expiry) > 0 && !s.expiry[0].expiry.After(now) {
-		e := heap.Pop(&s.expiry).(*entry)
-		delete(s.byID, e.id)
-		if bucket := s.byArity[e.t.Arity()]; bucket != nil {
-			delete(bucket, e.id)
-			if len(bucket) == 0 {
-				delete(s.byArity, e.t.Arity())
-			}
-		}
-		if tk, ok := tagOfTuple(e.t); ok {
-			if tb := s.byTag[tk]; tb != nil {
-				delete(tb, e.id)
-				if len(tb) == 0 {
-					delete(s.byTag, tk)
-				}
-			}
-		}
+	for len(sh.expiry) > 0 && !sh.expiry[0].expiry.After(now) {
+		e := heap.Pop(&sh.expiry).(*entry)
+		e.index = -1 // already popped; keep removeLocked's heap fix-up out
+		sh.removeLocked(e)
 		s.met.Inc(trace.CtrTuplesReclaimed)
 		reclaimed = append(reclaimed, e.id)
 	}
-	s.stopJan = nil
-	s.scheduleJanitorLocked()
+	sh.stopJan = nil
+	sh.scheduleJanitorLocked()
 }
 
 // Reclaimed reports how many tuples the janitor has reclaimed (test aid).

@@ -1,0 +1,35 @@
+#!/bin/sh
+# bench-json.sh — run the benchmark suite and record a machine-readable
+# baseline at BENCH_<n>.json (repo root), where n is the next free index
+# (or $BENCH_INDEX to overwrite a specific one). Two passes:
+#
+#   - the reproduction experiments (E*/T*/X*/AB*) once each: they run
+#     whole simulated deployments, so one iteration is the measurement;
+#   - the micro-benchmarks long enough for stable ns/op and -benchmem
+#     allocation counts.
+#
+# Compare two baselines with scripts/benchdiff.sh (run by `make check`
+# as an advisory step).
+set -eu
+cd "$(dirname "$0")/.."
+
+n="${BENCH_INDEX:-}"
+if [ -z "$n" ]; then
+    n=2
+    while [ -e "BENCH_${n}.json" ]; do n=$((n + 1)); done
+fi
+out="BENCH_${n}.json"
+
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+echo "==> experiments (1 iteration each)"
+go test -run '^$' -bench '^Benchmark(E[0-9]+|T[12]|X[12]|AB[0-9]+)' \
+    -benchtime 1x -benchmem . | tee -a "$tmp"
+
+echo "==> micro-benchmarks"
+go test -run '^$' -bench '^Benchmark(Tuple|Store|Wire|Lease|Local|Remote|Spaces)' \
+    -benchtime 100ms -benchmem . | tee -a "$tmp"
+
+go run ./scripts/benchtool -parse <"$tmp" >"$out"
+echo "wrote $out"

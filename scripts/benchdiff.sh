@@ -1,0 +1,23 @@
+#!/bin/sh
+# benchdiff.sh — compare the two most recent BENCH_<n>.json baselines,
+# failing (exit 1) if any benchmark regressed in ns/op by more than 20%.
+# With fewer than two baselines there is nothing to compare and the
+# script succeeds quietly. `make check` runs this as an advisory step;
+# run it directly before committing a fresh baseline.
+set -eu
+cd "$(dirname "$0")/.."
+
+prev=""
+cur=""
+for f in $(ls BENCH_*.json 2>/dev/null | sort -t_ -k2 -n); do
+    prev="$cur"
+    cur="$f"
+done
+
+if [ -z "$prev" ]; then
+    echo "benchdiff: fewer than two BENCH_*.json baselines; nothing to compare"
+    exit 0
+fi
+
+echo "==> benchdiff $prev -> $cur (fail on >20% ns/op regression)"
+exec go run ./scripts/benchtool -diff "$prev" "$cur" -threshold 0.20

@@ -1,0 +1,222 @@
+// Command benchtool converts `go test -bench` output into the
+// machine-readable BENCH_<n>.json baselines committed at the repo root,
+// and diffs two baselines for regressions.
+//
+// Usage:
+//
+//	go test -bench ... -benchmem | benchtool -parse > BENCH_2.json
+//	benchtool -diff BENCH_2.json BENCH_3.json [-threshold 0.20]
+//
+// -diff exits 1 if any benchmark present in both files regressed in
+// ns/op by more than the threshold (default 20%). New or removed
+// benchmarks are reported but never fail the diff.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one recorded benchmark result.
+type Benchmark struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+}
+
+// Baseline is the committed BENCH_<n>.json document.
+type Baseline struct {
+	Goos       string      `json:"goos,omitempty"`
+	Goarch     string      `json:"goarch,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Package    string      `json:"pkg,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	parse := flag.Bool("parse", false, "parse `go test -bench` output on stdin to JSON on stdout")
+	diff := flag.Bool("diff", false, "diff two baseline files: -diff old.json new.json")
+	threshold := flag.Float64("threshold", 0.20, "ns/op regression fraction that fails the diff")
+	flag.Parse()
+
+	switch {
+	case *parse:
+		if err := runParse(); err != nil {
+			fmt.Fprintf(os.Stderr, "benchtool: %v\n", err)
+			os.Exit(2)
+		}
+	case *diff:
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "benchtool: -diff needs exactly two files (old new)")
+			os.Exit(2)
+		}
+		ok, err := runDiff(flag.Arg(0), flag.Arg(1), *threshold)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchtool: %v\n", err)
+			os.Exit(2)
+		}
+		if !ok {
+			os.Exit(1)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "benchtool: pass -parse or -diff")
+		os.Exit(2)
+	}
+}
+
+func runParse() error {
+	var base Baseline
+	seen := make(map[string]int) // name -> index, last result wins
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			base.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+			continue
+		case strings.HasPrefix(line, "goarch:"):
+			base.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+			continue
+		case strings.HasPrefix(line, "cpu:"):
+			base.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+			continue
+		case strings.HasPrefix(line, "pkg:"):
+			base.Package = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		b, ok := parseBenchLine(line)
+		if !ok {
+			continue
+		}
+		if i, dup := seen[b.Name]; dup {
+			base.Benchmarks[i] = b
+		} else {
+			seen[b.Name] = len(base.Benchmarks)
+			base.Benchmarks = append(base.Benchmarks, b)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if len(base.Benchmarks) == 0 {
+		return fmt.Errorf("no benchmark lines on stdin")
+	}
+	sort.Slice(base.Benchmarks, func(i, j int) bool {
+		return base.Benchmarks[i].Name < base.Benchmarks[j].Name
+	})
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(base)
+}
+
+// parseBenchLine parses one result line, e.g.
+//
+//	BenchmarkStoreOutInp-8   83848   686.5 ns/op   80 B/op   1 allocs/op
+func parseBenchLine(line string) (Benchmark, bool) {
+	f := strings.Fields(line)
+	if len(f) < 4 {
+		return Benchmark{}, false
+	}
+	name := f[0]
+	// Strip the -GOMAXPROCS suffix so baselines from different machines
+	// compare by benchmark identity.
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Name: name, Iterations: iters}
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			continue
+		}
+		switch f[i+1] {
+		case "ns/op":
+			b.NsPerOp = v
+		case "B/op":
+			b.BytesPerOp = v
+		case "allocs/op":
+			b.AllocsPerOp = v
+		}
+	}
+	if b.NsPerOp == 0 {
+		return Benchmark{}, false
+	}
+	return b, true
+}
+
+func load(path string) (map[string]Benchmark, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var base Baseline
+	if err := json.Unmarshal(data, &base); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	out := make(map[string]Benchmark, len(base.Benchmarks))
+	for _, b := range base.Benchmarks {
+		out[b.Name] = b
+	}
+	return out, nil
+}
+
+func runDiff(oldPath, newPath string, threshold float64) (bool, error) {
+	oldB, err := load(oldPath)
+	if err != nil {
+		return false, err
+	}
+	newB, err := load(newPath)
+	if err != nil {
+		return false, err
+	}
+	names := make([]string, 0, len(newB))
+	for name := range newB {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	ok := true
+	fmt.Printf("%-55s %12s %12s %8s\n", "benchmark", "old ns/op", "new ns/op", "delta")
+	for _, name := range names {
+		nb := newB[name]
+		ob, both := oldB[name]
+		if !both {
+			fmt.Printf("%-55s %12s %12.1f %8s\n", name, "-", nb.NsPerOp, "new")
+			continue
+		}
+		delta := (nb.NsPerOp - ob.NsPerOp) / ob.NsPerOp
+		mark := ""
+		if delta > threshold {
+			mark = "  REGRESSION"
+			ok = false
+		}
+		fmt.Printf("%-55s %12.1f %12.1f %+7.1f%%%s\n", name, ob.NsPerOp, nb.NsPerOp, delta*100, mark)
+	}
+	for name := range oldB {
+		if _, still := newB[name]; !still {
+			fmt.Printf("%-55s %12s %12s %8s\n", name, "-", "-", "removed")
+		}
+	}
+	if !ok {
+		fmt.Printf("\nFAIL: ns/op regression beyond %.0f%% (%s -> %s)\n", threshold*100, oldPath, newPath)
+	}
+	return ok, nil
+}

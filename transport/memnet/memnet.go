@@ -396,13 +396,19 @@ func (nd *node) Send(to wire.Addr, m *wire.Message) error {
 		n.met.Inc(trace.CtrMsgsDropped)
 		return fmt.Errorf("%s -> %s: %w", nd.addr, to, transport.ErrUnreachable)
 	}
-	data := wire.Encode(m)
+	// Encode into a pooled buffer: transmit hands the frame to the decoding
+	// edge synchronously (deliver parses before deferring the enqueue) and
+	// holdBack copies what it parks, so the buffer is free again here.
+	buf := wire.GetBuf()
+	buf.B = wire.AppendEncode(buf.B, m)
+	data := buf.B
 	n.met.Inc(trace.CtrMsgsSent)
 	n.met.Inc(trace.CtrUnicasts)
 	n.met.Add(trace.CtrBytesSent, int64(len(data)))
 	f := n.faultsForLocked(nd.addr, to)
 	n.mu.Unlock()
 	n.transmit(dst, data, f)
+	buf.Release()
 	return nil
 }
 
@@ -414,7 +420,9 @@ func (nd *node) Multicast(m *wire.Message) (int, error) {
 		n.mu.Unlock()
 		return 0, transport.ErrClosed
 	}
-	data := wire.Encode(m)
+	buf := wire.GetBuf()
+	buf.B = wire.AppendEncode(buf.B, m)
+	data := buf.B
 	neighbors := n.neighborsLocked(nd.addr)
 	n.met.Inc(trace.CtrMulticasts)
 	n.met.Add(trace.CtrBytesSent, int64(len(data)))
@@ -432,6 +440,7 @@ func (nd *node) Multicast(m *wire.Message) (int, error) {
 			n.met.Inc(trace.CtrMulticastRecvs)
 		}
 	}
+	buf.Release()
 	return len(targets), nil
 }
 
@@ -474,7 +483,9 @@ func (n *Network) holdBack(dst *node, data []byte, lat time.Duration, f Faults) 
 		n.met.Inc(trace.CtrMsgsDropped)
 		return
 	}
-	dst.held = append(dst.held, heldFrame{data: data, lat: lat})
+	// Copy: the caller's frame lives in a pooled buffer that is reused as
+	// soon as transmit returns, but a held frame outlives the send.
+	dst.held = append(dst.held, heldFrame{data: append([]byte(nil), data...), lat: lat})
 	n.mu.Unlock()
 	n.met.Inc(trace.CtrChaosReorders)
 	flushAfter := f.Latency + f.Jitter + time.Millisecond

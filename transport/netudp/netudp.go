@@ -160,9 +160,19 @@ func (t *Transport) Send(to wire.Addr, m *wire.Message) error {
 	if t.isClosed() {
 		return transport.ErrClosed
 	}
-	frame := wire.Encode(m)
-	buf := binary.AppendUvarint(nil, uint64(len(frame)))
-	buf = append(buf, frame...)
+	// Build prefix+frame in one pooled buffer: reserve the widest possible
+	// uvarint up front, encode the frame after it, then back-fill the real
+	// prefix flush against the frame. One buffer, zero per-send allocations.
+	pb := wire.GetBuf()
+	defer pb.Release()
+	b := append(pb.B, make([]byte, binary.MaxVarintLen64)...)
+	b = wire.AppendEncode(b, m)
+	pb.B = b
+	var pfx [binary.MaxVarintLen64]byte
+	pn := binary.PutUvarint(pfx[:], uint64(len(b)-binary.MaxVarintLen64))
+	start := binary.MaxVarintLen64 - pn
+	copy(b[start:], pfx[:pn])
+	buf := b[start:]
 	var lastErr error
 	for attempt := 1; ; attempt++ {
 		lastErr = t.sendOnce(to, buf)
@@ -216,7 +226,10 @@ func (t *Transport) Multicast(m *wire.Message) (int, error) {
 	if t.group == nil {
 		return reached, nil
 	}
-	frame := wire.Encode(m)
+	pb := wire.GetBuf()
+	defer pb.Release()
+	pb.B = wire.AppendEncode(pb.B, m)
+	frame := pb.B
 	if len(frame) > maxDatagram {
 		return -1, fmt.Errorf("netudp: frame too large for multicast (%d bytes)", len(frame))
 	}
@@ -267,7 +280,9 @@ func (t *Transport) readFrames(conn net.Conn) {
 		if _, err := io.ReadFull(conn, buf); err != nil {
 			return
 		}
-		m, err := wire.Decode(buf)
+		// The frame buffer is dedicated to this message, so the decoded
+		// tuple may alias it instead of copying every bytes field.
+		m, err := wire.DecodeNoCopy(buf)
 		if err != nil {
 			// Corrupt frame (checksum or structure): drop it, keep the
 			// connection — later frames are independent.

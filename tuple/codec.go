@@ -87,7 +87,12 @@ func appendFields(dst []byte, fields []Field) []byte {
 	return dst
 }
 
-func decodeFields(src []byte, allowFormals bool, depth int) (fields []Field, rest []byte, err error) {
+// decodeFields decodes a field list. With alias set, bytes fields alias
+// src instead of being copied; callers must not retain the result past
+// the buffer's lifetime without calling Copy. (Strings always copy: Go
+// string conversion is itself a copy, and keeping strings immutable is
+// worth one small allocation.)
+func decodeFields(src []byte, allowFormals bool, depth int, alias bool) (fields []Field, rest []byte, err error) {
 	if depth > 32 {
 		return nil, nil, fmt.Errorf("nesting too deep: %w", ErrTooLarge)
 	}
@@ -153,9 +158,13 @@ func decodeFields(src []byte, allowFormals bool, depth int) (fields []Field, res
 			if err != nil {
 				return nil, nil, fmt.Errorf("field %d bytes: %w", i, err)
 			}
-			f.b = append([]byte(nil), b...)
+			if alias {
+				f.b = b
+			} else {
+				f.b = append([]byte(nil), b...)
+			}
 		case KindTuple:
-			f.t, src, err = decodeFields(src, allowFormals, depth+1)
+			f.t, src, err = decodeFields(src, allowFormals, depth+1, alias)
 			if err != nil {
 				return nil, nil, fmt.Errorf("field %d nested: %w", i, err)
 			}
@@ -181,8 +190,9 @@ func decodeBlob(src []byte) (blob, rest []byte, err error) {
 }
 
 // DecodeTuple decodes a tuple from src, returning the remaining bytes.
+// The result shares no memory with src.
 func DecodeTuple(src []byte) (Tuple, []byte, error) {
-	fields, rest, err := decodeFields(src, false, 0)
+	fields, rest, err := decodeFields(src, false, 0, false)
 	if err != nil {
 		return Tuple{}, nil, err
 	}
@@ -190,8 +200,32 @@ func DecodeTuple(src []byte) (Tuple, []byte, error) {
 }
 
 // DecodeTemplate decodes a template from src, returning the remaining bytes.
+// The result shares no memory with src.
 func DecodeTemplate(src []byte) (Template, []byte, error) {
-	fields, rest, err := decodeFields(src, true, 0)
+	fields, rest, err := decodeFields(src, true, 0, false)
+	if err != nil {
+		return Template{}, nil, err
+	}
+	return Template{fields: fields}, rest, nil
+}
+
+// DecodeTupleNoCopy decodes a tuple whose bytes fields alias src. It
+// avoids per-field allocations on the hot receive path; the caller must
+// either consume the tuple before reusing src or detach it with
+// Tuple.Copy. Safe whenever src outlives the tuple (e.g. a per-frame
+// read buffer).
+func DecodeTupleNoCopy(src []byte) (Tuple, []byte, error) {
+	fields, rest, err := decodeFields(src, false, 0, true)
+	if err != nil {
+		return Tuple{}, nil, err
+	}
+	return Tuple{fields: fields}, rest, nil
+}
+
+// DecodeTemplateNoCopy decodes a template whose bytes fields alias src;
+// see DecodeTupleNoCopy for the lifetime contract.
+func DecodeTemplateNoCopy(src []byte) (Template, []byte, error) {
+	fields, rest, err := decodeFields(src, true, 0, true)
 	if err != nil {
 		return Template{}, nil, err
 	}

@@ -346,6 +346,45 @@ func (t Tuple) at(i int, k Kind) (Field, error) {
 	return f, nil
 }
 
+// copyFieldsDeep returns a deep copy of fields: byte slices are
+// duplicated and nested tuples copied recursively, so the result shares
+// no memory with the original (or with any decode buffer it aliases).
+func copyFieldsDeep(fields []Field) []Field {
+	if fields == nil {
+		return nil
+	}
+	out := make([]Field, len(fields))
+	for i, f := range fields {
+		switch f.kind {
+		case KindBytes:
+			if f.b != nil {
+				b := make([]byte, len(f.b))
+				copy(b, f.b)
+				f.b = b
+			}
+		case KindTuple:
+			f.t = copyFieldsDeep(f.t)
+		}
+		out[i] = f
+	}
+	return out
+}
+
+// Copy returns a deep copy of the tuple that shares no memory with the
+// original. It is the escape hatch for values produced by the no-copy
+// decoders (DecodeTupleNoCopy), whose bytes fields alias the decode
+// buffer: call Copy before retaining such a tuple past the buffer's
+// lifetime.
+func (t Tuple) Copy() Tuple {
+	return Tuple{fields: copyFieldsDeep(t.fields)}
+}
+
+// Copy returns a deep copy of the template that shares no memory with
+// the original; see Tuple.Copy.
+func (p Template) Copy() Template {
+	return Template{fields: copyFieldsDeep(p.fields)}
+}
+
 // Equal reports deep equality of two tuples.
 func (t Tuple) Equal(o Tuple) bool {
 	if len(t.fields) != len(o.fields) {

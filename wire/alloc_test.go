@@ -1,0 +1,77 @@
+package wire
+
+import (
+	"testing"
+
+	"tiamat/tuple"
+)
+
+// allocMsg is a representative TResult frame (the take protocol's reply).
+func allocMsg() *Message {
+	return &Message{
+		Type: TResult, ID: 7, From: "node-a:7703",
+		Found: true, HoldID: 99,
+		Tuple: tuple.T(tuple.String("req"), tuple.Int(42), tuple.Bytes(make([]byte, 256))),
+	}
+}
+
+// TestAppendEncodeNoAllocs pins the encode hot path at zero allocations
+// once the destination buffer is warm — the property the pooled
+// transports rely on.
+func TestAppendEncodeNoAllocs(t *testing.T) {
+	m := allocMsg()
+	dst := make([]byte, 0, 1024)
+	allocs := testing.AllocsPerRun(100, func() {
+		dst = AppendEncode(dst[:0], m)
+	})
+	if allocs != 0 {
+		t.Fatalf("AppendEncode into warm buffer: %v allocs/op, want 0", allocs)
+	}
+}
+
+// TestDecodeNoCopyFewerAllocs pins the no-copy decode path strictly below
+// the copying path for frames with bytes payloads, and bounds it
+// absolutely so a regression that reintroduces per-field copies fails.
+func TestDecodeNoCopyFewerAllocs(t *testing.T) {
+	data := Encode(allocMsg())
+	copying := testing.AllocsPerRun(100, func() {
+		if _, err := Decode(data); err != nil {
+			t.Fatal(err)
+		}
+	})
+	aliasing := testing.AllocsPerRun(100, func() {
+		if _, err := DecodeNoCopy(data); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if aliasing >= copying {
+		t.Fatalf("DecodeNoCopy %v allocs/op, Decode %v: no-copy path must allocate less", aliasing, copying)
+	}
+	// Message + fields slice + from/tag strings leave a small fixed
+	// overhead; 6 is loose enough to survive compiler changes while
+	// catching a reintroduced per-bytes-field copy.
+	if aliasing > 6 {
+		t.Fatalf("DecodeNoCopy %v allocs/op, want <= 6", aliasing)
+	}
+}
+
+// TestPooledRoundtripAllocs bounds the whole pooled encode+decode cycle,
+// mirroring what a transport does per frame.
+func TestPooledRoundtripAllocs(t *testing.T) {
+	m := allocMsg()
+	// Warm the pool.
+	b := GetBuf()
+	b.B = AppendEncode(b.B, m)
+	b.Release()
+	allocs := testing.AllocsPerRun(100, func() {
+		buf := GetBuf()
+		buf.B = AppendEncode(buf.B, m)
+		if _, err := DecodeNoCopy(buf.B); err != nil {
+			t.Fatal(err)
+		}
+		buf.Release()
+	})
+	if allocs > 8 {
+		t.Fatalf("pooled roundtrip: %v allocs/op, want <= 8", allocs)
+	}
+}

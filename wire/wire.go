@@ -24,6 +24,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
+	"sync"
 	"time"
 
 	"tiamat/tuple"
@@ -192,9 +193,52 @@ const (
 	maxStr = 1 << 20
 )
 
-// Encode serialises the message to a fresh buffer.
+// Buf is a pooled encode buffer. Transports obtain one with GetBuf,
+// append a frame with AppendEncode, hand B to the network, and Release
+// it once the bytes are no longer referenced (after the write syscall,
+// or after the simulated network has taken its own copy).
+type Buf struct {
+	B []byte
+}
+
+// bufPool recycles encode buffers across sends. Oversized buffers are
+// dropped on Release so one huge frame does not pin its capacity forever.
+var bufPool = sync.Pool{
+	New: func() any { return &Buf{B: make([]byte, 0, 512)} },
+}
+
+// maxPooledBuf bounds the capacity retained by the pool.
+const maxPooledBuf = 64 << 10
+
+// GetBuf returns an empty pooled buffer.
+func GetBuf() *Buf {
+	b := bufPool.Get().(*Buf)
+	b.B = b.B[:0]
+	return b
+}
+
+// Release returns the buffer to the pool. The caller must not touch B
+// afterwards.
+func (b *Buf) Release() {
+	if b == nil || cap(b.B) > maxPooledBuf {
+		return
+	}
+	bufPool.Put(b)
+}
+
+// Encode serialises the message to a fresh buffer. Hot paths should
+// prefer AppendEncode with a pooled Buf; Encode remains for callers
+// whose frame escapes (e.g. a relay payload embedded in another frame).
 func Encode(m *Message) []byte {
-	b := make([]byte, 0, 64)
+	return AppendEncode(make([]byte, 0, 64), m)
+}
+
+// AppendEncode appends the message's frame to dst and returns the
+// extended slice. The checksum covers only the appended frame, so dst
+// may already hold transport framing (e.g. a length prefix).
+func AppendEncode(dst []byte, m *Message) []byte {
+	mark := len(dst)
+	b := dst
 	b = append(b, magicA, magicB, version, byte(m.Type))
 	b = binary.AppendUvarint(b, m.ID)
 	b = appendStr(b, string(m.From))
@@ -230,12 +274,26 @@ func Encode(m *Message) []byte {
 		b = binary.AppendUvarint(b, uint64(len(m.Payload)))
 		b = append(b, m.Payload...)
 	}
-	return binary.LittleEndian.AppendUint32(b, crc32.ChecksumIEEE(b))
+	return binary.LittleEndian.AppendUint32(b, crc32.ChecksumIEEE(b[mark:]))
 }
 
 // Decode parses a frame, verifying its checksum. The entire buffer must
-// be consumed.
+// be consumed. The result shares no memory with data.
 func Decode(data []byte) (*Message, error) {
+	return decode(data, false)
+}
+
+// DecodeNoCopy parses a frame whose variable-length contents (relay
+// Payload, tuple/template bytes fields) alias data instead of being
+// copied. The caller must keep data alive and unmodified for the
+// message's lifetime, or detach the parts it retains (Tuple.Copy,
+// Template.Copy, or cloning Payload). Receive loops that process one
+// frame per buffer use it to avoid per-field allocations.
+func DecodeNoCopy(data []byte) (*Message, error) {
+	return decode(data, true)
+}
+
+func decode(data []byte, alias bool) (*Message, error) {
 	if len(data) < 4 {
 		return nil, fmt.Errorf("short frame (%d bytes): %w", len(data), ErrFrame)
 	}
@@ -292,7 +350,7 @@ func Decode(data []byte) (*Message, error) {
 			return nil, err
 		}
 		m.TTL = time.Duration(ttl) * time.Millisecond
-		if m.Template, src, err = tuple.DecodeTemplate(src); err != nil {
+		if m.Template, src, err = decodeTemplate(src, alias); err != nil {
 			return nil, fmt.Errorf("template: %w", err)
 		}
 	case TResult:
@@ -303,7 +361,7 @@ func Decode(data []byte) (*Message, error) {
 			return nil, err
 		}
 		if m.Found {
-			if m.Tuple, src, err = tuple.DecodeTuple(src); err != nil {
+			if m.Tuple, src, err = decodeTuple(src, alias); err != nil {
 				return nil, fmt.Errorf("tuple: %w", err)
 			}
 		}
@@ -317,7 +375,7 @@ func Decode(data []byte) (*Message, error) {
 			return nil, err
 		}
 		m.TTL = time.Duration(ttl) * time.Millisecond
-		if m.Tuple, src, err = tuple.DecodeTuple(src); err != nil {
+		if m.Tuple, src, err = decodeTuple(src, alias); err != nil {
 			return nil, fmt.Errorf("tuple: %w", err)
 		}
 	case TEval:
@@ -329,7 +387,7 @@ func Decode(data []byte) (*Message, error) {
 			return nil, err
 		}
 		m.TTL = time.Duration(ttl) * time.Millisecond
-		if m.Tuple, src, err = tuple.DecodeTuple(src); err != nil {
+		if m.Tuple, src, err = decodeTuple(src, alias); err != nil {
 			return nil, fmt.Errorf("args: %w", err)
 		}
 	case TAck:
@@ -352,13 +410,31 @@ func Decode(data []byte) (*Message, error) {
 		if n > maxStr || uint64(len(src)) < n {
 			return nil, fmt.Errorf("payload %d: %w", n, ErrFrame)
 		}
-		m.Payload = append([]byte(nil), src[:n]...)
+		if alias {
+			m.Payload = src[:n:n]
+		} else {
+			m.Payload = append([]byte(nil), src[:n]...)
+		}
 		src = src[n:]
 	}
 	if len(src) != 0 {
 		return nil, fmt.Errorf("%d trailing bytes: %w", len(src), ErrFrame)
 	}
 	return m, nil
+}
+
+func decodeTuple(src []byte, alias bool) (tuple.Tuple, []byte, error) {
+	if alias {
+		return tuple.DecodeTupleNoCopy(src)
+	}
+	return tuple.DecodeTuple(src)
+}
+
+func decodeTemplate(src []byte, alias bool) (tuple.Template, []byte, error) {
+	if alias {
+		return tuple.DecodeTemplateNoCopy(src)
+	}
+	return tuple.DecodeTemplate(src)
 }
 
 func appendStr(b []byte, s string) []byte {

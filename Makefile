@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench bench-json chaos
+.PHONY: build test check bench bench-json chaos crash
 
 build:
 	$(GO) build ./...
@@ -29,3 +29,11 @@ bench-json:
 # duplicating, reordering network, reporting retry/dedup counters.
 chaos:
 	$(GO) run ./cmd/tiamat-bench -quick -chaos E2 E9 E10
+
+# crash runs the storage fault-injection suite under the race detector:
+# WAL kill-point sweeps, torn writes, bit flips, failed syncs, and the
+# shutdown/restart/rejoin lifecycle (the storage twin of `make chaos`).
+crash:
+	$(GO) test -race -run 'Crash|KillPoint|Truncate|BitFlip|SyncFailure|Torn|Shutdown|Goodbye|RestartRejoin|C1' \
+		./space/persist/ ./internal/core/ ./internal/harness/
+	$(GO) run ./cmd/tiamat-bench -quick C1

@@ -97,6 +97,7 @@ func run() int {
 		{"T2", "lease negotiation micro-costs", harness.T2LeaseNegotiation},
 		{"X1", "backbone relay routing (future work)", harness.X1Backbone},
 		{"X2", "adaptive discovery (future work)", harness.X2AdaptiveDiscovery},
+		{"C1", "crash injection and restart/rejoin", harness.C1Crash},
 		{"AB1", "ablation: contact fanout", harness.AB1ContactFanout},
 	}
 

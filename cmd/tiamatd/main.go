@@ -6,8 +6,15 @@
 // Usage:
 //
 //	tiamatd [-listen 127.0.0.1:0] [-group 239.77.7.3:7703]
-//	        [-peers host:port,host:port] [-persistent]
-//	        [-stats 10s] [-pda]
+//	        [-peers host:port,host:port] [-persistent] [-data tiamatd.wal]
+//	        [-fsync always|interval|never] [-stats 10s] [-pda]
+//
+// With -persistent the local space is backed by a write-ahead log at
+// -data: tuples survive restarts (the log is replayed on boot and a
+// recovery report printed), and the space-info tuple advertises the
+// persistence truthfully. On SIGINT/SIGTERM the daemon drains
+// gracefully: it announces its departure, settles in-flight work, and
+// flushes the log before exiting.
 //
 // The daemon registers two demo eval functions, "echo" (returns its
 // argument tuple tagged "echoed") and "sum" (sums its integer fields into
@@ -26,7 +33,9 @@ import (
 	"time"
 
 	"tiamat"
+	"tiamat/internal/store"
 	"tiamat/lease"
+	"tiamat/space/persist"
 	"tiamat/transport/netudp"
 	"tiamat/tuple"
 )
@@ -35,7 +44,9 @@ func main() {
 	listen := flag.String("listen", "127.0.0.1:0", "TCP listen address (the node's identity)")
 	group := flag.String("group", "", "UDP multicast group for discovery, e.g. 239.77.7.3:7703")
 	peers := flag.String("peers", "", "comma-separated static peer addresses (multicast fallback)")
-	persistent := flag.Bool("persistent", false, "advertise this space as persistent")
+	persistent := flag.Bool("persistent", false, "back the space with a write-ahead log and advertise it as persistent")
+	data := flag.String("data", "tiamatd.wal", "write-ahead log path (with -persistent)")
+	fsyncPolicy := flag.String("fsync", "always", "WAL fsync policy: always, interval, never")
 	statsEvery := flag.Duration("stats", 0, "print stats at this interval (0 = off)")
 	pda := flag.Bool("pda", false, "use constrained PDA-class lease capacities")
 	flag.Parse()
@@ -60,6 +71,30 @@ func main() {
 	}
 	if *pda {
 		cfg.Leases = lease.ConstrainedCapacity()
+	}
+	// -persistent is only truthful if the space actually is: back it with
+	// the write-ahead log so the advertisement matches reality.
+	if *persistent {
+		var policy persist.SyncPolicy
+		switch *fsyncPolicy {
+		case "always":
+			policy = persist.SyncAlways
+		case "interval":
+			policy = persist.SyncInterval
+		case "never":
+			policy = persist.SyncNever
+		default:
+			log.Fatalf("unknown -fsync policy %q (want always, interval, or never)", *fsyncPolicy)
+		}
+		sp, err := persist.OpenWith(*data, store.New(), nil, persist.Options{Sync: policy})
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.Space = sp
+		if rep := sp.Recovery(); rep.Replayed+rep.Skipped+rep.TornTail > 0 {
+			fmt.Printf("recovered %s: %d records replayed, %d skipped (corrupt), %d torn tail bytes dropped\n",
+				*data, rep.Replayed, rep.Skipped, rep.TornTail)
+		}
 	}
 	inst, err := tiamat.New(cfg)
 	if err != nil {
@@ -102,7 +137,20 @@ func main() {
 	for {
 		select {
 		case <-sig:
-			fmt.Println("shutting down")
+			fmt.Println("draining (goodbye announced; ^C again to force)")
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			done := make(chan error, 1)
+			go func() { done <- inst.Shutdown(ctx) }()
+			select {
+			case err := <-done:
+				cancel()
+				if err != nil {
+					fmt.Printf("shutdown cut short: %v\n", err)
+				}
+			case <-sig:
+				cancel()
+				fmt.Println("forced")
+			}
 			return
 		case <-tick:
 			s := inst.LeaseManager().Stats()

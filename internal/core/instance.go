@@ -15,6 +15,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"tiamat/clock"
@@ -248,6 +249,12 @@ type Instance struct {
 	evals      map[string]EvalFunc
 	relays     []wire.Addr
 
+	// draining is set by Shutdown before any teardown happens: API entry
+	// points and new remote work are refused while in-flight state
+	// settles. It is atomic (not under mu) so the dispatch fast path can
+	// test it lock-free.
+	draining atomic.Bool
+
 	wg       sync.WaitGroup
 	stopOnce sync.Once
 	stopped  chan struct{}
@@ -321,6 +328,14 @@ func New(cfg Config) (*Instance, error) {
 	}
 	i.wg.Add(1)
 	go i.loop()
+	// Hello: an unsolicited announce folds this instance into the
+	// responder lists of every peer that hears it (handleAnnounce keeps
+	// unsolicited announces as "useful knowledge"), so a restarted node
+	// is contactable again without waiting to be rediscovered. ID 0 is
+	// never used by a discovery round, so no open round mistakes it for
+	// a reply. Best-effort: a node that boots in isolation is found by
+	// ordinary discovery later.
+	_, _ = i.ep.Multicast(&wire.Message{Type: wire.TAnnounce, From: i.Addr(), Persistent: cfg.Persistent})
 	return i, nil
 }
 
@@ -353,6 +368,88 @@ func (i *Instance) SetRelays(relays []wire.Addr) {
 	i.mu.Lock()
 	defer i.mu.Unlock()
 	i.relays = append([]wire.Addr(nil), relays...)
+}
+
+// Shutdown stops the instance gracefully, bounded by ctx:
+//
+//  1. New work is refused: local operations return ErrClosed and remote
+//     requests are answered with not-found / a refusal ack, so peers
+//     move on to other responders instead of burning retries here.
+//  2. A goodbye announcement is multicast; peers drop this node from
+//     their responder lists immediately (discovery.Depart) rather than
+//     discovering its absence one failed contact at a time.
+//  3. Blocking waits served for peers are settled with a definitive
+//     not-found, and in-flight holds and outbound operations are given
+//     until ctx expires to settle.
+//  4. The local space is flushed (space.Syncer) and the instance closes.
+//
+// What survives a restart after Shutdown is exactly what survives a
+// crash with a persistent space: the tuples. Leases, holds, served
+// waiters, and responder lists are node-local runtime state and are
+// deliberately released, not preserved — a restarted node renegotiates
+// leases and rediscovers its neighbourhood (DESIGN.md §8).
+//
+// Shutdown returns the ctx error if the drain was cut short; the
+// instance is closed either way. Calling Shutdown on a closed or
+// already-draining instance waits for that teardown instead of starting
+// another.
+func (i *Instance) Shutdown(ctx context.Context) error {
+	if !i.draining.CompareAndSwap(false, true) {
+		select {
+		case <-i.stopped:
+			return nil
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	if i.isClosed() {
+		return nil
+	}
+	i.met.Inc(trace.CtrGoodbyes)
+	_, _ = i.ep.Multicast(&wire.Message{Type: wire.TGoodbye, ID: i.nextOp(), From: i.Addr()})
+
+	// Settle peers' blocking waits with a definitive answer: their
+	// operations fail over to other responders instead of timing out
+	// against a dead address.
+	i.mu.Lock()
+	waits := make(map[waitKey]*remoteWait, len(i.waits))
+	for k, w := range i.waits {
+		waits[k] = w
+	}
+	i.mu.Unlock()
+	for k, w := range waits {
+		_ = i.send(k.from, &wire.Message{Type: wire.TResult, ID: k.id, From: i.Addr(), Found: false})
+		w.stop()
+	}
+
+	// Drain: holds settle when their requester accepts/releases (or
+	// their grace timer fires); outbound ops settle as replies arrive.
+	// The poll runs on the wall clock — drain pacing is not simulated
+	// time — and is bounded by ctx.
+	var err error
+drain:
+	for {
+		i.mu.Lock()
+		busy := len(i.holds) + len(i.ops)
+		i.mu.Unlock()
+		if busy == 0 {
+			break
+		}
+		select {
+		case <-ctx.Done():
+			err = ctx.Err()
+			break drain
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+
+	if sy, ok := i.local.(space.Syncer); ok {
+		if serr := sy.Sync(); serr != nil && err == nil {
+			err = serr
+		}
+	}
+	_ = i.Close()
+	return err
 }
 
 // Close stops the instance: the event loop exits, the local space closes,
@@ -455,4 +552,12 @@ func (i *Instance) isClosed() bool {
 	i.mu.Lock()
 	defer i.mu.Unlock()
 	return i.closed
+}
+
+// stopping reports whether the instance is draining or closed: the gate
+// for new work at API entry points. Internal settlement paths (cancel,
+// release, hold accounting) keep running during a drain and gate on
+// isClosed alone.
+func (i *Instance) stopping() bool {
+	return i.draining.Load() || i.isClosed()
 }

@@ -44,7 +44,7 @@ func (i *Instance) retryWait(k int) time.Duration {
 // §2.2: out operates only on the local space by default). The tuple
 // becomes reclaimable when the lease expires.
 func (i *Instance) Out(t tuple.Tuple, r lease.Requester) error {
-	if i.isClosed() {
+	if i.stopping() {
 		return ErrClosed
 	}
 	i.met.Inc(trace.CtrOpsOut)
@@ -77,7 +77,7 @@ func (i *Instance) Out(t tuple.Tuple, r lease.Requester) error {
 // lease expires first the computation is halted and no tuple appears
 // (paper §2.5).
 func (i *Instance) Eval(fn string, args tuple.Tuple, r lease.Requester) error {
-	if i.isClosed() {
+	if i.stopping() {
 		return ErrClosed
 	}
 	i.met.Inc(trace.CtrOpsEval)
@@ -202,7 +202,7 @@ func opCounter(code wire.OpCode) string {
 // local space first, then propagation to visible instances under the
 // lease budget (paper §2.2, §3.1.3).
 func (i *Instance) logicalOp(ctx context.Context, code wire.OpCode, p tuple.Template, r lease.Requester) (Result, bool, error) {
-	if i.isClosed() {
+	if i.stopping() {
 		return Result{}, false, ErrClosed
 	}
 	i.met.Inc(opCounter(code))
@@ -623,7 +623,7 @@ func (i *Instance) handleResult(m *wire.Message) {
 // collects announcements until ctx is done or every probed instance has
 // answered. The local space is always first in the result.
 func (i *Instance) Spaces(ctx context.Context) ([]SpaceInfo, error) {
-	if i.isClosed() {
+	if i.stopping() {
 		return nil, ErrClosed
 	}
 	id := i.nextOp()
@@ -663,7 +663,7 @@ func (i *Instance) OutAt(addr wire.Addr, t tuple.Tuple, r lease.Requester) error
 	if addr == i.Addr() {
 		return i.Out(t, r)
 	}
-	if i.isClosed() {
+	if i.stopping() {
 		return ErrClosed
 	}
 	i.met.Inc(trace.CtrOpsOut)
@@ -692,7 +692,7 @@ func (i *Instance) EvalAt(addr wire.Addr, fn string, args tuple.Tuple, r lease.R
 	if addr == i.Addr() {
 		return i.Eval(fn, args, r)
 	}
-	if i.isClosed() {
+	if i.stopping() {
 		return ErrClosed
 	}
 	i.met.Inc(trace.CtrOpsEval)
@@ -717,7 +717,7 @@ func (i *Instance) EvalAt(addr wire.Addr, fn string, args tuple.Tuple, r lease.R
 
 // directOp runs a read/take against one specific remote space.
 func (i *Instance) directOp(ctx context.Context, addr wire.Addr, code wire.OpCode, p tuple.Template, r lease.Requester) (Result, bool, error) {
-	if i.isClosed() {
+	if i.stopping() {
 		return Result{}, false, ErrClosed
 	}
 	i.met.Inc(opCounter(code))

@@ -531,9 +531,54 @@ func (i *Instance) relayOut(res Result) error {
 	return lastErr
 }
 
+// handleGoodbye processes a peer's graceful departure: it is dropped
+// from the responder list at once (no failure accounting — it told us it
+// is leaving), blocking waits served on its behalf are stopped, and
+// holds it owns are reinstated immediately instead of riding out their
+// grace timers — the accept is never coming.
+func (i *Instance) handleGoodbye(m *wire.Message) {
+	i.list.Depart(m.From)
+	i.mu.Lock()
+	waits := make([]*remoteWait, 0)
+	for key, w := range i.waits {
+		if key.from == m.From {
+			waits = append(waits, w)
+		}
+	}
+	holds := make([]uint64, 0)
+	for id, ph := range i.holds {
+		if ph.key.from == m.From {
+			holds = append(holds, id)
+		}
+	}
+	i.mu.Unlock()
+	for _, w := range waits {
+		w.stop()
+	}
+	for _, id := range holds {
+		i.settleHold(id, false)
+	}
+}
+
 // dispatch routes one message exactly as the event loop does; used by
 // relay delivery to self.
 func (i *Instance) dispatch(m *wire.Message) {
+	if i.draining.Load() {
+		// Refuse new work with a definitive answer so peers fail over
+		// instead of retrying into a closing node; in-flight settlement
+		// traffic (results, accepts, releases, cancels) still flows so
+		// the drain can finish.
+		switch m.Type {
+		case wire.TOp:
+			_ = i.send(m.From, &wire.Message{Type: wire.TResult, ID: m.ID, From: i.Addr(), Found: false})
+			return
+		case wire.TOut, wire.TEval:
+			_ = i.send(m.From, &wire.Message{Type: wire.TAck, ID: m.ID, From: i.Addr(), OK: false, Err: "draining"})
+			return
+		case wire.TDiscover:
+			return // do not advertise a space that is leaving
+		}
+	}
 	switch m.Type {
 	case wire.TDiscover:
 		i.handleDiscover(m)
@@ -557,5 +602,7 @@ func (i *Instance) dispatch(m *wire.Message) {
 		i.handleResult(m)
 	case wire.TRelay:
 		i.handleRelay(m)
+	case wire.TGoodbye:
+		i.handleGoodbye(m)
 	}
 }

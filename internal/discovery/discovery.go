@@ -241,8 +241,28 @@ func (l *ResponderList) Fail(addr wire.Addr) {
 func (l *ResponderList) Evict(addr wire.Addr) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	if l.removeLocked(addr) {
+		l.met.Inc(trace.CtrListEvictions)
+	}
+}
+
+// Depart removes a responder that multicast a graceful goodbye. Unlike
+// Evict this reflects cooperation, not failure: the node told us it is
+// leaving, so it is dropped immediately — no retries wasted on it, no
+// suspicion machinery engaged — and counted separately.
+func (l *ResponderList) Depart(addr wire.Addr) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.removeLocked(addr) {
+		l.met.Inc(trace.CtrGoodbyes)
+	}
+}
+
+// removeLocked deletes addr from the list, reporting whether it was
+// present. Caller holds l.mu.
+func (l *ResponderList) removeLocked(addr wire.Addr) bool {
 	if l.index[addr] == nil {
-		return
+		return false
 	}
 	delete(l.index, addr)
 	for i, e := range l.addrs {
@@ -251,7 +271,7 @@ func (l *ResponderList) Evict(addr wire.Addr) {
 			break
 		}
 	}
-	l.met.Inc(trace.CtrListEvictions)
+	return true
 }
 
 // Clear empties the list (used when the instance knows its own context

@@ -62,6 +62,27 @@ func TestEvictByAttritionPromotesStableNodes(t *testing.T) {
 	}
 }
 
+func TestDepartRemovesWithoutEviction(t *testing.T) {
+	met := &trace.Metrics{}
+	l := NewResponderList(0, met)
+	l.Observe("leaver")
+	l.Observe("stayer")
+	l.Depart("leaver")
+	l.Depart("ghost") // absent: not counted
+	if l.Contains("leaver") {
+		t.Fatal("departed node still listed")
+	}
+	if !l.Contains("stayer") {
+		t.Fatal("bystander removed")
+	}
+	if met.Get(trace.CtrGoodbyes) != 1 {
+		t.Fatalf("goodbyes = %d, want 1", met.Get(trace.CtrGoodbyes))
+	}
+	if met.Get(trace.CtrListEvictions) != 0 {
+		t.Fatal("graceful departure counted as eviction")
+	}
+}
+
 func TestEvictAbsentIsNoop(t *testing.T) {
 	met := &trace.Metrics{}
 	l := NewResponderList(0, met)

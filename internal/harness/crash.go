@@ -1,0 +1,213 @@
+package harness
+
+// C1 is the crash-injection experiment: the storage twin of the network
+// chaos runs (E2/E9/E10). It SIGKILL-drops a durable space at every byte
+// of its WAL write stream, reopens, and checks tuple conservation; then
+// it cycles a persistent node through shutdown → restart and measures
+// how quickly the goodbye/hello lifecycle returns it to service.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"tiamat/internal/core"
+	"tiamat/internal/store"
+	"tiamat/space/persist"
+	"tiamat/transport/memnet"
+	"tiamat/tuple"
+	"tiamat/wire"
+)
+
+func crashItem(v int64) tuple.Tuple { return tuple.T(tuple.String("c"), tuple.Int(v)) }
+
+// crashWorkload drives a fixed op sequence, recording what was acked
+// before the injected kill.
+func crashWorkload(sp *persist.Space) (ackedOut, ackedRemoved []tuple.Tuple) {
+	for v := int64(0); v < 8; v++ {
+		if _, err := sp.Out(crashItem(v), time.Time{}); err == nil {
+			ackedOut = append(ackedOut, crashItem(v))
+		}
+	}
+	for _, v := range []int64{2, 5} {
+		if got, ok := sp.Inp(tuple.Tmpl(tuple.String("c"), tuple.Int(v))); ok {
+			ackedRemoved = append(ackedRemoved, got)
+		}
+	}
+	if _, err := sp.Out(crashItem(8), time.Time{}); err == nil {
+		ackedOut = append(ackedOut, crashItem(8))
+	}
+	return ackedOut, ackedRemoved
+}
+
+// killPointSweep crashes the WAL after every `stride` bytes of its write
+// stream and reopens, returning kill points tested and conservation
+// violations (acked outs lost + acked removals resurrected).
+func killPointSweep(dir string, stride int64) (points, violations int, err error) {
+	dry := persist.NewFaultFS(nil)
+	sp, err := persist.OpenWith(filepath.Join(dir, "dry.log"), store.New(), nil, persist.Options{FS: dry})
+	if err != nil {
+		return 0, 0, err
+	}
+	crashWorkload(sp)
+	sp.Close()
+	total := dry.Faults.Written()
+
+	for budget := int64(0); budget <= total; budget += stride {
+		points++
+		path := filepath.Join(dir, fmt.Sprintf("k%06d.log", budget))
+		ffs := persist.NewFaultFS(nil)
+		ffs.Faults.CrashAfter(budget)
+		var ackedOut, ackedRemoved []tuple.Tuple
+		if sp, err := persist.OpenWith(path, store.New(), nil, persist.Options{FS: ffs}); err == nil {
+			ackedOut, ackedRemoved = crashWorkload(sp)
+			sp.Close()
+		}
+		s2, err := persist.Open(path, store.New(), nil)
+		if err != nil {
+			if errors.Is(err, os.ErrNotExist) {
+				continue // killed before the file existed; nothing acked
+			}
+			violations++
+			continue
+		}
+		for _, want := range ackedOut {
+			removed := false
+			for _, r := range ackedRemoved {
+				if r.Equal(want) {
+					removed = true
+					break
+				}
+			}
+			if removed {
+				continue
+			}
+			if _, ok := s2.Rdp(tuple.TemplateOf(want)); !ok {
+				violations++
+			}
+		}
+		for _, gone := range ackedRemoved {
+			if _, ok := s2.Rdp(tuple.TemplateOf(gone)); ok {
+				violations++
+			}
+		}
+		s2.Close()
+	}
+	return points, violations, nil
+}
+
+// rejoinTrial cycles a persistent node through out → shutdown → restart
+// next to a live peer and returns how long the restarted node took to be
+// back in the peer's responder list serving its replayed tuple.
+func rejoinTrial(dir string, seq int64) (rejoin time.Duration, err error) {
+	logPath := filepath.Join(dir, fmt.Sprintf("node%04d.log", seq))
+	net := memnet.New()
+	defer net.Close()
+
+	boot := func() (*core.Instance, error) {
+		ep, err := net.Attach("p")
+		if err != nil {
+			return nil, err
+		}
+		net.ConnectAll()
+		sp, err := persist.Open(logPath, store.New(), nil)
+		if err != nil {
+			return nil, err
+		}
+		return core.New(core.Config{Endpoint: ep, Space: sp, Persistent: true})
+	}
+
+	epB, err := net.Attach("peer")
+	if err != nil {
+		return 0, err
+	}
+	peer, err := core.New(core.Config{Endpoint: epB})
+	if err != nil {
+		return 0, err
+	}
+	defer peer.Close()
+
+	p, err := boot()
+	if err != nil {
+		return 0, err
+	}
+	probe := tuple.Tmpl(tuple.String("c"), tuple.FormalInt())
+	if err := p.Out(crashItem(seq), nil); err != nil {
+		return 0, err
+	}
+	if _, ok, _ := peer.Rdp(context.Background(), probe, nil); !ok {
+		return 0, errors.New("pre-restart read failed")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	err = p.Shutdown(ctx)
+	cancel()
+	if err != nil {
+		return 0, err
+	}
+
+	start := time.Now()
+	p2, err := boot()
+	if err != nil {
+		return 0, err
+	}
+	defer p2.Close()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if res, ok, _ := peer.Rdp(context.Background(), probe, nil); ok && res.From == wire.Addr("p") {
+			return time.Since(start), nil
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return 0, errors.New("restarted node never served its replayed tuple")
+}
+
+// C1Crash runs the crash-injection suite: a WAL kill-point conservation
+// sweep plus shutdown/restart/rejoin cycles through a live peer.
+func C1Crash(scale Scale) (*Table, error) {
+	stride := int64(7)
+	trials := 3
+	if scale == Full {
+		stride = 1
+		trials = 10
+	}
+	dir, err := os.MkdirTemp("", "tiamat-crash-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+
+	t := &Table{
+		ID:      "C1",
+		Title:   "crash injection: WAL kill-point conservation and restart/rejoin",
+		Columns: []string{"case", "trials", "violations", "mean ms"},
+	}
+
+	points, violations, err := killPointSweep(dir, stride)
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow("kill-point sweep (SyncAlways)", fmtI(int64(points)), fmtI(int64(violations)), "-")
+
+	var total time.Duration
+	failures := 0
+	for i := 0; i < trials; i++ {
+		d, err := rejoinTrial(dir, int64(i))
+		if err != nil {
+			failures++
+			continue
+		}
+		total += d
+	}
+	mean := "-"
+	if ok := trials - failures; ok > 0 {
+		mean = fmtF(float64(total.Milliseconds()) / float64(ok))
+	}
+	t.AddRow("shutdown -> restart -> rejoin", fmtI(int64(trials)), fmtI(int64(failures)), mean)
+
+	t.AddNote("conservation: for every kill point, reopening yields no lost acked out and no resurrected acked removal (violations must be 0)")
+	t.AddNote("rejoin: the goodbye removes the node from its peer's responder list; the boot hello announce restores it without a discovery round — mean ms is restart to first successful remote read of a replayed tuple")
+	return t, nil
+}

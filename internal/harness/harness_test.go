@@ -293,3 +293,20 @@ func TestAB1FanoutTradeoff(t *testing.T) {
 		t.Errorf("wider fanout did not cut latency: fanout1 %v, fanout-max %v", l1, l8)
 	}
 }
+
+func TestC1CrashConservationAndRejoin(t *testing.T) {
+	tab, err := C1Crash(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	render(t, tab)
+	if points := cell(t, tab, 0, 1); points == 0 {
+		t.Fatal("kill-point sweep tested nothing")
+	}
+	if violations := cell(t, tab, 0, 2); violations != 0 {
+		t.Errorf("conservation violated at %g kill points", violations)
+	}
+	if failures := cell(t, tab, 1, 2); failures != 0 {
+		t.Errorf("%g restart/rejoin trials failed", failures)
+	}
+}

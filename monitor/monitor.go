@@ -17,6 +17,10 @@ import (
 type Sample struct {
 	At      time.Time
 	Visible map[wire.Addr]bool
+	// Departed holds the nodes that had announced a graceful goodbye as
+	// of this sample and have not been seen since: their absence is
+	// planned shrinkage, not churn.
+	Departed map[wire.Addr]bool
 }
 
 // Monitor keeps a sliding window of visibility samples and operation
@@ -25,6 +29,10 @@ type Monitor struct {
 	mu      sync.Mutex
 	window  int
 	samples []Sample
+	// departed accumulates goodbye announcements; an address is cleared
+	// the moment it is observed visible again (it rejoined, so a later
+	// disappearance counts as churn once more).
+	departed map[wire.Addr]bool
 
 	opWindow  int
 	outcomes  []bool // success ring
@@ -52,16 +60,41 @@ func (m *Monitor) ObserveVisible(at time.Time, visible []wire.Addr) {
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	m.samples = append(m.samples, Sample{At: at, Visible: set})
+	dep := make(map[wire.Addr]bool, len(m.departed))
+	for a := range m.departed {
+		if set[a] {
+			delete(m.departed, a) // it came back: live again
+			continue
+		}
+		dep[a] = true
+	}
+	m.samples = append(m.samples, Sample{At: at, Visible: set, Departed: dep})
 	if len(m.samples) > m.window {
 		m.samples = m.samples[len(m.samples)-m.window:]
 	}
 }
 
+// ObserveGoodbye records a graceful departure announcement (wire
+// TGoodbye): the node said it was leaving, so its subsequent absence
+// from visibility samples is expected and Stability does not count it as
+// churn. If the node is observed visible again later it is treated as
+// live and a future unannounced disappearance counts normally.
+func (m *Monitor) ObserveGoodbye(addr wire.Addr) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.departed == nil {
+		m.departed = make(map[wire.Addr]bool)
+	}
+	m.departed[addr] = true
+}
+
 // Stability returns the mean Jaccard similarity between consecutive
 // visibility samples in the window: 1.0 means the visible set never
-// changed, 0.0 means it was replaced wholesale at every sample. With
-// fewer than two samples it returns 1.0 (no evidence of change).
+// changed, 0.0 means it was replaced wholesale at every sample. Nodes
+// that announced a graceful goodbye are excluded from the comparison —
+// planned departures do not destabilise the environment the way
+// unannounced disappearances do. With fewer than two samples it returns
+// 1.0 (no evidence of change).
 func (m *Monitor) Stability() float64 {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -70,7 +103,20 @@ func (m *Monitor) Stability() float64 {
 	}
 	var sum float64
 	for i := 1; i < len(m.samples); i++ {
-		sum += jaccard(m.samples[i-1].Visible, m.samples[i].Visible)
+		// A node counts as departed for this pair if it was marked in
+		// either sample: both the goodbye-shrink and the planned
+		// reappearance of the same node are lifecycle, not churn.
+		skip := m.samples[i].Departed
+		if prev := m.samples[i-1].Departed; len(prev) > 0 {
+			skip = make(map[wire.Addr]bool, len(skip)+len(prev))
+			for a := range m.samples[i].Departed {
+				skip[a] = true
+			}
+			for a := range prev {
+				skip[a] = true
+			}
+		}
+		sum += jaccardExcluding(m.samples[i-1].Visible, m.samples[i].Visible, skip)
 	}
 	return sum / float64(len(m.samples)-1)
 }
@@ -78,17 +124,30 @@ func (m *Monitor) Stability() float64 {
 // Churn is 1 - Stability.
 func (m *Monitor) Churn() float64 { return 1 - m.Stability() }
 
-func jaccard(a, b map[wire.Addr]bool) float64 {
-	if len(a) == 0 && len(b) == 0 {
-		return 1.0
-	}
-	inter := 0
+func jaccard(a, b map[wire.Addr]bool) float64 { return jaccardExcluding(a, b, nil) }
+
+// jaccardExcluding is the Jaccard similarity of a and b with the skip
+// set removed from both sides.
+func jaccardExcluding(a, b, skip map[wire.Addr]bool) float64 {
+	inter, union := 0, 0
 	for k := range a {
+		if skip[k] {
+			continue
+		}
+		union++
 		if b[k] {
 			inter++
 		}
 	}
-	union := len(a) + len(b) - inter
+	for k := range b {
+		if skip[k] || a[k] {
+			continue
+		}
+		union++
+	}
+	if union == 0 {
+		return 1.0
+	}
 	return float64(inter) / float64(union)
 }
 

@@ -38,6 +38,43 @@ func TestStabilityTotalChurn(t *testing.T) {
 	}
 }
 
+func TestGoodbyeNotCountedAsChurn(t *testing.T) {
+	// b leaves gracefully: the shrink from {a,b,c} to {a,c} is planned
+	// and must not depress stability.
+	m := New(8, 8)
+	m.ObserveVisible(time.Time{}, addrs("a", "b", "c"))
+	m.ObserveGoodbye("b")
+	m.ObserveVisible(time.Time{}, addrs("a", "c"))
+	if got := m.Stability(); got != 1.0 {
+		t.Fatalf("Stability = %g after announced departure, want 1.0", got)
+	}
+
+	// The same shrink without a goodbye is churn.
+	m2 := New(8, 8)
+	m2.ObserveVisible(time.Time{}, addrs("a", "b", "c"))
+	m2.ObserveVisible(time.Time{}, addrs("a", "c"))
+	if got := m2.Stability(); got >= 1.0 {
+		t.Fatalf("Stability = %g after silent departure, want < 1.0", got)
+	}
+}
+
+func TestGoodbyeRejoinRestoresChurnAccounting(t *testing.T) {
+	m := New(8, 8)
+	m.ObserveVisible(time.Time{}, addrs("a", "b"))
+	m.ObserveGoodbye("b")
+	m.ObserveVisible(time.Time{}, addrs("a"))
+	// b rejoins: it is live again…
+	m.ObserveVisible(time.Time{}, addrs("a", "b"))
+	if got := m.Stability(); got != 1.0 {
+		t.Fatalf("Stability = %g across goodbye+rejoin, want 1.0", got)
+	}
+	// …so a later silent disappearance counts as churn.
+	m.ObserveVisible(time.Time{}, addrs("a"))
+	if got := m.Stability(); got >= 1.0 {
+		t.Fatalf("Stability = %g after silent re-departure, want < 1.0", got)
+	}
+}
+
 func TestStabilityPartialOverlap(t *testing.T) {
 	m := New(8, 8)
 	m.ObserveVisible(time.Time{}, addrs("a", "b"))

@@ -17,4 +17,13 @@ go test ./...
 echo "==> go test -race ./..."
 go test -race ./...
 
+# The crash gate: kill-point sweeps, bit flips, and failed syncs against
+# the WAL, plus shutdown/restart/rejoin lifecycle — under the race
+# detector (the storage twin of the chaos gate above). These tests also
+# run as part of ./..., but the explicit step keeps the gate loud if the
+# suites are ever renamed out of the default run.
+echo "==> crash suite (-race)"
+go test -race -run 'Crash|KillPoint|Truncate|BitFlip|SyncFailure|Torn|Shutdown|Goodbye|RestartRejoin|C1' \
+	./space/persist/ ./internal/core/ ./internal/harness/
+
 echo "OK"

@@ -1,0 +1,230 @@
+package persist
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrInjected is the error surfaced by fault-injected writes and syncs.
+var ErrInjected = errors.New("persist: injected fault")
+
+// Faults is the control block of the storage fault injector — the
+// storage twin of memnet.Faults. Zero value injects nothing. All methods
+// are safe for concurrent use with the WAL they instrument.
+//
+// The central knob is the write budget: CrashAfter(n) lets the next n
+// bytes through and then tears the write mid-record, emulating a SIGKILL
+// or power cut at an arbitrary byte. Sweeping n across a workload visits
+// every possible torn-write state (see crash_test.go).
+type Faults struct {
+	mu          sync.Mutex
+	budget      int64 // bytes still allowed through; -1 = unlimited
+	crashed     bool  // budget exhausted: all writes/syncs fail
+	failSyncs   int   // next n syncs fail (without crashing)
+	flipBit     int64 // absolute byte offset whose low bit to flip, -1 = off
+	flipArmed   bool
+	written     int64 // total bytes observed across all files
+	syncsFailed int
+}
+
+// NewFaults returns an injector with no faults armed.
+func NewFaults() *Faults { return &Faults{budget: -1, flipBit: -1} }
+
+// CrashAfter arms the write budget: n more bytes are written faithfully,
+// then every write is cut short (torn) and fails with ErrInjected, as do
+// all subsequent writes and syncs — the process is "dead" as far as the
+// log is concerned. n = -1 disarms.
+func (f *Faults) CrashAfter(n int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.budget = n
+	if n >= 0 {
+		f.crashed = f.budget == 0 && f.written > 0 // immediate kill only once writing started
+	} else {
+		f.crashed = false
+	}
+}
+
+// FailSyncs arms the next n Sync calls to fail with ErrInjected without
+// tearing any data — a disk that accepts writes but cannot flush.
+func (f *Faults) FailSyncs(n int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.failSyncs = n
+}
+
+// FlipBit arms a single bit flip: the low bit of the byte that lands at
+// absolute write offset off (across the lifetime of the injector) is
+// inverted in transit — silent media corruption.
+func (f *Faults) FlipBit(off int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.flipBit = off
+	f.flipArmed = off >= 0
+}
+
+// Crashed reports whether the write budget has been exhausted.
+func (f *Faults) Crashed() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.crashed
+}
+
+// Written returns the total bytes written through the injector.
+func (f *Faults) Written() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.written
+}
+
+// admit decides the fate of a write of len(p) bytes: how many bytes pass
+// through (possibly mutated) and whether the write then fails.
+func (f *Faults) admit(p []byte) (pass []byte, err error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return nil, ErrInjected
+	}
+	n := int64(len(p))
+	if f.budget >= 0 && n > f.budget {
+		n = f.budget
+		f.crashed = true
+		err = ErrInjected
+	}
+	pass = p[:n]
+	if f.flipArmed && f.flipBit >= f.written && f.flipBit < f.written+n {
+		pass = append([]byte(nil), pass...)
+		pass[f.flipBit-f.written] ^= 0x01
+		f.flipArmed = false
+	}
+	if f.budget >= 0 {
+		f.budget -= n
+	}
+	f.written += n
+	return pass, err
+}
+
+// admitSync decides the fate of a Sync call.
+func (f *Faults) admitSync() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return ErrInjected
+	}
+	if f.failSyncs > 0 {
+		f.failSyncs--
+		f.syncsFailed++
+		return ErrInjected
+	}
+	return nil
+}
+
+// FaultFS wraps an FS, routing every written byte and every sync through
+// a Faults control block. Reads, renames and directory syncs pass
+// through untouched unless the injector has crashed (a dead process does
+// not rename files either).
+type FaultFS struct {
+	Inner  FS
+	Faults *Faults
+}
+
+var _ FS = (*FaultFS)(nil)
+
+// NewFaultFS wraps inner (nil means the OS) with a fresh injector.
+func NewFaultFS(inner FS) *FaultFS {
+	if inner == nil {
+		inner = OSFS{}
+	}
+	return &FaultFS{Inner: inner, Faults: NewFaults()}
+}
+
+// ReadFile implements FS.
+func (f *FaultFS) ReadFile(path string) ([]byte, error) { return f.Inner.ReadFile(path) }
+
+// Create implements FS.
+func (f *FaultFS) Create(path string) (File, error) {
+	if f.Faults.Crashed() {
+		return nil, ErrInjected
+	}
+	inner, err := f.Inner.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return &FaultFile{Inner: inner, Faults: f.Faults}, nil
+}
+
+// OpenAppend implements FS.
+func (f *FaultFS) OpenAppend(path string) (File, error) {
+	if f.Faults.Crashed() {
+		return nil, ErrInjected
+	}
+	inner, err := f.Inner.OpenAppend(path)
+	if err != nil {
+		return nil, err
+	}
+	return &FaultFile{Inner: inner, Faults: f.Faults}, nil
+}
+
+// Rename implements FS.
+func (f *FaultFS) Rename(oldpath, newpath string) error {
+	if f.Faults.Crashed() {
+		return ErrInjected
+	}
+	return f.Inner.Rename(oldpath, newpath)
+}
+
+// Remove implements FS.
+func (f *FaultFS) Remove(path string) error {
+	if f.Faults.Crashed() {
+		return ErrInjected
+	}
+	return f.Inner.Remove(path)
+}
+
+// SyncDir implements FS.
+func (f *FaultFS) SyncDir(path string) error {
+	if f.Faults.Crashed() {
+		return ErrInjected
+	}
+	return f.Inner.SyncDir(path)
+}
+
+// FaultFile is a File whose writes and syncs obey a Faults block: it can
+// truncate a write mid-record, flip bits in transit, and fail syncs on
+// demand.
+type FaultFile struct {
+	Inner  File
+	Faults *Faults
+}
+
+var _ File = (*FaultFile)(nil)
+
+// Write implements File. On a budget exhaustion the admitted prefix is
+// still written (the torn tail a real crash leaves) before the error.
+func (f *FaultFile) Write(p []byte) (int, error) {
+	pass, ferr := f.Faults.admit(p)
+	n := 0
+	if len(pass) > 0 {
+		var err error
+		n, err = f.Inner.Write(pass)
+		if err != nil {
+			return n, err
+		}
+	}
+	if ferr != nil {
+		return n, ferr
+	}
+	return len(p), nil
+}
+
+// Sync implements File.
+func (f *FaultFile) Sync() error {
+	if err := f.Faults.admitSync(); err != nil {
+		return err
+	}
+	return f.Inner.Sync()
+}
+
+// Close implements File. Close always reaches the real file so the test
+// harness does not leak descriptors, even "after death".
+func (f *FaultFile) Close() error { return f.Inner.Close() }

@@ -1,0 +1,86 @@
+package persist
+
+import (
+	"io"
+	"os"
+)
+
+// FS abstracts the few filesystem operations the WAL needs, so the
+// crash-injection layer (FaultFS) can sit between the log and the disk —
+// the storage twin of memnet's network fault injection.
+type FS interface {
+	// ReadFile returns the full contents of the file at path.
+	ReadFile(path string) ([]byte, error)
+	// Create truncates or creates the file at path for writing.
+	Create(path string) (File, error)
+	// OpenAppend opens the file at path for appending, creating it (with
+	// a fresh header already present, in the WAL's case) if absent.
+	OpenAppend(path string) (File, error)
+	// Rename atomically replaces newpath with oldpath.
+	Rename(oldpath, newpath string) error
+	// Remove deletes the file at path; a missing file is not an error
+	// worth acting on (callers ignore the result for cleanup).
+	Remove(path string) error
+	// SyncDir fsyncs the directory at path, making a preceding Rename
+	// durable.
+	SyncDir(path string) error
+}
+
+// File is the writable handle an FS hands out.
+type File interface {
+	io.Writer
+	// Sync flushes written data to stable storage.
+	Sync() error
+	// Close releases the handle.
+	Close() error
+}
+
+// OSFS is the real filesystem.
+type OSFS struct{}
+
+var _ FS = OSFS{}
+
+// ReadFile implements FS.
+func (OSFS) ReadFile(path string) ([]byte, error) { return os.ReadFile(path) }
+
+// Create implements FS.
+func (OSFS) Create(path string) (File, error) {
+	return os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+}
+
+// OpenAppend implements FS.
+func (OSFS) OpenAppend(path string) (File, error) {
+	return os.OpenFile(path, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+}
+
+// Rename implements FS.
+func (OSFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+// Remove implements FS.
+func (OSFS) Remove(path string) error { return os.Remove(path) }
+
+// SyncDir implements FS. Filesystems that do not support fsync on a
+// directory handle (some CI tmpfs setups) report EINVAL; that is
+// tolerated — on such systems the rename is as durable as it gets.
+func (OSFS) SyncDir(path string) error {
+	d, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil && !isSyncUnsupported(err) {
+		return err
+	}
+	return nil
+}
+
+func isSyncUnsupported(err error) bool {
+	// EINVAL/ENOTSUP from fsync on a directory: the filesystem cannot do
+	// better than the rename itself.
+	pe, ok := err.(*os.PathError)
+	if !ok {
+		return false
+	}
+	msg := pe.Err.Error()
+	return msg == "invalid argument" || msg == "operation not supported"
+}

@@ -70,6 +70,14 @@ type Space interface {
 	Close() error
 }
 
+// Syncer is optionally implemented by durable spaces: Sync flushes
+// buffered state to stable storage. The instance calls it during a
+// graceful shutdown so a persistent space under a relaxed fsync policy
+// still lands everything before the process exits.
+type Syncer interface {
+	Sync() error
+}
+
 // Waiter is a registered blocking interest in a template match.
 type Waiter interface {
 	// Chan delivers exactly one matching tuple, then is closed. The

@@ -142,6 +142,17 @@ const (
 	CtrListEvictions  = "disc.list_evictions"
 	CtrSuspicions     = "disc.suspicions"
 	CtrSuspectSkips   = "disc.suspect_skips"
+	CtrGoodbyes       = "disc.goodbyes"
+
+	// Write-ahead log counters (space/persist durability path).
+	CtrWALAppends       = "wal.appends"
+	CtrWALSyncs         = "wal.syncs"
+	CtrWALCompactions   = "wal.compactions"
+	CtrWALCompactErrors = "wal.compact_errors"
+	CtrWALFailures      = "wal.failures"
+	CtrWALReplayed      = "wal.replayed"
+	CtrWALSkipped       = "wal.skipped"
+	CtrWALTornBytes     = "wal.torn_bytes"
 
 	CtrTuplesStored     = "store.tuples_stored"
 	CtrTuplesTaken      = "store.tuples_taken"

@@ -69,6 +69,10 @@ const (
 	TAck
 	// TRelay carries an encapsulated frame via a backbone node (§6).
 	TRelay
+	// TGoodbye is the multicast departure announcement of a gracefully
+	// shutting-down instance: peers drop it from their responder lists
+	// immediately instead of waiting for failures to accumulate.
+	TGoodbye
 )
 
 // String names the message type.
@@ -96,6 +100,8 @@ func (t Type) String() string {
 		return "ack"
 	case TRelay:
 		return "relay"
+	case TGoodbye:
+		return "goodbye"
 	default:
 		return fmt.Sprintf("type(%d)", uint8(t))
 	}
@@ -273,6 +279,8 @@ func AppendEncode(dst []byte, m *Message) []byte {
 		b = appendStr(b, string(m.Target))
 		b = binary.AppendUvarint(b, uint64(len(m.Payload)))
 		b = append(b, m.Payload...)
+	case TGoodbye:
+		// header only
 	}
 	return binary.LittleEndian.AppendUint32(b, crc32.ChecksumIEEE(b[mark:]))
 }
@@ -311,7 +319,7 @@ func decode(data []byte, alias bool) (*Message, error) {
 		return nil, ErrChecksum
 	}
 	m := &Message{Type: Type(data[3])}
-	if m.Type == TInvalid || m.Type > TRelay {
+	if m.Type == TInvalid || m.Type > TGoodbye {
 		return nil, fmt.Errorf("type %d: %w", data[3], ErrFrame)
 	}
 	src := body[4:]
@@ -416,6 +424,8 @@ func decode(data []byte, alias bool) (*Message, error) {
 			m.Payload = append([]byte(nil), src[:n]...)
 		}
 		src = src[n:]
+	case TGoodbye:
+		// header only
 	}
 	if len(src) != 0 {
 		return nil, fmt.Errorf("%d trailing bytes: %w", len(src), ErrFrame)

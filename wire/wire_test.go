@@ -38,6 +38,7 @@ func TestRoundTripAllTypes(t *testing.T) {
 		{Type: TEval, ID: 6, From: "f", Func: "mandel", TTL: time.Second, Tuple: tp},
 		{Type: TAck, ID: 5, From: "g", OK: false, Err: "lease: refused"},
 		{Type: TRelay, ID: 7, From: "h", Target: "far", Payload: pl},
+		{Type: TGoodbye, ID: 8, From: "i"},
 	}
 	for _, m := range msgs {
 		back := roundTrip(t, m)
@@ -165,7 +166,7 @@ func TestOpCodeHelpers(t *testing.T) {
 	if OpCode(99).String() == "" || Type(99).String() == "" {
 		t.Error("unknown codes must render")
 	}
-	for ty := TDiscover; ty <= TRelay; ty++ {
+	for ty := TDiscover; ty <= TGoodbye; ty++ {
 		if ty.String() == "" {
 			t.Errorf("type %d has empty name", ty)
 		}
@@ -175,7 +176,7 @@ func TestOpCodeHelpers(t *testing.T) {
 type randMsg struct{ M *Message }
 
 func (randMsg) Generate(r *rand.Rand, _ int) reflect.Value {
-	types := []Type{TDiscover, TAnnounce, TOp, TResult, TAccept, TRelease, TCancel, TOut, TEval, TAck, TRelay}
+	types := []Type{TDiscover, TAnnounce, TOp, TResult, TAccept, TRelease, TCancel, TOut, TEval, TAck, TRelay, TGoodbye}
 	m := &Message{Type: types[r.Intn(len(types))], ID: r.Uint64() >> 1, From: Addr(randWord(r))}
 	switch m.Type {
 	case TAnnounce:

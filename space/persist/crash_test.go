@@ -354,6 +354,43 @@ func TestSyncFailureWedgesSpace(t *testing.T) {
 	}
 }
 
+// TestWedgedRetriesDoNotDuplicate: once the space is wedged, a retried
+// take is refused by the sticky gate before anything reaches the file,
+// so it must NOT append a compensating out record — the log has no
+// matching removal to compensate, and replay would resurrect an extra
+// copy of the reinstated tuple per retry.
+func TestWedgedRetriesDoNotDuplicate(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "s.log")
+	ffs := NewFaultFS(nil)
+	sp, err := OpenWith(path, store.New(), nil, Options{FS: ffs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sp.Out(item(1), time.Time{}); err != nil {
+		t.Fatal(err)
+	}
+
+	ffs.Faults.FailSyncs(1)
+	if _, ok := sp.Inp(itemTmpl()); ok {
+		t.Fatal("take acked on a failed sync")
+	}
+	for i := 0; i < 3; i++ { // retries against the wedged space
+		if _, ok := sp.Inp(itemTmpl()); ok {
+			t.Fatal("wedged space acked a take")
+		}
+	}
+	if _, ok := sp.Rdp(itemTmpl()); !ok {
+		t.Fatal("tuple not reinstated")
+	}
+	sp.Close()
+
+	s2 := open(t, path, nil)
+	defer s2.Close()
+	if n := s2.Count(); n != 1 {
+		t.Fatalf("reopened count = %d, want exactly 1 (no duplicates from retried takes)", n)
+	}
+}
+
 // TestOpenFailsLoudlyOnForeignFile: a file that is not a Tiamat WAL must
 // fail Open with ErrBadLog, not silently start empty over it.
 func TestOpenFailsLoudlyOnForeignFile(t *testing.T) {

@@ -1,8 +1,10 @@
 package persist
 
 import (
+	"errors"
 	"io"
 	"os"
+	"syscall"
 )
 
 // FS abstracts the few filesystem operations the WAL needs, so the
@@ -43,14 +45,14 @@ var _ FS = OSFS{}
 // ReadFile implements FS.
 func (OSFS) ReadFile(path string) ([]byte, error) { return os.ReadFile(path) }
 
-// Create implements FS.
+// Create implements FS. The log holds all tuple data, so it is owner-only.
 func (OSFS) Create(path string) (File, error) {
-	return os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	return os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o600)
 }
 
 // OpenAppend implements FS.
 func (OSFS) OpenAppend(path string) (File, error) {
-	return os.OpenFile(path, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+	return os.OpenFile(path, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o600)
 }
 
 // Rename implements FS.
@@ -75,12 +77,9 @@ func (OSFS) SyncDir(path string) error {
 }
 
 func isSyncUnsupported(err error) bool {
-	// EINVAL/ENOTSUP from fsync on a directory: the filesystem cannot do
-	// better than the rename itself.
-	pe, ok := err.(*os.PathError)
-	if !ok {
-		return false
-	}
-	msg := pe.Err.Error()
-	return msg == "invalid argument" || msg == "operation not supported"
+	// EINVAL/ENOTSUP/EOPNOTSUPP from fsync on a directory: the filesystem
+	// cannot do better than the rename itself.
+	return errors.Is(err, syscall.EINVAL) ||
+		errors.Is(err, syscall.ENOTSUP) ||
+		errors.Is(err, syscall.EOPNOTSUPP)
 }

@@ -437,26 +437,34 @@ func removeRecord(t tuple.Tuple) []byte {
 // log appends one record under the configured sync policy. An error
 // means the record is not (reliably) durable; the caller must not ack
 // the operation. Any write or sync failure wedges the space.
-func (s *Space) log(body []byte) error {
+//
+// wrote reports whether any bytes of the record may have reached the
+// file: false when the append was refused before touching it (closed,
+// already wedged, or a write that failed with zero bytes emitted), true
+// once a write made progress — even partially — or a sync failed after a
+// full write. Callers that undo a rejected removal (compensate) must
+// only do so when wrote is true: a compensating out for a record that
+// never landed would replay as a duplicate of the reinstated tuple.
+func (s *Space) log(body []byte) (wrote bool, err error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
-		return ErrClosed
+		return false, ErrClosed
 	}
 	if s.failed != nil {
-		return s.failed
+		return false, s.failed
 	}
 	n, err := s.f.Write(appendRecord(nil, body))
 	s.size += int64(n)
 	if err != nil {
 		s.failLocked(err)
-		return s.failed
+		return n > 0, s.failed
 	}
 	s.met.Inc(trace.CtrWALAppends)
 	switch s.opts.Sync {
 	case SyncAlways:
 		if err := s.syncLocked(); err != nil {
-			return err
+			return true, err
 		}
 	case SyncInterval:
 		s.dirty = true
@@ -464,7 +472,7 @@ func (s *Space) log(body []byte) error {
 	if s.opts.CompactAt > 0 && s.size >= s.opts.CompactAt && s.size >= 2*s.lastCompact {
 		s.wantCompact = true
 	}
-	return nil
+	return true, nil
 }
 
 // compensate appends a compensating out record for a removal record
@@ -538,14 +546,14 @@ func (s *Space) flushTick() {
 // acked once its record is durable under the sync policy.
 func (s *Space) Out(t tuple.Tuple, expiry time.Time) (uint64, error) {
 	s.opMu.RLock()
-	if err := s.log(outRecord(t, expiry)); err != nil {
+	if _, err := s.log(outRecord(t, expiry)); err != nil {
 		s.opMu.RUnlock()
 		return 0, err
 	}
 	id, err := s.inner.Out(t, expiry)
 	if err == nil && id == 0 {
 		// Consumed by a waiter immediately: it never became durable state.
-		_ = s.log(removeRecord(t))
+		_, _ = s.log(removeRecord(t))
 	}
 	s.opMu.RUnlock()
 	s.maybeCompact()
@@ -567,8 +575,10 @@ func (s *Space) Inp(p tuple.Template) (tuple.Tuple, bool) {
 		return tuple.Tuple{}, false
 	}
 	t := h.Tuple()
-	if err := s.log(removeRecord(t)); err != nil {
-		s.compensate(t) // the removal record may have landed; undo it
+	if wrote, err := s.log(removeRecord(t)); err != nil {
+		if wrote {
+			s.compensate(t) // the removal record may have landed; undo it
+		}
 		h.Release()
 		s.opMu.RUnlock()
 		return tuple.Tuple{}, false
@@ -601,14 +611,16 @@ func (w *loggedWaiter) pump() {
 	t, ok := <-w.inner.Chan()
 	if ok {
 		w.s.opMu.RLock()
-		err := w.s.log(removeRecord(t))
+		wrote, err := w.s.log(removeRecord(t))
 		if err != nil {
 			// The removal is not durable and the space is now wedged.
 			// Reinstate the tuple (expiry is lost — the store already
-			// dropped it), compensate on disk, and deliver nothing: a
-			// closed channel reads as a cancelled waiter, which matches
-			// the durable state.
-			w.s.compensate(t)
+			// dropped it), compensate on disk if the removal record may
+			// have landed, and deliver nothing: a closed channel reads as
+			// a cancelled waiter, which matches the durable state.
+			if wrote {
+				w.s.compensate(t)
+			}
 			_, _ = w.s.inner.Out(t, time.Time{})
 			w.s.opMu.RUnlock()
 			close(w.ch)
@@ -626,7 +638,11 @@ func (w *loggedWaiter) Cancel() { w.inner.Cancel() }
 
 // Hold implements space.Space; the removal becomes durable on Accept.
 // Outstanding holds defer online compaction (their tuples are invisible
-// to the snapshot but may yet be reinstated).
+// to the snapshot but may yet be reinstated), so every Hold MUST be
+// settled with Accept or Release: a leaked hold blocks size-triggered
+// compaction until restart and lets the log grow without bound. The
+// core layer settles remote holds via grace timers; direct callers
+// carry that obligation themselves.
 func (s *Space) Hold(p tuple.Template) (space.Hold, bool) {
 	s.opMu.RLock()
 	h, ok := s.inner.Hold(p)
@@ -657,7 +673,7 @@ func (h *loggedHold) Accept() {
 		// tuple, so reinstating it would duplicate. The failure wedges
 		// the space; a restart may resurrect this one tuple — the
 		// documented cost of accepting on a dying log.
-		_ = h.s.log(removeRecord(h.inner.Tuple()))
+		_, _ = h.s.log(removeRecord(h.inner.Tuple()))
 		h.inner.Accept()
 		h.s.opMu.RUnlock()
 		h.s.holdSettled()

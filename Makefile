@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench bench-json chaos crash
+.PHONY: build test check bench bench-json chaos crash soak
 
 build:
 	$(GO) build ./...
@@ -29,6 +29,16 @@ bench-json:
 # duplicating, reordering network, reporting retry/dedup counters.
 chaos:
 	$(GO) run ./cmd/tiamat-bench -quick -chaos E2 E9 E10
+
+# soak runs the overload-governance suite under the race detector: the
+# governor unit tests (admission, quotas, shed order, escalation ladder,
+# deadline propagation) plus the C2 flood soak, then the C2 experiment
+# itself. The harness package's TestMain also asserts no goroutine leaks
+# survive the flood.
+soak:
+	$(GO) test -race -run 'Govern|RemoteWaitFlood|ShedOrder|Revoke|Shrink|Deadline|Budget|Busy|PanicIsolation|C2' \
+		./internal/core/ ./lease/ ./wire/ ./monitor/ ./internal/harness/
+	$(GO) run ./cmd/tiamat-bench -quick C2
 
 # crash runs the storage fault-injection suite under the race detector:
 # WAL kill-point sweeps, torn writes, bit flips, failed syncs, and the

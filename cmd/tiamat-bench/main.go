@@ -98,6 +98,7 @@ func run() int {
 		{"X1", "backbone relay routing (future work)", harness.X1Backbone},
 		{"X2", "adaptive discovery (future work)", harness.X2AdaptiveDiscovery},
 		{"C1", "crash injection and restart/rejoin", harness.C1Crash},
+		{"C2", "overload governance soak", harness.C2Overload},
 		{"AB1", "ablation: contact fanout", harness.AB1ContactFanout},
 	}
 

@@ -8,6 +8,12 @@
 //	tiamatd [-listen 127.0.0.1:0] [-group 239.77.7.3:7703]
 //	        [-peers host:port,host:port] [-persistent] [-data tiamatd.wal]
 //	        [-fsync always|interval|never] [-stats 10s] [-pda]
+//	        [-max-peer-waits n] [-shed-watermark 0.75]
+//
+// -max-peer-waits and -shed-watermark tune the overload governor
+// (DESIGN.md §9): the per-peer bound on served blocking waits and the
+// pressure at which admission starts shedding. The drain path prints a
+// one-line governance summary (sheds, shrinks, revocations) on exit.
 //
 // With -persistent the local space is backed by a write-ahead log at
 // -data: tuples survive restarts (the log is replayed on boot and a
@@ -49,7 +55,13 @@ func main() {
 	fsyncPolicy := flag.String("fsync", "always", "WAL fsync policy: always, interval, never")
 	statsEvery := flag.Duration("stats", 0, "print stats at this interval (0 = off)")
 	pda := flag.Bool("pda", false, "use constrained PDA-class lease capacities")
+	maxPeerWaits := flag.Int("max-peer-waits", 0, "bound on blocking remote waits served per peer (0 = library default)")
+	shedWatermark := flag.Float64("shed-watermark", 0, "pressure (0..1] at which admission starts shedding (0 = library default)")
 	flag.Parse()
+
+	if *shedWatermark < 0 || *shedWatermark > 1 {
+		log.Fatalf("-shed-watermark %g out of range (0..1]", *shedWatermark)
+	}
 
 	var staticPeers []string
 	if *peers != "" {
@@ -68,6 +80,10 @@ func main() {
 		Endpoint:            tr,
 		Persistent:          *persistent,
 		ContinuousDiscovery: true,
+		Governor: tiamat.GovernorConfig{
+			MaxPeerWaits:  *maxPeerWaits,
+			ShedWatermark: *shedWatermark,
+		},
 	}
 	if *pda {
 		cfg.Leases = lease.ConstrainedCapacity()
@@ -138,6 +154,15 @@ func main() {
 		select {
 		case <-sig:
 			fmt.Println("draining (goodbye announced; ^C again to force)")
+			// One-line governance summary: how much load was refused,
+			// re-negotiated, or (last resort) revoked this run.
+			g := inst.Governor()
+			fmt.Printf("governor: sheds=%d (probes=%d waits=%d outs=%d quota=%d queue=%d) shrinks=%d (%dB) clamps=%d deadline-cuts=%d revokes=%d\n",
+				g.Sheds(), g.ShedProbes, g.ShedWaits, g.ShedOuts, g.QuotaSheds, g.QueueSheds,
+				g.Shrinks, g.ShrunkBytes, g.GrantClamps, g.DeadlineCuts, g.Revokes)
+			if p := inst.LastPanic(); p != "" {
+				fmt.Printf("last recovered panic: %s\n", p)
+			}
 			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 			done := make(chan error, 1)
 			go func() { done <- inst.Shutdown(ctx) }()

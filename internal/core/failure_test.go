@@ -257,9 +257,14 @@ func TestDuplicatedTakeRequestServedFromCache(t *testing.T) {
 		}
 	}
 	before := r.met.Get(trace.CtrDedupDrops)
-	op := &wire.Message{Type: wire.TOp, ID: 77, From: "b", Op: wire.OpInp, TTL: time.Second, Template: reqTmpl()}
+	// The requester address is deliberately unattached: the serve path
+	// is exercised white-box here, and a live peer instance would react
+	// to the found-reply (releasing the hold) and race the assertions.
+	op := &wire.Message{Type: wire.TOp, ID: 77, From: "w", Op: wire.OpInp, TTL: time.Second, Template: reqTmpl()}
 	a.dispatch(op)
+	quiesceServe(t, a)
 	a.dispatch(op) // duplicate of the same request
+	quiesceServe(t, a)
 	if n := a.LocalSpace().Count(); n != 2 {
 		t.Fatalf("space count = %d after duplicated take, want 2 (one held)", n)
 	}
@@ -285,8 +290,10 @@ func TestReinstatedHoldInvalidatesCachedReply(t *testing.T) {
 	if err := a.Out(req(1), lease.Flexible(lease.Terms{Duration: time.Hour, MaxBytes: 100})); err != nil {
 		t.Fatal(err)
 	}
-	op := &wire.Message{Type: wire.TOp, ID: 88, From: "b", Op: wire.OpInp, TTL: time.Second, Template: reqTmpl()}
+	// Unattached requester: see TestDuplicatedTakeRequestServedFromCache.
+	op := &wire.Message{Type: wire.TOp, ID: 88, From: "w", Op: wire.OpInp, TTL: time.Second, Template: reqTmpl()}
 	a.dispatch(op)
+	quiesceServe(t, a)
 	if n := a.LocalSpace().Count(); n != 1 {
 		t.Fatalf("take did not hold: count = %d", n)
 	}
@@ -297,6 +304,7 @@ func TestReinstatedHoldInvalidatesCachedReply(t *testing.T) {
 	// Retransmission of the same frame: must create a fresh hold, not
 	// replay the invalidated reply naming the dead one.
 	a.dispatch(op)
+	quiesceServe(t, a)
 	if n := a.LocalSpace().Count(); n != 1 {
 		t.Fatalf("retransmission after reinstatement: count = %d, want 1", n)
 	}

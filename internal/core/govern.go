@@ -1,0 +1,547 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"tiamat/lease"
+	"tiamat/trace"
+	"tiamat/wire"
+)
+
+// This file implements the serve-path resource governor: the admission
+// layer that puts the lease manager in charge of remote-originated work
+// (DESIGN.md §9). Inbound rd/rdp/in/inp/out/eval frames pass through a
+// bounded work queue with priority-aware load shedding — probes are shed
+// before blocking waits, waits before outs — per-peer fairness quotas,
+// and watermark-driven escalation that mirrors the paper's ladder
+// (§2.5): shrink outstanding grants first, then stop admitting, and only
+// as a last resort revoke. Every shed is an explicit busy reply on the
+// wire, never silence, so requesters fail over instead of retrying into
+// an overloaded node.
+
+// GovernorConfig tunes the serve-path governor. Zero values select the
+// documented defaults; the zero struct is a working workstation-class
+// configuration.
+type GovernorConfig struct {
+	// MaxPeerWaits bounds the blocking remote waits registered on behalf
+	// of any single peer (default 128).
+	MaxPeerWaits int
+	// MaxTotalWaits bounds the remote wait table across all peers
+	// (default 4096) — the table was unbounded before the governor.
+	MaxTotalWaits int
+	// MaxPeerInflight bounds concurrently queued+executing ops per peer
+	// (default 256).
+	MaxPeerInflight int
+	// MaxPeerBytes bounds the payload bytes of queued+executing work per
+	// peer (default 4 MiB).
+	MaxPeerBytes int64
+	// QueueDepth bounds the inbound serve queue (default 1024).
+	QueueDepth int
+	// Workers is the serve worker pool size (default 4).
+	Workers int
+	// ShedWatermark is the pressure (0..1] at which the governor starts
+	// clamping newly negotiated grants and shedding probe ops. Blocking
+	// waits shed one third of the way from the watermark to saturation,
+	// outs two thirds (default 0.75).
+	ShedWatermark float64
+	// RevokeWatermark is the pressure at which revocation is armed,
+	// after shrinking has nothing left to reclaim (default 0.97).
+	RevokeWatermark float64
+	// RevokeCooldown rate-limits revocation waves (default 1s).
+	RevokeCooldown time.Duration
+	// ShrinkInterval rate-limits shrink sweeps over the active lease set
+	// (default 100ms).
+	ShrinkInterval time.Duration
+}
+
+func (c *GovernorConfig) applyDefaults() {
+	if c.MaxPeerWaits <= 0 {
+		c.MaxPeerWaits = 128
+	}
+	if c.MaxTotalWaits <= 0 {
+		c.MaxTotalWaits = 4096
+	}
+	if c.MaxPeerInflight <= 0 {
+		c.MaxPeerInflight = 256
+	}
+	if c.MaxPeerBytes <= 0 {
+		c.MaxPeerBytes = 4 << 20
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 1024
+	}
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.ShedWatermark <= 0 || c.ShedWatermark > 1 {
+		c.ShedWatermark = 0.75
+	}
+	if c.RevokeWatermark <= 0 || c.RevokeWatermark > 1 {
+		c.RevokeWatermark = 0.97
+	}
+	if c.RevokeCooldown <= 0 {
+		c.RevokeCooldown = time.Second
+	}
+	if c.ShrinkInterval <= 0 {
+		c.ShrinkInterval = 100 * time.Millisecond
+	}
+}
+
+// GovernorReport is a snapshot of governor activity, logged by tiamatd
+// on drain and inspected by experiments.
+type GovernorReport struct {
+	ShedProbes   uint64 // probe (rdp/inp) ops refused busy
+	ShedWaits    uint64 // blocking (rd/in) ops refused busy
+	ShedOuts     uint64 // remote out/eval refused busy
+	QuotaSheds   uint64 // refusals due to per-peer fairness quotas
+	QueueSheds   uint64 // refusals due to a saturated work queue
+	Shrinks      uint64 // shrink sweeps that reclaimed budget
+	ShrunkBytes  int64  // bytes reclaimed by shrink sweeps
+	Revokes      uint64 // leases revoked (last resort)
+	GrantClamps  uint64 // serve grants narrowed under pressure
+	DeadlineCuts uint64 // serve budgets cut to the requester's budget
+}
+
+// Sheds is the total of all shed classes.
+func (r GovernorReport) Sheds() uint64 {
+	return r.ShedProbes + r.ShedWaits + r.ShedOuts + r.QuotaSheds + r.QueueSheds
+}
+
+// peerState is the governor's fairness accounting for one peer.
+type peerState struct {
+	waits    int   // registered blocking waits served for this peer
+	inflight int   // ops queued or executing for this peer
+	bytes    int64 // payload bytes of queued+executing work
+}
+
+func (p *peerState) idle() bool { return p.waits == 0 && p.inflight == 0 && p.bytes == 0 }
+
+// inflightEntry dedups serve work from enqueue to handler completion:
+// with a parallel worker pool, two copies of one frame could otherwise
+// execute concurrently — the served cache only helps once a reply is
+// recorded. cancelled carries a TCancel that overtook its queued op.
+type inflightEntry struct {
+	cancelled bool
+}
+
+type governor struct {
+	cfg GovernorConfig
+	i   *Instance
+
+	queue chan *wire.Message
+
+	mu         sync.Mutex
+	peers      map[wire.Addr]*peerState
+	totalWaits int
+	inflight   map[waitKey]*inflightEntry
+	lastRevoke time.Time
+	lastShrink time.Time
+	rep        GovernorReport
+}
+
+func newGovernor(i *Instance, cfg GovernorConfig) *governor {
+	cfg.applyDefaults()
+	return &governor{
+		cfg:      cfg,
+		i:        i,
+		queue:    make(chan *wire.Message, cfg.QueueDepth),
+		peers:    make(map[wire.Addr]*peerState),
+		inflight: make(map[waitKey]*inflightEntry),
+		// The revoke cooldown starts at boot: a node that comes up
+		// already saturated must still climb the ladder (shed, shrink)
+		// before its first revocation.
+		lastRevoke: i.clk.Now(),
+	}
+}
+
+// Report snapshots the governor's activity counters.
+func (g *governor) Report() GovernorReport {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.rep
+}
+
+// pressure derives the node's load in [0,1] from live lease-manager
+// stats, the serve queue, and the remote wait table: the binding
+// constraint wins. At the shed watermark grants start shrinking; at 1.0
+// the node is saturated on some axis.
+func (g *governor) pressure() float64 {
+	st := g.i.mgr.Stats()
+	capy := g.i.mgr.Capacity()
+	p := frac(st.Active, capy.MaxActive)
+	p = maxf(p, frac64(st.BytesHeld, capy.MaxTotalBytes))
+	p = maxf(p, frac(len(g.queue), g.cfg.QueueDepth))
+	g.mu.Lock()
+	tw := g.totalWaits
+	g.mu.Unlock()
+	return maxf(p, frac(tw, g.cfg.MaxTotalWaits))
+}
+
+func frac(n, d int) float64 {
+	if d <= 0 {
+		return 0
+	}
+	return float64(n) / float64(d)
+}
+
+func frac64(n, d int64) float64 {
+	if d <= 0 {
+		return 0
+	}
+	return float64(n) / float64(d)
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// shedThreshold returns the pressure at which the message's class is
+// refused. The shedding order is the paper's effort ordering: answering
+// a probe costs this node nothing it promised anyone; a blocking wait
+// ties down table space and a future reply; an out/eval stores bytes —
+// so probes go first and stored work is protected longest.
+func (g *governor) shedThreshold(m *wire.Message) float64 {
+	w := g.cfg.ShedWatermark
+	step := (1 - w) / 3
+	switch m.Type {
+	case wire.TOp:
+		if m.Op.Blocking() {
+			return w + step
+		}
+		return w
+	default: // TOut, TEval
+		return w + 2*step
+	}
+}
+
+func shedCounter(m *wire.Message) string {
+	switch m.Type {
+	case wire.TOp:
+		if m.Op.Blocking() {
+			return trace.CtrGovShedWaits
+		}
+		return trace.CtrGovShedProbes
+	default:
+		return trace.CtrGovShedOuts
+	}
+}
+
+func (g *governor) countShed(m *wire.Message) {
+	ctr := shedCounter(m)
+	g.i.met.Inc(ctr)
+	g.mu.Lock()
+	switch ctr {
+	case trace.CtrGovShedProbes:
+		g.rep.ShedProbes++
+	case trace.CtrGovShedWaits:
+		g.rep.ShedWaits++
+	default:
+		g.rep.ShedOuts++
+	}
+	g.mu.Unlock()
+}
+
+// refuse sends the explicit busy reply for a shed message: a Busy
+// not-found for ops, a Busy refusal ack for out/eval. Silence is never
+// an answer — the requester must know to fail over rather than burn its
+// retry budget here (DESIGN.md §9).
+func (g *governor) refuse(m *wire.Message) {
+	switch m.Type {
+	case wire.TOp:
+		_ = g.i.send(m.From, &wire.Message{
+			Type: wire.TResult, ID: m.ID, From: g.i.Addr(), Found: false, Busy: true,
+		})
+	default: // TOut, TEval
+		_ = g.i.send(m.From, &wire.Message{
+			Type: wire.TAck, ID: m.ID, From: g.i.Addr(), OK: false, Err: "busy: admission refused", Busy: true,
+		})
+	}
+}
+
+// msgCost is the byte footprint charged against the peer's quota while
+// the message is queued or executing.
+func msgCost(m *wire.Message) int64 {
+	return m.Tuple.Size() + 64
+}
+
+// submit admits, sheds, or dedups one remote work frame. It runs on the
+// receive loop and never blocks: the outcome is an enqueue, an explicit
+// busy reply, or a silent dedup drop.
+func (g *governor) submit(m *wire.Message) {
+	key := waitKey{from: m.From, id: m.ID}
+	cost := msgCost(m)
+
+	// Escalation rungs 1 and 2 run off the same pressure reading: above
+	// the shed watermark reclaim promised-but-unused budget (shrink);
+	// above the class threshold stop admitting this class.
+	p := g.pressure()
+	if p >= g.cfg.ShedWatermark {
+		g.maybeShrink()
+	}
+	if p >= g.shedThreshold(m) {
+		g.countShed(m)
+		g.refuse(m)
+		g.maybeRevoke(p)
+		return
+	}
+
+	g.mu.Lock()
+	if _, dup := g.inflight[key]; dup {
+		g.mu.Unlock()
+		g.i.met.Inc(trace.CtrDedupDrops)
+		return
+	}
+	ps := g.peers[m.From]
+	if ps == nil {
+		ps = &peerState{}
+		g.peers[m.From] = ps
+	}
+	if ps.inflight >= g.cfg.MaxPeerInflight || ps.bytes+cost > g.cfg.MaxPeerBytes {
+		g.rep.QuotaSheds++
+		g.mu.Unlock()
+		g.i.met.Inc(trace.CtrGovQuotaSheds)
+		g.refuse(m)
+		return
+	}
+	g.inflight[key] = &inflightEntry{}
+	ps.inflight++
+	ps.bytes += cost
+	g.mu.Unlock()
+
+	select {
+	case g.queue <- m:
+	default:
+		// The queue filled between the pressure reading and here.
+		g.finish(m)
+		g.mu.Lock()
+		g.rep.QueueSheds++
+		g.mu.Unlock()
+		g.i.met.Inc(trace.CtrGovQueueSheds)
+		g.refuse(m)
+	}
+}
+
+// finish retires a message's inflight accounting once its handler
+// returns (or it was never enqueued).
+func (g *governor) finish(m *wire.Message) {
+	key := waitKey{from: m.From, id: m.ID}
+	cost := msgCost(m)
+	g.mu.Lock()
+	delete(g.inflight, key)
+	if ps := g.peers[m.From]; ps != nil {
+		ps.inflight--
+		ps.bytes -= cost
+		if ps.idle() {
+			delete(g.peers, m.From)
+		}
+	}
+	g.mu.Unlock()
+}
+
+// markCancelled records a TCancel that may have overtaken its op in the
+// queue, so the worker drops the op instead of registering a wait the
+// cancel can no longer reach. Reports whether the key was inflight.
+func (g *governor) markCancelled(key waitKey) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	e, ok := g.inflight[key]
+	if ok {
+		e.cancelled = true
+	}
+	return ok
+}
+
+func (g *governor) isCancelled(key waitKey) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	e, ok := g.inflight[key]
+	return ok && e.cancelled
+}
+
+// tryAddWait claims a slot in the remote wait table for the peer,
+// enforcing both the per-peer fairness quota and the global bound. The
+// caller must pair a success with dropWait.
+func (g *governor) tryAddWait(peer wire.Addr) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.totalWaits >= g.cfg.MaxTotalWaits {
+		g.rep.QuotaSheds++
+		g.i.met.Inc(trace.CtrGovQuotaSheds)
+		return false
+	}
+	ps := g.peers[peer]
+	if ps == nil {
+		ps = &peerState{}
+		g.peers[peer] = ps
+	}
+	if ps.waits >= g.cfg.MaxPeerWaits {
+		g.rep.QuotaSheds++
+		g.i.met.Inc(trace.CtrGovQuotaSheds)
+		return false
+	}
+	ps.waits++
+	g.totalWaits++
+	return true
+}
+
+func (g *governor) dropWait(peer wire.Addr) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.totalWaits--
+	if ps := g.peers[peer]; ps != nil {
+		ps.waits--
+		if ps.idle() {
+			delete(g.peers, peer)
+		}
+	}
+}
+
+// clampTerms narrows a serve-side lease proposal under pressure: the
+// first rung of the escalation ladder shrinks what is newly promised
+// before anything already promised is touched. The clamp factor falls
+// linearly from 1 at the shed watermark toward saturation, floored at
+// 1/8 so admitted work always gets a workable budget.
+func (g *governor) clampTerms(t lease.Terms) lease.Terms {
+	p := g.pressure()
+	w := g.cfg.ShedWatermark
+	if p < w {
+		return t
+	}
+	f := (1 - p) / (1 - w)
+	if f < 0.125 {
+		f = 0.125
+	}
+	t.Duration = time.Duration(float64(t.Duration) * f)
+	if t.Duration < time.Millisecond {
+		t.Duration = time.Millisecond
+	}
+	t.MaxBytes = int64(float64(t.MaxBytes) * f)
+	g.i.met.Inc(trace.CtrGovClamps)
+	g.mu.Lock()
+	g.rep.GrantClamps++
+	g.mu.Unlock()
+	return t
+}
+
+// sweepShrink runs one shrink sweep against the lease manager. A sweep
+// that reclaims anything also pushes the revocation cooldown back: while
+// re-negotiation is still yielding budget, the last resort stays off the
+// table for at least another cooldown.
+func (g *governor) sweepShrink() int64 {
+	capy := g.i.mgr.Capacity()
+	target := capy.MaxTotalBytes / 8
+	if target <= 0 {
+		target = 1 << 20
+	}
+	n := g.i.mgr.Shrink(target)
+	if n > 0 {
+		g.i.met.Inc(trace.CtrGovShrinks)
+		g.i.met.Add(trace.CtrGovShrunkBytes, n)
+		g.mu.Lock()
+		g.rep.Shrinks++
+		g.rep.ShrunkBytes += n
+		g.lastRevoke = g.i.clk.Now()
+		g.mu.Unlock()
+	}
+	return n
+}
+
+// maybeShrink runs a rate-limited shrink sweep: reclaim
+// promised-but-unconsumed byte budget from active leases so pressure
+// falls without refusing or revoking anything.
+func (g *governor) maybeShrink() {
+	now := g.i.clk.Now()
+	g.mu.Lock()
+	if now.Sub(g.lastShrink) < g.cfg.ShrinkInterval {
+		g.mu.Unlock()
+		return
+	}
+	g.lastShrink = now
+	g.mu.Unlock()
+	g.sweepShrink()
+}
+
+// maybeRevoke is the last rung: only past the revoke watermark, only
+// when a shrink sweep has nothing left to reclaim, and only after a full
+// cooldown with no productive shrink. The paper is emphatic that
+// revocation must stay a last resort "to avoid undermining the leasing
+// system altogether" (§2.5).
+func (g *governor) maybeRevoke(p float64) {
+	if p < g.cfg.RevokeWatermark {
+		return
+	}
+	if g.sweepShrink() > 0 {
+		return // shrinking still works: not yet the last resort
+	}
+	now := g.i.clk.Now()
+	g.mu.Lock()
+	if now.Sub(g.lastRevoke) < g.cfg.RevokeCooldown {
+		g.mu.Unlock()
+		return
+	}
+	g.lastRevoke = now
+	g.mu.Unlock()
+	if n := g.i.mgr.Revoke(1); n > 0 {
+		g.i.met.Add(trace.CtrGovRevokes, int64(n))
+		g.mu.Lock()
+		g.rep.Revokes += uint64(n)
+		g.mu.Unlock()
+	}
+}
+
+// worker serves admitted work. Each message is handled under panic
+// isolation: a poisoned frame degrades one op, not the node.
+func (g *governor) worker() {
+	defer g.i.wg.Done()
+	for {
+		select {
+		case m := <-g.queue:
+			g.serveOne(m)
+		case <-g.i.stopped:
+			return
+		}
+	}
+}
+
+func (g *governor) serveOne(m *wire.Message) {
+	defer g.finish(m)
+	defer g.i.recoverPanic("serve")
+	if g.i.draining.Load() {
+		// The drain gate was passed before this message was queued; give
+		// the definitive refusal dispatch would have given.
+		switch m.Type {
+		case wire.TOp:
+			_ = g.i.send(m.From, &wire.Message{Type: wire.TResult, ID: m.ID, From: g.i.Addr(), Found: false})
+		default:
+			_ = g.i.send(m.From, &wire.Message{Type: wire.TAck, ID: m.ID, From: g.i.Addr(), OK: false, Err: "draining"})
+		}
+		return
+	}
+	if m.Type == wire.TOp && g.isCancelled(waitKey{from: m.From, id: m.ID}) {
+		return // the requester already withdrew this op
+	}
+	switch m.Type {
+	case wire.TOp:
+		g.i.handleOp(m)
+	case wire.TOut:
+		g.i.handleRemoteOut(m)
+	case wire.TEval:
+		g.i.handleRemoteEval(m)
+	}
+}
+
+// recoverPanic is deferred around serve and transport goroutines
+// (tentpole requirement 5): a panic out of one frame's handling is
+// counted and contained instead of tearing the instance down. The most
+// recent panic is kept for the drain report.
+func (i *Instance) recoverPanic(where string) {
+	if r := recover(); r != nil {
+		i.met.Inc(trace.CtrPanics)
+		i.lastPanic.Store(fmt.Sprintf("%s: %v", where, r))
+	}
+}

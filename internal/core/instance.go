@@ -150,6 +150,10 @@ type Config struct {
 	// workers are allocated through the lease manager's thread factory
 	// (paper §3.1.1).
 	EvalWorkers int
+	// Governor tunes serve-path admission control and load shedding
+	// (DESIGN.md §9). The zero value selects workstation-class defaults;
+	// the governor is always on.
+	Governor GovernorConfig
 	// Relays are backbone addresses used by RouteRelay (set by the
 	// routing extension).
 	Relays []wire.Addr
@@ -249,6 +253,14 @@ type Instance struct {
 	evals      map[string]EvalFunc
 	relays     []wire.Addr
 
+	// gov is the serve-path resource governor: bounded admission of
+	// remote work, per-peer fairness, and the shrink→shed→revoke
+	// escalation ladder (DESIGN.md §9).
+	gov *governor
+	// lastPanic records the most recent recovered serve/transport panic
+	// for the drain report.
+	lastPanic atomic.Value // string
+
 	// draining is set by Shutdown before any teardown happens: API entry
 	// points and new remote work are refused while in-flight state
 	// settles. It is atomic (not under mu) so the dispatch fast path can
@@ -326,8 +338,13 @@ func New(cfg Config) (*Instance, error) {
 	if _, err := i.local.Out(info, time.Time{}); err != nil {
 		return nil, fmt.Errorf("tiamat: seeding space-info tuple: %w", err)
 	}
+	i.gov = newGovernor(i, cfg.Governor)
 	i.wg.Add(1)
 	go i.loop()
+	for w := 0; w < i.gov.cfg.Workers; w++ {
+		i.wg.Add(1)
+		go i.gov.worker()
+	}
 	// Hello: an unsolicited announce folds this instance into the
 	// responder lists of every peer that hears it (handleAnnounce keeps
 	// unsolicited announces as "useful knowledge"), so a restarted node
@@ -489,13 +506,32 @@ func (i *Instance) Close() error {
 }
 
 // loop is the communications manager's event loop: it dispatches every
-// inbound message. Handlers must not block; blocking work is delegated to
-// goroutines tracked by i.wg.
+// inbound message. Handlers must not block; serve work (TOp/TOut/TEval)
+// is admitted through the governor's bounded queue and executed by its
+// worker pool, settlement traffic is handled inline. Each message is
+// dispatched under panic isolation: a poisoned frame degrades one op,
+// not the node.
 func (i *Instance) loop() {
 	defer i.wg.Done()
 	for m := range i.ep.Recv() {
-		i.dispatch(m)
+		i.dispatchSafe(m)
 	}
+}
+
+func (i *Instance) dispatchSafe(m *wire.Message) {
+	defer i.recoverPanic("dispatch")
+	i.dispatch(m)
+}
+
+// Governor snapshots the serve-path governor's activity (sheds, shrinks,
+// revocations), for the drain report and experiments.
+func (i *Instance) Governor() GovernorReport { return i.gov.Report() }
+
+// LastPanic returns a description of the most recent recovered panic, or
+// "" if none occurred.
+func (i *Instance) LastPanic() string {
+	s, _ := i.lastPanic.Load().(string)
+	return s
 }
 
 // send transmits a message, evicting unreachable responders from the list

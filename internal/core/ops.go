@@ -28,6 +28,30 @@ type contactState struct {
 	done     bool      // replied, or given up on
 }
 
+// stampBudget records the requester's remaining context budget on an
+// outbound TOp when it is tighter than the lease-derived TTL (deadline
+// propagation, DESIGN.md §9): the responder then never holds a waiter or
+// a tentative removal past the point this operation can use the answer.
+// Context deadlines are wall-clock, so the remaining budget is measured
+// with time.Until regardless of the instance clock. Budget stays zero
+// ("same as TTL") when the context is unbounded or looser than the TTL,
+// keeping the frame byte-identical to the pre-Budget encoding — the
+// mixed-version fallback (see wire.Message.Budget).
+func stampBudget(ctx context.Context, m *wire.Message) {
+	m.Budget = 0
+	bd, ok := ctx.Deadline()
+	if !ok {
+		return
+	}
+	rem := time.Until(bd)
+	if rem < time.Millisecond {
+		rem = time.Millisecond // lapsed or sub-tick: still tell them it's tiny
+	}
+	if rem < m.TTL {
+		m.Budget = rem
+	}
+}
+
 // retryWait returns how long to wait for a reply after transmission k
 // before retransmitting: the contact timeout plus exponential backoff plus
 // up to RetryBackoff of jitter so concurrent operations do not retry in
@@ -107,6 +131,15 @@ func (i *Instance) Eval(fn string, args tuple.Tuple, r lease.Requester) error {
 
 // runEval executes the computation under the lease.
 func (i *Instance) runEval(f EvalFunc, args tuple.Tuple, lse *lease.Lease) {
+	// Eval functions are application code: a panic cancels this lease
+	// and is counted, but never takes the instance down.
+	defer func() {
+		if r := recover(); r != nil {
+			i.met.Inc(trace.CtrPanics)
+			i.lastPanic.Store(fmt.Sprintf("eval: %v", r))
+			lse.Cancel()
+		}
+	}()
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 	go func() {
@@ -296,6 +329,7 @@ func (i *Instance) propagate(ctx context.Context, code wire.OpCode, p tuple.Temp
 
 	ttl := lse.Deadline().Sub(i.clk.Now())
 	msg := &wire.Message{Type: wire.TOp, ID: opID, From: i.Addr(), Op: code, Template: p, TTL: ttl}
+	stampBudget(ctx, msg)
 
 	// remaining counts replies still expected; nonblocking ops complete
 	// when it reaches zero.
@@ -482,6 +516,7 @@ func (i *Instance) propagate(ctx context.Context, code wire.OpCode, p tuple.Temp
 				}
 				cs.attempts++
 				msg.TTL = lse.Deadline().Sub(now)
+				stampBudget(ctx, msg)
 				_ = i.send(a, msg)
 				i.met.Inc(trace.CtrRetries)
 				cs.deadline = now.Add(i.retryWait(cs.attempts))
@@ -503,6 +538,7 @@ func (i *Instance) propagate(ctx context.Context, code wire.OpCode, p tuple.Temp
 			// The model's continuous mode: instances that became
 			// visible during the operation are included (§2.2).
 			msg.TTL = lse.Deadline().Sub(i.clk.Now())
+			stampBudget(ctx, msg)
 			doMulticast()
 			rediscover = i.clk.After(i.cfg.RediscoverInterval)
 		}
@@ -534,6 +570,7 @@ func (i *Instance) acceptHold(owner wire.Addr, holdID uint64, lse *lease.Lease) 
 	i.mu.Unlock()
 	go func() {
 		defer i.wg.Done()
+		defer i.recoverPanic("accept-hold")
 		defer func() {
 			i.mu.Lock()
 			delete(i.ops, ackID)
@@ -599,11 +636,24 @@ func (i *Instance) releaseLate(m *wire.Message) {
 // handleResult routes an inbound TResult/TAck to its operation, or
 // releases it if the operation has already completed.
 func (i *Instance) handleResult(m *wire.Message) {
+	if m.Busy {
+		// An explicit admission refusal from an overloaded responder.
+		// Counted at dispatch level so late busy replies (after the op
+		// concluded) are visible too: on a reliable transport every shed
+		// the responders sent shows up here.
+		i.met.Inc(trace.CtrBusyReceived)
+	}
 	if m.Type == wire.TResult {
 		// Every responder is worth remembering, including late ones and
 		// losers of the first-responder race (paper §3.1.3: instances
-		// responding to the multicast are appended to the list).
-		i.list.Observe(m.From)
+		// responding to the multicast are appended to the list). One that
+		// actually had the tuple goes straight to the top: the next
+		// operation should start where the last one was satisfied.
+		if m.Found {
+			i.list.Promote(m.From)
+		} else {
+			i.list.Observe(m.From)
+		}
 	}
 	i.mu.Lock()
 	st, ok := i.ops[m.ID]
@@ -757,6 +807,7 @@ func (i *Instance) directOp(ctx context.Context, addr wire.Addr, code wire.OpCod
 
 	msg := &wire.Message{Type: wire.TOp, ID: opID, From: i.Addr(), Op: code,
 		Template: p, TTL: lse.Deadline().Sub(i.clk.Now())}
+	stampBudget(ctx, msg)
 	if err := i.send(addr, msg); err != nil {
 		return Result{}, false, err
 	}
@@ -779,6 +830,7 @@ func (i *Instance) directOp(ctx context.Context, addr wire.Addr, code wire.OpCod
 			if attempts < i.cfg.RetryAttempts && lse.ConsumeRemote() == nil {
 				attempts++
 				msg.TTL = lse.Deadline().Sub(i.clk.Now())
+				stampBudget(ctx, msg)
 				_ = i.send(addr, msg)
 				i.met.Inc(trace.CtrRetries)
 				retry = i.clk.After(i.retryWait(attempts))

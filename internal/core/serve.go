@@ -154,6 +154,23 @@ func serveTerms(ttl time.Duration) lease.Terms {
 	return lease.Terms{Duration: ttl}
 }
 
+// effTTL is the effective serve budget for a remote op: the requester's
+// TTL, cut to its propagated remaining budget when that is tighter
+// (deadline propagation, DESIGN.md §9). A responder must never hold a
+// waiter or a tentative removal past the point the requester can still
+// use the answer. Budget==0 (pre-Budget peer, or budget==TTL) means the
+// TTL is the whole story.
+func (i *Instance) effTTL(m *wire.Message) time.Duration {
+	if m.Budget > 0 && m.Budget < m.TTL {
+		i.met.Inc(trace.CtrGovDeadlineCuts)
+		i.gov.mu.Lock()
+		i.gov.rep.DeadlineCuts++
+		i.gov.mu.Unlock()
+		return m.Budget
+	}
+	return m.TTL
+}
+
 // handleOp serves a propagated rd/rdp/in/inp against the local space.
 func (i *Instance) handleOp(m *wire.Message) {
 	// At-least-once delivery: answer retransmitted or duplicated requests
@@ -178,9 +195,14 @@ func (i *Instance) handleOp(m *wire.Message) {
 
 	notFound := &wire.Message{Type: wire.TResult, ID: m.ID, From: i.Addr(), Found: false}
 
+	// The serve budget is min(TTL, propagated requester budget); under
+	// pressure the governor narrows the proposal further before the
+	// lease manager ever sees it (escalation rung 1).
+	ttl := i.effTTL(m)
+
 	// Admit the work through our own lease manager; refusal means we
 	// contribute nothing to this operation.
-	lse, err := i.mgr.Grant(opKind(m.Op), lease.Flexible(serveTerms(m.TTL)))
+	lse, err := i.mgr.Grant(opKind(m.Op), lease.Flexible(i.gov.clampTerms(serveTerms(ttl))))
 	if err != nil {
 		_ = i.send(m.From, notFound)
 		return
@@ -189,7 +211,7 @@ func (i *Instance) handleOp(m *wire.Message) {
 	// Immediate attempt.
 	if m.Op.Removes() {
 		if h, ok := i.local.Hold(m.Template); ok {
-			holdID := i.registerHold(h, m.TTL, key)
+			holdID := i.registerHold(h, ttl, key)
 			reply := &wire.Message{
 				Type: wire.TResult, ID: m.ID, From: i.Addr(),
 				Found: true, HoldID: holdID, Tuple: h.Tuple(),
@@ -220,16 +242,29 @@ func (i *Instance) handleOp(m *wire.Message) {
 
 	// Blocking op: hold a waiter on behalf of the peer until a match,
 	// the granted lease expires, or the peer cancels.
-	i.serveBlocking(m, lse)
+	i.serveBlocking(m, lse, ttl)
 }
 
-// serveBlocking registers a waiter for a peer's blocking operation.
-func (i *Instance) serveBlocking(m *wire.Message, lse *lease.Lease) {
+// serveBlocking registers a waiter for a peer's blocking operation. ttl
+// is the effective serve budget computed by handleOp.
+func (i *Instance) serveBlocking(m *wire.Message, lse *lease.Lease, ttl time.Duration) {
 	key := waitKey{from: m.From, id: m.ID}
+	// Claim a slot in the bounded remote wait table first: both the
+	// per-peer fairness quota and the global cap apply. Refusal is an
+	// explicit busy reply — the requester fails over instead of assuming
+	// a waiter is registered here.
+	if !i.gov.tryAddWait(m.From) {
+		lse.Cancel()
+		_ = i.send(m.From, &wire.Message{
+			Type: wire.TResult, ID: m.ID, From: i.Addr(), Found: false, Busy: true,
+		})
+		return
+	}
 	rw := &remoteWait{key: key, stopc: make(chan struct{})}
 	i.mu.Lock()
 	if i.closed {
 		i.mu.Unlock()
+		i.gov.dropWait(m.From)
 		lse.Cancel()
 		return
 	}
@@ -238,6 +273,7 @@ func (i *Instance) serveBlocking(m *wire.Message, lse *lease.Lease) {
 		// duplicate, a retransmission, or a rediscovery re-multicast):
 		// the existing waiter stands; a second would double-serve.
 		i.mu.Unlock()
+		i.gov.dropWait(m.From)
 		i.met.Inc(trace.CtrDedupDrops)
 		lse.Cancel()
 		return
@@ -245,15 +281,23 @@ func (i *Instance) serveBlocking(m *wire.Message, lse *lease.Lease) {
 	i.waits[key] = rw
 	i.mu.Unlock()
 
+	// A TCancel may have overtaken this op while it sat in the governor's
+	// queue; honour it now that the waiter is visible to handleCancel.
+	if i.gov.isCancelled(key) {
+		rw.stop()
+	}
+
 	i.wg.Add(1)
 	go func() {
 		defer i.wg.Done()
+		defer i.recoverPanic("serve-wait")
 		defer func() {
 			i.mu.Lock()
 			if i.waits[key] == rw {
 				delete(i.waits, key)
 			}
 			i.mu.Unlock()
+			i.gov.dropWait(m.From)
 			lse.Cancel()
 		}()
 		for {
@@ -270,7 +314,7 @@ func (i *Instance) serveBlocking(m *wire.Message, lse *lease.Lease) {
 					if !ok {
 						continue // lost the race; wait again
 					}
-					holdID := i.registerHold(h, m.TTL, key)
+					holdID := i.registerHold(h, ttl, key)
 					reply := &wire.Message{
 						Type: wire.TResult, ID: m.ID, From: i.Addr(),
 						Found: true, HoldID: holdID, Tuple: h.Tuple(),
@@ -376,9 +420,14 @@ func (i *Instance) handleAccept(m *wire.Message) {
 	_ = i.send(m.From, &wire.Message{Type: wire.TAck, ID: m.ID, From: i.Addr(), OK: true})
 }
 
-// handleCancel stops a blocking waiter we are serving.
+// handleCancel stops a blocking waiter we are serving. The cancel is
+// also recorded against any copy of the op still sitting in the
+// governor's queue: with a parallel serve pool a cancel can overtake
+// its op, and the worker must drop it rather than register a waiter
+// this cancel can no longer reach.
 func (i *Instance) handleCancel(m *wire.Message) {
 	key := waitKey{from: m.From, id: m.ID}
+	i.gov.markCancelled(key)
 	i.mu.Lock()
 	rw, ok := i.waits[key]
 	i.mu.Unlock()
@@ -402,6 +451,12 @@ func (i *Instance) handleRemoteOut(m *wire.Message) {
 	}
 	terms := serveTerms(m.TTL)
 	terms.MaxBytes = m.Tuple.Size()
+	// Under pressure only the duration is negotiable downward: clamping
+	// the byte budget below the tuple's size would turn every admitted
+	// out into a refusal, which is shedding with extra steps.
+	if clamped := i.gov.clampTerms(terms); clamped.Duration < terms.Duration {
+		terms.Duration = clamped.Duration
+	}
 	lse, err := i.mgr.Grant(lease.OpOut, lease.Flexible(terms))
 	if err != nil {
 		ack.Err = err.Error()
@@ -468,6 +523,7 @@ func (i *Instance) handleRemoteEval(m *wire.Message) {
 	}
 	terms := serveTerms(m.TTL)
 	terms.MaxBytes = i.mgr.Capacity().MaxBytes
+	terms = i.gov.clampTerms(terms)
 	lse, err := i.mgr.Grant(lease.OpEval, lease.Flexible(terms))
 	if err != nil {
 		ack.Err = err.Error()
@@ -584,8 +640,12 @@ func (i *Instance) dispatch(m *wire.Message) {
 		i.handleDiscover(m)
 	case wire.TAnnounce:
 		i.handleAnnounce(m)
-	case wire.TOp:
-		i.handleOp(m)
+	case wire.TOp, wire.TOut, wire.TEval:
+		// Serve work goes through the governor: bounded queue, per-peer
+		// quotas, watermark shedding, worker-pool execution. Settlement
+		// traffic below stays on the fast inline path so a loaded queue
+		// never delays completions.
+		i.gov.submit(m)
 	case wire.TResult:
 		i.handleResult(m)
 	case wire.TAccept:
@@ -594,10 +654,6 @@ func (i *Instance) dispatch(m *wire.Message) {
 		i.settleHold(m.HoldID, false)
 	case wire.TCancel:
 		i.handleCancel(m)
-	case wire.TOut:
-		i.handleRemoteOut(m)
-	case wire.TEval:
-		i.handleRemoteEval(m)
 	case wire.TAck:
 		i.handleResult(m)
 	case wire.TRelay:

@@ -9,6 +9,13 @@
 //   - consequently, consistently visible instances migrate toward the
 //     top by attrition and are contacted first.
 //
+// One refinement sharpens the migration: a responder that satisfies an
+// operation (a found reply) is promoted straight to the top, while
+// not-found acknowledgements only append. Arrival order says nothing
+// about usefulness — an empty peer can answer faster than the holder —
+// so ranking by satisfaction is what keeps repeated lookups at a couple
+// of unicasts (E8).
+//
 // On top of the paper's hard evict-on-unreachable rule, each entry
 // carries a health score: consecutive soft failures (timeouts after
 // retries) raise suspicion, and a suspected responder is temporarily
@@ -204,6 +211,42 @@ func (l *ResponderList) Success(addr wire.Addr) {
 	defer l.mu.Unlock()
 	if e := l.index[addr]; e != nil {
 		l.restoreLocked(e)
+	}
+}
+
+// Promote moves addr to the top of the contact order, adding it first if
+// absent. A responder that actually satisfied an operation (a found
+// reply, not a mere not-found acknowledgement) is the best first contact
+// for the next one: propagation starts from the top (paper §3.1.3), so
+// promotion is what lets repeated lookups reach the tuple holder in one
+// unicast instead of walking past peers that only proved they were
+// empty. Satisfying an operation is also the strongest evidence of life,
+// so promotion restores the entry's health.
+func (l *ResponderList) Promote(addr wire.Addr) {
+	if addr == "" {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	e := l.index[addr]
+	if e == nil {
+		if l.max > 0 && len(l.addrs) >= l.max {
+			victim := l.addrs[len(l.addrs)-1]
+			l.addrs = l.addrs[:len(l.addrs)-1]
+			delete(l.index, victim.addr)
+			l.met.Inc(trace.CtrListEvictions)
+		}
+		e = &entry{addr: addr, cooldown: l.cooldown}
+		l.index[addr] = e
+		l.addrs = append(l.addrs, e)
+	}
+	l.restoreLocked(e)
+	for i, x := range l.addrs {
+		if x == e {
+			copy(l.addrs[1:i+1], l.addrs[:i])
+			l.addrs[0] = e
+			break
+		}
 	}
 }
 

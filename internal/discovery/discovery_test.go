@@ -260,3 +260,53 @@ func TestFailUnknownAddrIsNoop(t *testing.T) {
 		t.Fatal("health ops created entries")
 	}
 }
+
+func TestPromoteMovesToTop(t *testing.T) {
+	l := NewResponderList(0, nil)
+	l.Observe("a")
+	l.Observe("b")
+	l.Observe("c")
+	l.Promote("c")
+	if got := l.Snapshot(); got[0] != "c" || got[1] != "a" || got[2] != "b" {
+		t.Fatalf("order after promote = %v", got)
+	}
+	// Promoting the top entry is a no-op on order.
+	l.Promote("c")
+	if got := l.Snapshot(); got[0] != "c" || len(got) != 3 {
+		t.Fatalf("re-promote changed order: %v", got)
+	}
+	// Promoting an unknown responder inserts it at the top.
+	l.Promote("d")
+	if got := l.Snapshot(); got[0] != "d" || len(got) != 4 {
+		t.Fatalf("promote-insert = %v", got)
+	}
+	l.Promote("")
+	if l.Len() != 4 {
+		t.Fatal("empty addr promoted")
+	}
+}
+
+func TestPromoteRestoresHealthAndRespectsBound(t *testing.T) {
+	l := NewResponderList(3, nil, WithHealthPolicy(1, time.Minute, time.Minute))
+	l.Observe("a")
+	l.Observe("b")
+	l.Observe("c")
+	l.Fail("b")
+	if !l.Suspected("b") {
+		t.Fatal("setup: b should be suspected")
+	}
+	l.Promote("b")
+	if l.Suspected("b") {
+		t.Fatal("promotion did not restore health")
+	}
+	if got := l.Snapshot(); got[0] != "b" {
+		t.Fatalf("order = %v", got)
+	}
+	// A promote-insert on a full list evicts the bottom entry, same as
+	// Observe: the least-proven responder makes room.
+	l.Promote("z")
+	got := l.Snapshot()
+	if len(got) != 3 || got[0] != "z" || l.Contains("c") {
+		t.Fatalf("bounded promote = %v (contains c: %v)", got, l.Contains("c"))
+	}
+}

@@ -1,0 +1,61 @@
+package harness
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestMain adds a goleak-style assertion without external dependencies:
+// after the package's tests finish, no goroutine may still be executing
+// tiamat code. Leaked governor workers, transport loops, or serve waits
+// fail the whole package.
+func TestMain(m *testing.M) {
+	code := m.Run()
+	if code == 0 {
+		if err := checkGoroutineLeaks(2 * time.Second); err != nil {
+			fmt.Fprintf(os.Stderr, "goroutine leak check failed: %v\n", err)
+			code = 1
+		}
+	}
+	os.Exit(code)
+}
+
+// checkGoroutineLeaks polls until no tiamat goroutines remain or the
+// grace period ends; the grace absorbs teardown still in flight when the
+// last test returns.
+func checkGoroutineLeaks(grace time.Duration) error {
+	deadline := time.Now().Add(grace)
+	for {
+		leaked := tiamatStacks()
+		if len(leaked) == 0 {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("%d goroutines still in tiamat code:\n\n%s",
+				len(leaked), strings.Join(leaked, "\n\n"))
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// tiamatStacks returns the stacks of live goroutines executing tiamat
+// packages, excluding the test runner itself.
+func tiamatStacks() []string {
+	buf := make([]byte, 1<<21)
+	n := runtime.Stack(buf, true)
+	var out []string
+	for _, st := range strings.Split(string(buf[:n]), "\n\n") {
+		if !strings.Contains(st, "tiamat/") {
+			continue
+		}
+		if strings.Contains(st, "TestMain") || strings.Contains(st, "testing.tRunner") {
+			continue
+		}
+		out = append(out, st)
+	}
+	return out
+}

@@ -1,0 +1,17 @@
+package harness
+
+import "testing"
+
+// TestC2OverloadGovernance runs the C2 soak at Quick scale; the
+// acceptance invariants (bounded heap, compliant p99 bound, explicit
+// sheds, no revocation while shrink works) are asserted inside
+// C2Overload itself and surface here as an error.
+func TestC2OverloadGovernance(t *testing.T) {
+	tab, err := C2Overload(Quick)
+	if tab != nil {
+		render(t, tab)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+}

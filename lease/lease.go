@@ -149,11 +149,20 @@ func (l *Lease) ID() uint64 { return l.id }
 // Op returns the operation the lease covers.
 func (l *Lease) Op() OpKind { return l.op }
 
-// Terms returns the granted terms.
-func (l *Lease) Terms() Terms { return l.terms }
+// Terms returns the granted terms (as shrunk, if budget was returned).
+func (l *Lease) Terms() Terms {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.terms
+}
 
-// Deadline returns the instant the time budget expires.
-func (l *Lease) Deadline() time.Time { return l.deadline }
+// Deadline returns the instant the time budget expires (as shrunk, if
+// the grantor reclaimed duration).
+func (l *Lease) Deadline() time.Time {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.deadline
+}
 
 // Done returns a channel closed when the lease leaves StateActive.
 func (l *Lease) Done() <-chan struct{} {
@@ -229,21 +238,68 @@ func (l *Lease) ConsumeBytes(n int64) error {
 // ShrinkBytes releases the unused portion of the byte budget back to the
 // manager's shared pool. Callers invoke it once the final footprint of an
 // out/eval is known, so a small tuple does not reserve a large budget for
-// its whole lifetime.
-func (l *Lease) ShrinkBytes() {
+// its whole lifetime. It returns the number of bytes reclaimed.
+//
+// Together with ShrinkDuration and ShrinkRemotes this is the lease
+// system's re-negotiation path: the grantor claws back unused budget
+// without revoking, the paper's escalation step before last-resort
+// revocation (§2.5). Already-consumed budget is never touched — shrink
+// narrows a promise, it does not break one.
+func (l *Lease) ShrinkBytes() int64 {
 	l.mu.Lock()
 	if l.state != StateActive {
 		l.mu.Unlock()
-		return
+		return 0
 	}
 	excess := l.terms.MaxBytes - l.bytesUsed
 	if excess <= 0 {
 		l.mu.Unlock()
-		return
+		return 0
 	}
 	l.terms.MaxBytes = l.bytesUsed
 	l.mu.Unlock()
 	l.mgr.returnBytes(excess)
+	return excess
+}
+
+// ShrinkDuration clamps the lease's remaining time budget to at most d
+// from now, re-arming the expiry timer. A lease that already expires
+// sooner (or is no longer active) is untouched. It reports whether the
+// deadline moved.
+func (l *Lease) ShrinkDuration(d time.Duration) bool {
+	if d < 0 {
+		d = 0
+	}
+	nd := l.mgr.clk.Now().Add(d)
+	l.mu.Lock()
+	if l.state != StateActive || !nd.Before(l.deadline) {
+		l.mu.Unlock()
+		return false
+	}
+	l.deadline = nd
+	old := l.stopTimer
+	l.stopTimer = l.mgr.clk.AfterFunc(d, func() { l.finish(StateExpired) })
+	l.mu.Unlock()
+	if old != nil {
+		old()
+	}
+	return true
+}
+
+// ShrinkRemotes clamps the remaining remote-contact budget to at most n.
+// It returns the number of contacts reclaimed.
+func (l *Lease) ShrinkRemotes(n int) int {
+	if n < 0 {
+		n = 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.state != StateActive || l.remotesLeft <= n {
+		return 0
+	}
+	reclaimed := l.remotesLeft - n
+	l.remotesLeft = n
+	return reclaimed
 }
 
 // BytesUsed reports the consumed storage budget.

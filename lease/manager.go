@@ -254,7 +254,8 @@ func (m *Manager) Stats() Stats {
 }
 
 // ActiveLeases returns the active leases ordered by deadline (soonest
-// first). Used by revocation and by monitoring.
+// first). Used by revocation and by monitoring. Deadlines are snapshotted
+// under each lease's lock — ShrinkDuration may move them concurrently.
 func (m *Manager) ActiveLeases() []*Lease {
 	m.mu.Lock()
 	ls := make([]*Lease, 0, len(m.active))
@@ -262,13 +263,51 @@ func (m *Manager) ActiveLeases() []*Lease {
 		ls = append(ls, l)
 	}
 	m.mu.Unlock()
-	sort.Slice(ls, func(i, j int) bool {
-		if ls[i].deadline.Equal(ls[j].deadline) {
-			return ls[i].id < ls[j].id
-		}
-		return ls[i].deadline.Before(ls[j].deadline)
-	})
+	deadlines := make([]time.Time, len(ls))
+	for i, l := range ls {
+		deadlines[i] = l.Deadline()
+	}
+	sort.Sort(&byDeadline{ls: ls, at: deadlines})
 	return ls
+}
+
+// byDeadline sorts leases by a snapshotted deadline, ties by id.
+type byDeadline struct {
+	ls []*Lease
+	at []time.Time
+}
+
+func (s *byDeadline) Len() int { return len(s.ls) }
+func (s *byDeadline) Less(i, j int) bool {
+	if s.at[i].Equal(s.at[j]) {
+		return s.ls[i].id < s.ls[j].id
+	}
+	return s.at[i].Before(s.at[j])
+}
+func (s *byDeadline) Swap(i, j int) {
+	s.ls[i], s.ls[j] = s.ls[j], s.ls[i]
+	s.at[i], s.at[j] = s.at[j], s.at[i]
+}
+
+// Shrink reclaims up to n bytes of promised-but-unconsumed storage budget
+// from active leases, oldest deadline first, without terminating any of
+// them. It is the re-negotiation rung of the escalation ladder (paper
+// §2.5): a grantor under pressure first narrows its outstanding promises,
+// and only if that is not enough does it resort to Revoke. Returns the
+// number of bytes actually reclaimed, which may fall short of n when the
+// active set has little slack.
+func (m *Manager) Shrink(n int64) int64 {
+	if n <= 0 {
+		return 0
+	}
+	var reclaimed int64
+	for _, l := range m.ActiveLeases() {
+		if reclaimed >= n {
+			break
+		}
+		reclaimed += l.ShrinkBytes()
+	}
+	return reclaimed
 }
 
 // Revoke forcibly terminates up to n active leases, oldest deadline first,

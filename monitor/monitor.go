@@ -37,6 +37,7 @@ type Monitor struct {
 	opWindow  int
 	outcomes  []bool // success ring
 	latencies []time.Duration
+	refusals  []bool // busy-refusal ring (admission outcomes)
 }
 
 // New returns a Monitor with the given sliding-window lengths (samples
@@ -213,6 +214,39 @@ func (m *Monitor) SuccessRate() float64 {
 		}
 	}
 	return float64(ok) / float64(len(m.outcomes))
+}
+
+// ObserveAdmission records whether a remote responder refused one
+// request with an explicit busy reply (the overload governor's shed
+// signal, DESIGN.md §9). Tracked separately from ObserveOp: a busy
+// refusal is the environment saying "elsewhere, please", not a failure
+// of the operation itself, and the windowed rate is the requester's view
+// of how overloaded its current responders are.
+func (m *Monitor) ObserveAdmission(refused bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.refusals = append(m.refusals, refused)
+	if len(m.refusals) > m.opWindow {
+		m.refusals = m.refusals[len(m.refusals)-m.opWindow:]
+	}
+}
+
+// BusyRate returns the windowed fraction of requests refused busy (0.0
+// with no observations): a rising rate says the visible set is
+// saturated and the requester should back off or rediscover.
+func (m *Monitor) BusyRate() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.refusals) == 0 {
+		return 0.0
+	}
+	n := 0
+	for _, r := range m.refusals {
+		if r {
+			n++
+		}
+	}
+	return float64(n) / float64(len(m.refusals))
 }
 
 // MeanLatency returns the windowed mean operation latency.

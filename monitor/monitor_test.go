@@ -160,6 +160,25 @@ func TestOpOutcomes(t *testing.T) {
 	}
 }
 
+func TestBusyRateWindow(t *testing.T) {
+	m := New(4, 4)
+	if got := m.BusyRate(); got != 0.0 {
+		t.Fatalf("empty BusyRate = %g, want 0", got)
+	}
+	m.ObserveAdmission(true)
+	m.ObserveAdmission(false)
+	if got := m.BusyRate(); got != 0.5 {
+		t.Fatalf("BusyRate = %g, want 0.5", got)
+	}
+	// Window slides: four admissions push out the refusal.
+	for i := 0; i < 4; i++ {
+		m.ObserveAdmission(false)
+	}
+	if got := m.BusyRate(); got != 0.0 {
+		t.Fatalf("BusyRate after slide = %g, want 0", got)
+	}
+}
+
 func TestAdaptiveIntervalBacksOffWhenStable(t *testing.T) {
 	a := NewAdaptiveInterval(100*time.Millisecond, time.Second)
 	if a.Current() != 100*time.Millisecond {

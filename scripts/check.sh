@@ -26,4 +26,13 @@ echo "==> crash suite (-race)"
 go test -race -run 'Crash|KillPoint|Truncate|BitFlip|SyncFailure|Torn|Shutdown|Goodbye|RestartRejoin|C1' \
 	./space/persist/ ./internal/core/ ./internal/harness/
 
+# The overload gate: admission control, fairness quotas, shed ordering,
+# the shrink-before-revoke escalation ladder, deadline propagation, and
+# the C2 flood soak — under the race detector. The harness package's
+# TestMain doubles as a goroutine-leak assertion: any governor worker,
+# serve wait, or transport loop still alive after the suite fails it.
+echo "==> overload suite (-race)"
+go test -race -run 'Govern|RemoteWaitFlood|ShedOrder|Revoke|Shrink|Deadline|Budget|Busy|PanicIsolation|C2' \
+	./internal/core/ ./lease/ ./wire/ ./monitor/ ./internal/harness/
+
 echo "OK"

@@ -51,6 +51,15 @@ type Config = core.Config
 // space it came from, usable with OutBack.
 type Result = core.Result
 
+// GovernorConfig tunes the overload governor on the serve path:
+// admission quotas, queue depth, and the shed/shrink/revoke watermarks
+// (DESIGN.md §9). The zero value uses the library defaults.
+type GovernorConfig = core.GovernorConfig
+
+// GovernorReport is a snapshot of the governor's lifetime counters,
+// available via Instance.Governor.
+type GovernorReport = core.GovernorReport
+
 // SpaceInfo describes a visible space (handle + persistence flag).
 type SpaceInfo = core.SpaceInfo
 

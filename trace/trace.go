@@ -159,6 +159,24 @@ const (
 	CtrTuplesReclaimed  = "store.tuples_reclaimed"
 	CtrTuplesReinstated = "store.tuples_reinstated"
 
+	// Governor counters (serve-path admission control, DESIGN.md §9).
+	// Sheds are split by the class refused — the shedding order (probes
+	// before waits before outs) is observable straight from the counters.
+	CtrGovShedProbes   = "gov.shed_probes"
+	CtrGovShedWaits    = "gov.shed_waits"
+	CtrGovShedOuts     = "gov.shed_outs"
+	CtrGovQuotaSheds   = "gov.quota_sheds"
+	CtrGovQueueSheds   = "gov.queue_sheds"
+	CtrGovShrinks      = "gov.shrinks"
+	CtrGovShrunkBytes  = "gov.shrunk_bytes"
+	CtrGovRevokes      = "gov.revokes"
+	CtrGovClamps       = "gov.grant_clamps"
+	CtrGovDeadlineCuts = "gov.deadline_cuts"
+	CtrBusyReceived    = "gov.busy_received"
+	// CtrPanics counts recovered panics on serve/transport goroutines; a
+	// poisoned frame degrades one op, never the node.
+	CtrPanics = "core.panics"
+
 	CtrEngagements    = "fed.engagements"
 	CtrEngageStallsNs = "fed.engage_stall_ns"
 	CtrReplicaMsgs    = "repl.msgs"

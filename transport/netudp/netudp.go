@@ -259,8 +259,18 @@ func (t *Transport) acceptLoop() {
 		go func() {
 			defer connWG.Done()
 			defer conn.Close()
+			defer t.recoverPanic()
 			t.readFrames(conn)
 		}()
+	}
+}
+
+// recoverPanic contains a panic out of one connection's or datagram's
+// frame handling: the connection (or datagram) is lost, the transport
+// survives, and the event is visible on the panic counter.
+func (t *Transport) recoverPanic() {
+	if r := recover(); r != nil {
+		t.met.Inc(trace.CtrPanics)
 	}
 }
 
@@ -298,28 +308,33 @@ func (t *Transport) readFrames(conn net.Conn) {
 func (t *Transport) udpLoop() {
 	defer t.wg.Done()
 	buf := make([]byte, maxDatagram)
-	for {
-		n, _, err := t.udp.ReadFromUDP(buf)
-		if err != nil {
-			if errors.Is(err, net.ErrClosed) {
-				return
-			}
-			if t.isClosed() {
-				return
-			}
-			continue
-		}
-		m, err := wire.Decode(buf[:n])
-		if err != nil {
-			t.met.Inc(trace.CtrCorruptFrames)
-			t.met.Inc(trace.CtrMsgsDropped)
-			continue
-		}
-		if m.From == t.addr {
-			continue // our own probe echoed back
-		}
-		t.enqueue(m)
+	for !t.udpRecvOne(buf) {
 	}
+}
+
+// udpRecvOne handles one datagram and reports whether the loop should
+// stop. A panic out of one datagram's handling drops that datagram and
+// keeps the loop alive (stop stays false when recovery fires).
+func (t *Transport) udpRecvOne(buf []byte) (stop bool) {
+	defer t.recoverPanic()
+	n, _, err := t.udp.ReadFromUDP(buf)
+	if err != nil {
+		if errors.Is(err, net.ErrClosed) {
+			return true
+		}
+		return t.isClosed()
+	}
+	m, err := wire.Decode(buf[:n])
+	if err != nil {
+		t.met.Inc(trace.CtrCorruptFrames)
+		t.met.Inc(trace.CtrMsgsDropped)
+		return false
+	}
+	if m.From == t.addr {
+		return false // our own probe echoed back
+	}
+	t.enqueue(m)
+	return false
 }
 
 func (t *Transport) enqueue(m *wire.Message) {

@@ -1,0 +1,94 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"tiamat/tuple"
+)
+
+// The Budget (TOp) and Busy (TResult) fields are optional trailing
+// fields: they are only encoded when they carry information, so the
+// common frames stay byte-identical to the previous wire revision and
+// decodable by peers running the previous code.
+
+func TestOpBudgetRoundTrip(t *testing.T) {
+	m := &Message{Type: TOp, ID: 3, From: "c", Op: OpIn, TTL: 1500 * time.Millisecond,
+		Budget: 250 * time.Millisecond,
+		Template: tuple.Tmpl(tuple.String("req"), tuple.FormalInt())}
+	back := roundTrip(t, m)
+	if back.Budget != m.Budget || back.TTL != m.TTL {
+		t.Fatalf("budget lost: got ttl=%v budget=%v", back.TTL, back.Budget)
+	}
+}
+
+func TestResultBusyRoundTrip(t *testing.T) {
+	for _, m := range []*Message{
+		{Type: TResult, ID: 4, From: "d", Found: false, Busy: true},
+		{Type: TResult, ID: 5, From: "d", Found: true, HoldID: 2, Busy: true,
+			Tuple: tuple.T(tuple.String("x"))},
+	} {
+		back := roundTrip(t, m)
+		if back.Busy != m.Busy || back.Found != m.Found {
+			t.Fatalf("busy lost: %+v", back)
+		}
+	}
+}
+
+func TestAckBusyRoundTrip(t *testing.T) {
+	m := &Message{Type: TAck, ID: 6, From: "e", OK: false, Err: "busy", Busy: true}
+	back := roundTrip(t, m)
+	if !back.Busy || back.OK || back.Err != "busy" {
+		t.Fatalf("ack busy lost: %+v", back)
+	}
+}
+
+// Frames without the optional fields must be byte-identical to frames
+// that never knew about them: the absent case is the compatibility case.
+func TestAbsentOptionalFieldsEncodeIdentically(t *testing.T) {
+	op := &Message{Type: TOp, ID: 3, From: "c", Op: OpRd, TTL: time.Second,
+		Template: tuple.Tmpl(tuple.FormalString())}
+	want := Encode(op)
+	op.Budget = 0
+	if got := Encode(op); !bytes.Equal(got, want) {
+		t.Fatal("zero budget changed the frame bytes")
+	}
+	res := &Message{Type: TResult, ID: 4, From: "d", Found: false}
+	want = Encode(res)
+	res.Busy = false
+	if got := Encode(res); !bytes.Equal(got, want) {
+		t.Fatal("false busy changed the frame bytes")
+	}
+	ack := &Message{Type: TAck, ID: 5, From: "e", OK: false, Err: "refused"}
+	want = Encode(ack)
+	ack.Busy = false
+	if got := Encode(ack); !bytes.Equal(got, want) {
+		t.Fatal("false busy changed the ack frame bytes")
+	}
+}
+
+// A decoder that never learned the optional fields sees them as trailing
+// bytes and rejects the frame — the documented mixed-version fallback is
+// refusal, not misinterpretation. This test pins the other direction:
+// the new decoder accepts old (field-free) frames and reports the zero
+// value.
+func TestOptionalFieldsAbsentDecodeToZero(t *testing.T) {
+	op := Encode(&Message{Type: TOp, ID: 3, From: "c", Op: OpRd, TTL: time.Second,
+		Template: tuple.Tmpl(tuple.FormalString())})
+	m, err := Decode(op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Budget != 0 {
+		t.Fatalf("budget = %v, want 0 (assume TTL)", m.Budget)
+	}
+	res := Encode(&Message{Type: TResult, ID: 4, From: "d", Found: false})
+	m, err = Decode(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Busy {
+		t.Fatal("busy = true from a field-free frame")
+	}
+}

@@ -158,6 +158,13 @@ type Message struct {
 	// Hops is the remaining flood radius (used by flooding protocols;
 	// Tiamat proper does not re-flood).
 	Hops uint8
+	// Budget is the requester's remaining operation budget (TOp), when it
+	// is tighter than TTL: a responder must not hold a waiter or a
+	// tentative removal past the point the requester's lease or context
+	// can still use the answer. Zero means "same as TTL" — the field is
+	// only encoded when it carries new information, so frames stay
+	// decodable by pre-Budget peers in the common case (see AppendEncode).
+	Budget time.Duration
 
 	// Tuple payload (TResult, TOut, TEval args).
 	Tuple tuple.Tuple
@@ -165,6 +172,12 @@ type Message struct {
 	Found bool
 	// HoldID identifies a tentative removal on the responder.
 	HoldID uint64
+	// Busy marks a not-found TResult or a refusing TAck as an explicit
+	// admission refusal (the responder's governor shed the operation)
+	// rather than a genuine miss or failure: the requester should fail
+	// over, not retry here. Only encoded when true; absent means a normal
+	// reply for pre-Busy peers.
+	Busy bool
 
 	// OK and Err report TAck outcomes.
 	OK  bool
@@ -257,11 +270,24 @@ func AppendEncode(dst []byte, m *Message) []byte {
 		b = append(b, byte(m.Op), m.Hops)
 		b = binary.AppendUvarint(b, uint64(m.TTL/time.Millisecond))
 		b = m.Template.AppendBinary(b)
+		// Optional trailing budget: only when it differs from TTL, so the
+		// common frame is byte-identical to the pre-Budget revision.
+		// Peers running the previous code reject budget-carrying frames
+		// as trailing garbage and the requester fails over — degraded,
+		// never incorrect (see serve-side fallback note in core).
+		if m.Budget > 0 {
+			b = binary.AppendUvarint(b, uint64(m.Budget/time.Millisecond))
+		}
 	case TResult:
 		b = appendBool(b, m.Found)
 		b = binary.AppendUvarint(b, m.HoldID)
 		if m.Found {
 			b = m.Tuple.AppendBinary(b)
+		}
+		// Optional trailing busy marker (admission refusal), same
+		// mixed-version contract as TOp's budget field.
+		if m.Busy {
+			b = appendBool(b, true)
 		}
 	case TAccept, TRelease, TCancel:
 		b = binary.AppendUvarint(b, m.HoldID)
@@ -275,6 +301,10 @@ func AppendEncode(dst []byte, m *Message) []byte {
 	case TAck:
 		b = appendBool(b, m.OK)
 		b = appendStr(b, m.Err)
+		// Optional trailing busy marker, same contract as TResult's.
+		if m.Busy {
+			b = appendBool(b, true)
+		}
 	case TRelay:
 		b = appendStr(b, string(m.Target))
 		b = binary.AppendUvarint(b, uint64(len(m.Payload)))
@@ -361,6 +391,15 @@ func decode(data []byte, alias bool) (*Message, error) {
 		if m.Template, src, err = decodeTemplate(src, alias); err != nil {
 			return nil, fmt.Errorf("template: %w", err)
 		}
+		// Optional budget field: absent (pre-Budget peer, or budget==TTL)
+		// means the TTL is the whole story.
+		if len(src) > 0 {
+			var budget uint64
+			if budget, src, err = readUvarint(src); err != nil {
+				return nil, fmt.Errorf("budget: %w", err)
+			}
+			m.Budget = time.Duration(budget) * time.Millisecond
+		}
 	case TResult:
 		if m.Found, src, err = readBool(src); err != nil {
 			return nil, err
@@ -371,6 +410,12 @@ func decode(data []byte, alias bool) (*Message, error) {
 		if m.Found {
 			if m.Tuple, src, err = decodeTuple(src, alias); err != nil {
 				return nil, fmt.Errorf("tuple: %w", err)
+			}
+		}
+		// Optional busy marker: absent means a normal result.
+		if len(src) > 0 {
+			if m.Busy, src, err = readBool(src); err != nil {
+				return nil, err
 			}
 		}
 	case TAccept, TRelease, TCancel:
@@ -404,6 +449,12 @@ func decode(data []byte, alias bool) (*Message, error) {
 		}
 		if m.Err, src, err = readStr(src); err != nil {
 			return nil, err
+		}
+		// Optional busy marker: absent means a normal ack.
+		if len(src) > 0 {
+			if m.Busy, src, err = readBool(src); err != nil {
+				return nil, err
+			}
 		}
 	case TRelay:
 		var target string

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench bench-json chaos crash soak
+.PHONY: build test check bench bench-json chaos crash soak fuzz mobility
 
 build:
 	$(GO) build ./...
@@ -39,6 +39,24 @@ soak:
 	$(GO) test -race -run 'Govern|RemoteWaitFlood|ShedOrder|Revoke|Shrink|Deadline|Budget|Busy|PanicIsolation|C2' \
 		./internal/core/ ./lease/ ./wire/ ./monitor/ ./internal/harness/
 	$(GO) run ./cmd/tiamat-bench -quick C2
+
+# fuzz smoke-tests the two wire-format decoders for a few seconds each:
+# enough to catch a decoder regression in CI without turning the gate
+# into a fuzzing campaign. The seed corpora cover the optional trailing
+# Busy/Budget fields, so the mixed-version truncated layout stays pinned.
+FUZZTIME ?= 10s
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzDecode -fuzztime $(FUZZTIME) ./wire/
+	$(GO) test -run '^$$' -fuzz FuzzDecodeTuple -fuzztime $(FUZZTIME) ./tuple/
+
+# mobility runs the partition/mobility suite under the race detector:
+# visibility-event re-arming, orphan reconciliation, memnet mobility
+# scripting, the lease skew band, and the C3 churn soak with its
+# conservation invariants.
+mobility:
+	$(GO) test -race -run 'Rearm|Orphan|Vis|Event|OneWay|Sched|Stale|HeldBack|Churn|Partition|Skew|Mobility|C3' \
+		./internal/core/ ./internal/discovery/ ./transport/memnet/ ./lease/ ./monitor/ ./internal/harness/
+	$(GO) run ./cmd/tiamat-bench -quick C3
 
 # crash runs the storage fault-injection suite under the race detector:
 # WAL kill-point sweeps, torn writes, bit flips, failed syncs, and the

@@ -99,6 +99,7 @@ func run() int {
 		{"X2", "adaptive discovery (future work)", harness.X2AdaptiveDiscovery},
 		{"C1", "crash injection and restart/rejoin", harness.C1Crash},
 		{"C2", "overload governance soak", harness.C2Overload},
+		{"C3", "partition/mobility churn soak", harness.C3Mobility},
 		{"AB1", "ablation: contact fanout", harness.AB1ContactFanout},
 	}
 

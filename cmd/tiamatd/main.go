@@ -8,12 +8,18 @@
 //	tiamatd [-listen 127.0.0.1:0] [-group 239.77.7.3:7703]
 //	        [-peers host:port,host:port] [-persistent] [-data tiamatd.wal]
 //	        [-fsync always|interval|never] [-stats 10s] [-pda]
-//	        [-max-peer-waits n] [-shed-watermark 0.75]
+//	        [-max-peer-waits n] [-shed-watermark 0.75] [-rearm=true]
 //
 // -max-peer-waits and -shed-watermark tune the overload governor
 // (DESIGN.md §9): the per-peer bound on served blocking waits and the
 // pressure at which admission starts shedding. The drain path prints a
 // one-line governance summary (sheds, shrinks, revocations) on exit.
+//
+// -rearm (on by default) re-contacts newly visible peers for blocking
+// operations still in flight (DESIGN.md §10); -rearm=false restricts an
+// operation to the peers visible when it started, as in pre-mobility
+// builds. The drain summary includes a mobility line (re-arms, orphaned
+// waits/holds reconciled, visibility churn) alongside the governor's.
 //
 // With -persistent the local space is backed by a write-ahead log at
 // -data: tuples survive restarts (the log is replayed on boot and a
@@ -57,6 +63,7 @@ func main() {
 	pda := flag.Bool("pda", false, "use constrained PDA-class lease capacities")
 	maxPeerWaits := flag.Int("max-peer-waits", 0, "bound on blocking remote waits served per peer (0 = library default)")
 	shedWatermark := flag.Float64("shed-watermark", 0, "pressure (0..1] at which admission starts shedding (0 = library default)")
+	rearm := flag.Bool("rearm", true, "re-arm in-flight blocking ops when new peers become visible")
 	flag.Parse()
 
 	if *shedWatermark < 0 || *shedWatermark > 1 {
@@ -80,6 +87,7 @@ func main() {
 		Endpoint:            tr,
 		Persistent:          *persistent,
 		ContinuousDiscovery: true,
+		DisableRearm:        !*rearm,
 		Governor: tiamat.GovernorConfig{
 			MaxPeerWaits:  *maxPeerWaits,
 			ShedWatermark: *shedWatermark,
@@ -160,6 +168,9 @@ func main() {
 			fmt.Printf("governor: sheds=%d (probes=%d waits=%d outs=%d quota=%d queue=%d) shrinks=%d (%dB) clamps=%d deadline-cuts=%d revokes=%d\n",
 				g.Sheds(), g.ShedProbes, g.ShedWaits, g.ShedOuts, g.QuotaSheds, g.QueueSheds,
 				g.Shrinks, g.ShrunkBytes, g.GrantClamps, g.DeadlineCuts, g.Revokes)
+			m := inst.Mobility()
+			fmt.Printf("mobility: rearms=%d orphans{waits=%d holds=%d probes=%d} visibility{joins=%d leaves=%d}\n",
+				m.Rearms, m.OrphanWaits, m.OrphanHolds, m.OrphanProbes, m.VisJoins, m.VisLeaves)
 			if p := inst.LastPanic(); p != "" {
 				fmt.Printf("last recovered panic: %s\n", p)
 			}

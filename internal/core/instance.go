@@ -141,6 +141,25 @@ type Config struct {
 	// consumes one unit of the operation lease's remote budget, so the
 	// lease still bounds total communication effort (§2.5).
 	RetryAttempts int
+	// RetrySeed seeds the per-instance retry-jitter source so chaos and
+	// mobility runs are reproducible. 0 derives a seed from the instance
+	// address (distinct nodes jitter differently, a given topology is
+	// stable run-to-run).
+	RetrySeed uint64
+	// DisableRearm turns off visibility-event re-arming of in-flight
+	// blocking operations (DESIGN.md §10): with it set, a blocking rd/in
+	// only reaches peers known at start (plus rediscovery multicasts, if
+	// enabled) — the pre-mobility behaviour, kept for ablations and
+	// mixed-version comparisons.
+	DisableRearm bool
+	// OrphanSweepInterval is how often the orphan sweeper probes peers
+	// this instance is serving waits or holds for (default 1s).
+	OrphanSweepInterval time.Duration
+	// OrphanGrace is how long a served peer must stay continuously
+	// unreachable before its waits are stopped and its holds reinstated
+	// (default 3s). The window bounds how long a partition can strand
+	// serve-side state below the lease TTL backstop.
+	OrphanGrace time.Duration
 	// RoutePolicy selects OutBack behaviour (default RouteLocal).
 	RoutePolicy RoutePolicy
 	// Persistent marks this space as persistent in announcements and in
@@ -202,6 +221,12 @@ func (c *Config) applyDefaults() {
 	if c.RetryAttempts <= 0 {
 		c.RetryAttempts = 3
 	}
+	if c.OrphanSweepInterval <= 0 {
+		c.OrphanSweepInterval = time.Second
+	}
+	if c.OrphanGrace <= 0 {
+		c.OrphanGrace = 3 * time.Second
+	}
 	if c.EvalWorkers <= 0 {
 		c.EvalWorkers = 4
 	}
@@ -261,6 +286,15 @@ type Instance struct {
 	// for the drain report.
 	lastPanic atomic.Value // string
 
+	// rnd is the per-instance retry-jitter source (mobility.go).
+	rnd prng
+	// mob accumulates mobility-path activity for Mobility().
+	mob mobilityCounters
+	// suspect tracks, per served peer, when its reachability probes
+	// started failing; the orphan sweeper reaps a peer unreachable for a
+	// full OrphanGrace window. Guarded by mu.
+	suspect map[wire.Addr]time.Time
+
 	// draining is set by Shutdown before any teardown happens: API entry
 	// points and new remote work are refused while in-flight state
 	// settles. It is atomic (not under mu) so the dispatch fast path can
@@ -306,8 +340,10 @@ func New(cfg Config) (*Instance, error) {
 		sidByLease: make(map[uint64]uint64),
 		evals:      make(map[string]EvalFunc),
 		relays:     append([]wire.Addr(nil), cfg.Relays...),
+		suspect:    make(map[wire.Addr]time.Time),
 		stopped:    make(chan struct{}),
 	}
+	i.seedRetryJitter()
 	if cfg.Space != nil {
 		i.local = cfg.Space
 	} else {
@@ -341,6 +377,8 @@ func New(cfg Config) (*Instance, error) {
 	i.gov = newGovernor(i, cfg.Governor)
 	i.wg.Add(1)
 	go i.loop()
+	i.wg.Add(1)
+	go i.orphanLoop()
 	for w := 0; w < i.gov.cfg.Workers; w++ {
 		i.wg.Add(1)
 		go i.gov.worker()

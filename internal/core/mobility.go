@@ -1,0 +1,207 @@
+package core
+
+import (
+	"sync/atomic"
+
+	"tiamat/trace"
+	"tiamat/wire"
+)
+
+// This file implements the instance's reaction to a changing world
+// (DESIGN.md §10): the per-instance jitter source, the mobility counters
+// behind Instance.Mobility(), and the orphan sweeper that reconciles
+// serve-side state stranded by a partition.
+//
+// The outbound half of mobility — re-arming in-flight blocking operations
+// when a peer becomes visible — lives in propagate (ops.go), wired to the
+// responder list's visibility event stream.
+
+// prng is a small lock-free pseudo-random source (splitmix64). The global
+// math/rand source serialises every caller on one mutex; retry jitter is
+// on the propagation hot path and only needs decorrelation, not quality,
+// so each instance carries its own seeded state instead.
+type prng struct {
+	state atomic.Uint64
+}
+
+func (p *prng) seed(v uint64) { p.state.Store(v) }
+
+// Int63n returns a value in [0, n). Each call advances the state by the
+// splitmix64 increment; concurrent callers interleave harmlessly.
+func (p *prng) Int63n(n int64) int64 {
+	x := p.state.Add(0x9e3779b97f4a7c15)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return int64(x>>1) % n
+}
+
+// mobilityCounters accumulates the instance's mobility-path activity.
+type mobilityCounters struct {
+	rearms      atomic.Uint64
+	orphanWaits atomic.Uint64
+	orphanHolds atomic.Uint64
+	probes      atomic.Uint64
+}
+
+// MobilityReport snapshots the mobility machinery's activity: blocking
+// operations re-armed toward newly visible peers, orphaned serve-side
+// waits/holds swept after their requester stayed unreachable past the
+// suspicion window, reachability probes sent, and the responder list's
+// visibility churn.
+type MobilityReport struct {
+	Rearms       uint64 // in-flight blocking ops re-armed on a join event
+	OrphanWaits  uint64 // served waits stopped because the requester vanished
+	OrphanHolds  uint64 // held tuples reinstated because the requester vanished
+	OrphanProbes uint64 // reachability probes sent by the sweeper
+	VisJoins     uint64 // responder-list join events
+	VisLeaves    uint64 // responder-list leave events
+}
+
+// Mobility snapshots the instance's mobility activity, for the drain
+// report and experiments.
+func (i *Instance) Mobility() MobilityReport {
+	joins, leaves := i.list.EventCounts()
+	return MobilityReport{
+		Rearms:       i.mob.rearms.Load(),
+		OrphanWaits:  i.mob.orphanWaits.Load(),
+		OrphanHolds:  i.mob.orphanHolds.Load(),
+		OrphanProbes: i.mob.probes.Load(),
+		VisJoins:     joins,
+		VisLeaves:    leaves,
+	}
+}
+
+// orphanLoop periodically reconciles serve-side state against peer
+// reachability: a partition must not strand held tuples and served
+// waiters until their lease TTL when the requester is demonstrably gone.
+func (i *Instance) orphanLoop() {
+	defer i.wg.Done()
+	for {
+		select {
+		case <-i.clk.After(i.cfg.OrphanSweepInterval):
+			i.sweepOrphans()
+		case <-i.stopped:
+			return
+		}
+	}
+}
+
+// sweepOrphans probes every peer we are currently serving (a registered
+// blocking wait or a pending hold) with a lightweight unsolicited
+// announce. A peer whose probe fails with an unreachable error becomes
+// suspect; one that stays unreachable for a full OrphanGrace window is
+// reaped: its waits are stopped and its holds reinstated, exactly as if
+// it had said goodbye.
+//
+// Reaping a hold early is safe under symmetric visibility: the requester
+// abandons its accept retry loop on the first unreachable send, and the
+// simulated network drops frames whose edge vanished in flight, so once
+// both sides have seen the partition no late accept can arrive. On
+// transports whose sends cannot fail fast (plain UDP), probes never
+// report unreachable and the sweeper stays inert — the hold grace timer
+// and lease TTL remain the backstop, same as before this sweeper existed.
+func (i *Instance) sweepOrphans() {
+	if i.stopping() {
+		return
+	}
+	now := i.clk.Now()
+	i.mu.Lock()
+	peers := make(map[wire.Addr]bool)
+	for k := range i.waits {
+		peers[k.from] = true
+	}
+	for _, ph := range i.holds {
+		peers[ph.key.from] = true
+	}
+	// Suspicion only outlives a sweep while there is still something to
+	// reap; a peer that settled everything starts fresh next time.
+	for a := range i.suspect {
+		if !peers[a] {
+			delete(i.suspect, a)
+		}
+	}
+	i.mu.Unlock()
+
+	for a := range peers {
+		if a == i.Addr() {
+			continue
+		}
+		i.met.Inc(trace.CtrOrphanProbes)
+		i.mob.probes.Add(1)
+		// The probe is a plain unsolicited announce: peers of any version
+		// already treat it as useful knowledge (handleAnnounce), so mixed
+		// clusters need no new frame type.
+		err := i.send(a, &wire.Message{Type: wire.TAnnounce, From: i.Addr(), Persistent: i.cfg.Persistent})
+		i.mu.Lock()
+		if err == nil {
+			delete(i.suspect, a)
+			i.mu.Unlock()
+			continue
+		}
+		first, suspected := i.suspect[a]
+		if !suspected {
+			i.suspect[a] = now
+			i.mu.Unlock()
+			continue
+		}
+		expired := now.Sub(first) >= i.cfg.OrphanGrace
+		if expired {
+			delete(i.suspect, a)
+		}
+		i.mu.Unlock()
+		if expired {
+			i.reapOrphan(a)
+		}
+	}
+}
+
+// reapOrphan releases everything served for a peer that stayed
+// unreachable past the suspicion window: the goodbye it never got to
+// send.
+func (i *Instance) reapOrphan(peer wire.Addr) {
+	i.mu.Lock()
+	waits := make([]*remoteWait, 0)
+	for key, w := range i.waits {
+		if key.from == peer {
+			waits = append(waits, w)
+		}
+	}
+	holds := make([]uint64, 0)
+	for id, ph := range i.holds {
+		if ph.key.from == peer {
+			holds = append(holds, id)
+		}
+	}
+	i.mu.Unlock()
+	for _, w := range waits {
+		i.met.Inc(trace.CtrOrphanWaits)
+		i.mob.orphanWaits.Add(1)
+		w.stop()
+	}
+	for _, id := range holds {
+		i.met.Inc(trace.CtrOrphanHolds)
+		i.mob.orphanHolds.Add(1)
+		i.settleHold(id, false)
+	}
+}
+
+// seedRetryJitter initialises the retry-jitter source from the configured
+// seed, or derives one from the instance address (FNV-1a) so distinct
+// nodes jitter differently while a given topology stays reproducible
+// run-to-run.
+func (i *Instance) seedRetryJitter() {
+	seed := i.cfg.RetrySeed
+	if seed == 0 {
+		const offset64, prime64 = 14695981039346656037, 1099511628211
+		h := uint64(offset64)
+		for _, c := range []byte(i.Addr()) {
+			h ^= uint64(c)
+			h *= prime64
+		}
+		seed = h
+	}
+	i.rnd.seed(seed)
+}

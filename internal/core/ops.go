@@ -4,9 +4,9 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"math/rand"
 	"time"
 
+	"tiamat/internal/discovery"
 	"tiamat/lease"
 	"tiamat/trace"
 	"tiamat/transport"
@@ -55,13 +55,15 @@ func stampBudget(ctx context.Context, m *wire.Message) {
 // retryWait returns how long to wait for a reply after transmission k
 // before retransmitting: the contact timeout plus exponential backoff plus
 // up to RetryBackoff of jitter so concurrent operations do not retry in
-// lockstep.
+// lockstep. The jitter comes from the instance's own seeded source
+// (Config.RetrySeed): chaos runs replay identically and the global
+// math/rand lock stays off the hot path.
 func (i *Instance) retryWait(k int) time.Duration {
 	wait := i.cfg.ContactTimeout
 	if k > 0 {
 		wait += i.cfg.RetryBackoff << (k - 1)
 	}
-	return wait + time.Duration(rand.Int63n(int64(i.cfg.RetryBackoff)))
+	return wait + time.Duration(i.rnd.Int63n(int64(i.cfg.RetryBackoff)))
 }
 
 // Out places a tuple in the local space under a negotiated lease (paper
@@ -458,6 +460,19 @@ func (i *Instance) propagate(ctx context.Context, code wire.OpCode, p tuple.Temp
 		rediscover = i.clk.After(i.cfg.RediscoverInterval)
 	}
 
+	// Blocking ops subscribe to the responder list's visibility events so
+	// a peer that walks into range mid-wait is contacted immediately (the
+	// paper's §2 premise: the logical space is the union of *currently*
+	// visible nodes, not the set visible at op start). A nil channel
+	// blocks forever, so nonblocking ops and DisableRearm runs never take
+	// the case below.
+	var joins <-chan discovery.Event
+	if code.Blocking() && !i.cfg.DisableRearm {
+		ch, unsub := i.list.Subscribe()
+		defer unsub()
+		joins = ch
+	}
+
 	for {
 		select {
 		case t, ok := <-localWait:
@@ -533,6 +548,40 @@ func (i *Instance) propagate(ctx context.Context, code wire.OpCode, p tuple.Temp
 
 		case <-ctx.Done():
 			return Result{}, false, ctx.Err()
+
+		case ev := <-joins:
+			// Re-arm: contact the newcomer with the same op ID — the serve
+			// side's dedup (waits table + served cache) makes a duplicate
+			// contact harmless, so this is safe even when the "newcomer"
+			// already heard a multicast of this op. Skips: ourselves,
+			// peers that already answered this op, and peers with a
+			// contact still in flight. A peer we gave up on re-qualifies —
+			// its reappearance is exactly the news we were missing.
+			if ev.Kind != discovery.EventJoin || ev.Addr == i.Addr() || replied[ev.Addr] {
+				break
+			}
+			if cs := contacted[ev.Addr]; cs != nil && !cs.done {
+				break
+			}
+			if lse.ConsumeRemote() != nil {
+				break // remote budget exhausted: the lease bounds re-arms too
+			}
+			msg.TTL = lse.Deadline().Sub(i.clk.Now())
+			stampBudget(ctx, msg)
+			if i.send(ev.Addr, msg) != nil {
+				break
+			}
+			if cs := contacted[ev.Addr]; cs != nil {
+				cs.done = false
+				cs.attempts = 1
+				cs.deadline = i.clk.Now().Add(i.retryWait(1))
+			} else {
+				contacted[ev.Addr] = &contactState{attempts: 1, deadline: i.clk.Now().Add(i.retryWait(1))}
+			}
+			remaining++
+			i.met.Inc(trace.CtrRearms)
+			i.mob.rearms.Add(1)
+			armRetry()
 
 		case <-rediscover:
 			// The model's continuous mode: instances that became

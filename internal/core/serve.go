@@ -122,8 +122,13 @@ type remoteWait struct {
 func (w *remoteWait) stop() { w.stopOnce.Do(func() { close(w.stopc) }) }
 
 // handleDiscover answers a visibility probe with this space's contact
-// information (paper §3.1.3).
+// information (paper §3.1.3). The probe itself is evidence: a peer that
+// reached us is visible, so observe it rather than depending on its
+// one-shot boot hello having arrived — otherwise a lost hello leaves
+// the knowledge asymmetric for both lifetimes (it keeps probing us, we
+// never learn it exists) and join-event re-arming never fires here.
 func (i *Instance) handleDiscover(m *wire.Message) {
+	i.list.Observe(m.From)
 	_ = i.send(m.From, &wire.Message{
 		Type: wire.TAnnounce, ID: m.ID, From: i.Addr(), Persistent: i.cfg.Persistent,
 	})

@@ -56,6 +56,51 @@ type entry struct {
 	suspectUntil time.Time     // zero when not suspected
 }
 
+// EventKind classifies a visibility event.
+type EventKind uint8
+
+// Visibility event kinds.
+const (
+	// EventJoin reports an address entering the responder list: the
+	// instance became visible (or visible again).
+	EventJoin EventKind = iota + 1
+	// EventLeave reports an address leaving the responder list, whether
+	// by eviction, graceful departure, attrition, or Clear.
+	EventLeave
+)
+
+// String returns the event kind name.
+func (k EventKind) String() string {
+	switch k {
+	case EventJoin:
+		return "join"
+	case EventLeave:
+		return "leave"
+	default:
+		return "unknown"
+	}
+}
+
+// Event is one visibility transition observed by the responder list. The
+// paper's model (§2.2) makes the logical space track *current*
+// visibility; the event stream is how in-flight machinery (wait
+// re-arming, orphan sweeps) reacts to the world changing mid-operation
+// instead of working from a start-of-op snapshot.
+type Event struct {
+	Kind EventKind
+	Addr wire.Addr
+	// Epoch is the peer's monotonic visibility epoch: it increments on
+	// every join, so a subscriber can tell a stale leave (epoch < the
+	// join it already acted on) from a fresh one, and can recognise a
+	// rejoin of the same address as a new life of the peer.
+	Epoch uint64
+}
+
+// subBuf is the per-subscriber event buffer. Events are best-effort: a
+// subscriber that falls this far behind loses events (counted), and the
+// machinery above (retries, rediscovery multicasts) covers the gap.
+const subBuf = 64
+
 // ResponderList is the ordered cache of known-visible instances. It is
 // safe for concurrent use.
 type ResponderList struct {
@@ -69,6 +114,15 @@ type ResponderList struct {
 	threshold   int
 	cooldown    time.Duration
 	maxCooldown time.Duration
+
+	// Visibility event stream state: per-address join epochs (kept after
+	// removal so a rejoin gets the next epoch), subscriber channels, and
+	// lifetime join/leave tallies for monitoring.
+	epochs  map[wire.Addr]uint64
+	subs    map[uint64]chan Event
+	nextSub uint64
+	joins   uint64
+	leaves  uint64
 }
 
 // Option configures a ResponderList.
@@ -104,11 +158,77 @@ func NewResponderList(max int, met *trace.Metrics, opts ...Option) *ResponderLis
 		threshold:   DefaultSuspectThreshold,
 		cooldown:    DefaultSuspectCooldown,
 		maxCooldown: DefaultSuspectMax,
+		epochs:      make(map[wire.Addr]uint64),
+		subs:        make(map[uint64]chan Event),
 	}
 	for _, o := range opts {
 		o(l)
 	}
 	return l
+}
+
+// Subscribe registers for visibility events. Delivery is best-effort
+// and non-blocking: a subscriber that falls behind by more than the
+// buffer loses events (counted under disc.vis_event_drops). The
+// returned cancel function unregisters the subscription; the channel is
+// never closed, so a cancelled subscriber simply stops receiving.
+func (l *ResponderList) Subscribe() (<-chan Event, func()) {
+	ch := make(chan Event, subBuf)
+	l.mu.Lock()
+	l.nextSub++
+	id := l.nextSub
+	l.subs[id] = ch
+	l.mu.Unlock()
+	cancel := func() {
+		l.mu.Lock()
+		delete(l.subs, id)
+		l.mu.Unlock()
+	}
+	return ch, cancel
+}
+
+// Epoch returns addr's current visibility epoch: 0 if it has never
+// joined, otherwise the epoch assigned at its most recent join.
+func (l *ResponderList) Epoch(addr wire.Addr) uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.epochs[addr]
+}
+
+// EventCounts returns the lifetime join and leave totals, for the
+// mobility report.
+func (l *ResponderList) EventCounts() (joins, leaves uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.joins, l.leaves
+}
+
+// joinLocked assigns addr its next epoch and emits a join event. Caller
+// holds l.mu and has just inserted the entry.
+func (l *ResponderList) joinLocked(addr wire.Addr) {
+	l.epochs[addr]++
+	l.joins++
+	l.met.Inc(trace.CtrVisJoins)
+	l.emitLocked(Event{Kind: EventJoin, Addr: addr, Epoch: l.epochs[addr]})
+}
+
+// leaveLocked emits a leave event for addr at its current epoch. Caller
+// holds l.mu and has just removed the entry.
+func (l *ResponderList) leaveLocked(addr wire.Addr) {
+	l.leaves++
+	l.met.Inc(trace.CtrVisLeaves)
+	l.emitLocked(Event{Kind: EventLeave, Addr: addr, Epoch: l.epochs[addr]})
+}
+
+// emitLocked fans an event out to every subscriber without blocking.
+func (l *ResponderList) emitLocked(ev Event) {
+	for _, ch := range l.subs {
+		select {
+		case ch <- ev:
+		default:
+			l.met.Inc(trace.CtrVisEventDrops)
+		}
+	}
 }
 
 // Snapshot returns the current contact order, top first, skipping
@@ -199,10 +319,12 @@ func (l *ResponderList) Observe(addr wire.Addr) {
 		l.addrs = l.addrs[:len(l.addrs)-1]
 		delete(l.index, victim.addr)
 		l.met.Inc(trace.CtrListEvictions)
+		l.leaveLocked(victim.addr)
 	}
 	e := &entry{addr: addr, cooldown: l.cooldown}
 	l.addrs = append(l.addrs, e)
 	l.index[addr] = e
+	l.joinLocked(addr)
 }
 
 // Success records a response from addr, fully restoring its health.
@@ -235,10 +357,12 @@ func (l *ResponderList) Promote(addr wire.Addr) {
 			l.addrs = l.addrs[:len(l.addrs)-1]
 			delete(l.index, victim.addr)
 			l.met.Inc(trace.CtrListEvictions)
+			l.leaveLocked(victim.addr)
 		}
 		e = &entry{addr: addr, cooldown: l.cooldown}
 		l.index[addr] = e
 		l.addrs = append(l.addrs, e)
+		l.joinLocked(addr)
 	}
 	l.restoreLocked(e)
 	for i, x := range l.addrs {
@@ -286,6 +410,7 @@ func (l *ResponderList) Evict(addr wire.Addr) {
 	defer l.mu.Unlock()
 	if l.removeLocked(addr) {
 		l.met.Inc(trace.CtrListEvictions)
+		l.leaveLocked(addr)
 	}
 }
 
@@ -298,6 +423,7 @@ func (l *ResponderList) Depart(addr wire.Addr) {
 	defer l.mu.Unlock()
 	if l.removeLocked(addr) {
 		l.met.Inc(trace.CtrGoodbyes)
+		l.leaveLocked(addr)
 	}
 }
 
@@ -322,6 +448,13 @@ func (l *ResponderList) removeLocked(addr wire.Addr) bool {
 func (l *ResponderList) Clear() {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	gone := make([]wire.Addr, len(l.addrs))
+	for i, e := range l.addrs {
+		gone[i] = e.addr
+	}
 	l.addrs = l.addrs[:0]
 	l.index = make(map[wire.Addr]*entry)
+	for _, a := range gone {
+		l.leaveLocked(a)
+	}
 }

@@ -1,6 +1,7 @@
 package discovery
 
 import (
+	"fmt"
 	"testing"
 	"testing/quick"
 	"time"
@@ -308,5 +309,145 @@ func TestPromoteRestoresHealthAndRespectsBound(t *testing.T) {
 	got := l.Snapshot()
 	if len(got) != 3 || got[0] != "z" || l.Contains("c") {
 		t.Fatalf("bounded promote = %v (contains c: %v)", got, l.Contains("c"))
+	}
+}
+
+// drain pulls every immediately available event off ch.
+func drain(ch <-chan Event) []Event {
+	var out []Event
+	for {
+		select {
+		case ev := <-ch:
+			out = append(out, ev)
+		default:
+			return out
+		}
+	}
+}
+
+func TestEventsJoinLeaveEpochs(t *testing.T) {
+	l := NewResponderList(0, nil)
+	ch, cancel := l.Subscribe()
+	defer cancel()
+
+	l.Observe("a")
+	l.Observe("b")
+	evs := drain(ch)
+	if len(evs) != 2 {
+		t.Fatalf("events = %v", evs)
+	}
+	if evs[0] != (Event{Kind: EventJoin, Addr: "a", Epoch: 1}) {
+		t.Fatalf("first event = %+v", evs[0])
+	}
+	if evs[1].Addr != "b" || evs[1].Kind != EventJoin || evs[1].Epoch != 1 {
+		t.Fatalf("second event = %+v", evs[1])
+	}
+
+	// Re-observing a present responder is not a transition: no event.
+	l.Observe("a")
+	if evs := drain(ch); len(evs) != 0 {
+		t.Fatalf("re-observe emitted %v", evs)
+	}
+
+	l.Evict("a")
+	evs = drain(ch)
+	if len(evs) != 1 || evs[0] != (Event{Kind: EventLeave, Addr: "a", Epoch: 1}) {
+		t.Fatalf("evict events = %v", evs)
+	}
+
+	// Rejoin: the epoch is monotonic per peer.
+	l.Observe("a")
+	evs = drain(ch)
+	if len(evs) != 1 || evs[0] != (Event{Kind: EventJoin, Addr: "a", Epoch: 2}) {
+		t.Fatalf("rejoin events = %v", evs)
+	}
+	if l.Epoch("a") != 2 || l.Epoch("b") != 1 || l.Epoch("zz") != 0 {
+		t.Fatalf("epochs a=%d b=%d zz=%d", l.Epoch("a"), l.Epoch("b"), l.Epoch("zz"))
+	}
+	if j, lv := l.EventCounts(); j != 3 || lv != 1 {
+		t.Fatalf("counts joins=%d leaves=%d", j, lv)
+	}
+}
+
+func TestEventsPromoteDepartClear(t *testing.T) {
+	l := NewResponderList(0, nil)
+	ch, cancel := l.Subscribe()
+	defer cancel()
+
+	l.Promote("a") // absent: join + move to top
+	evs := drain(ch)
+	if len(evs) != 1 || evs[0].Kind != EventJoin || evs[0].Addr != "a" {
+		t.Fatalf("promote events = %v", evs)
+	}
+	l.Promote("a") // present: no transition
+	if evs := drain(ch); len(evs) != 0 {
+		t.Fatalf("re-promote emitted %v", evs)
+	}
+
+	l.Observe("b")
+	drain(ch)
+	l.Depart("b")
+	evs = drain(ch)
+	if len(evs) != 1 || evs[0] != (Event{Kind: EventLeave, Addr: "b", Epoch: 1}) {
+		t.Fatalf("depart events = %v", evs)
+	}
+
+	l.Observe("c")
+	drain(ch)
+	l.Clear()
+	evs = drain(ch)
+	if len(evs) != 2 {
+		t.Fatalf("clear events = %v", evs)
+	}
+	for _, ev := range evs {
+		if ev.Kind != EventLeave {
+			t.Fatalf("clear emitted %+v", ev)
+		}
+	}
+}
+
+func TestEventsAttritionEvictionEmitsLeave(t *testing.T) {
+	l := NewResponderList(2, nil)
+	l.Observe("a")
+	l.Observe("b")
+	ch, cancel := l.Subscribe()
+	defer cancel()
+	l.Observe("c") // bottom entry b is evicted to make room
+	evs := drain(ch)
+	if len(evs) != 2 {
+		t.Fatalf("events = %v", evs)
+	}
+	if evs[0].Kind != EventLeave || evs[0].Addr != "b" {
+		t.Fatalf("expected leave(b) first, got %+v", evs[0])
+	}
+	if evs[1].Kind != EventJoin || evs[1].Addr != "c" {
+		t.Fatalf("expected join(c) second, got %+v", evs[1])
+	}
+}
+
+func TestEventsSubscriberOverflowDropsCounted(t *testing.T) {
+	met := &trace.Metrics{}
+	l := NewResponderList(0, met)
+	_, cancel := l.Subscribe() // never drained
+	defer cancel()
+	for i := 0; i < subBuf+10; i++ {
+		l.Observe(wire.Addr(rune('a'+i%26)) + wire.Addr(fmt.Sprintf("%d", i)))
+	}
+	if got := met.Get(trace.CtrVisEventDrops); got != 10 {
+		t.Fatalf("drops = %d, want 10", got)
+	}
+}
+
+func TestEventsCancelStopsDelivery(t *testing.T) {
+	l := NewResponderList(0, nil)
+	ch, cancel := l.Subscribe()
+	l.Observe("a")
+	if evs := drain(ch); len(evs) != 1 {
+		t.Fatalf("events before cancel = %v", evs)
+	}
+	cancel()
+	l.Observe("b")
+	if evs := drain(ch); len(evs) != 0 {
+		t.Fatalf("events after cancel = %v", evs)
 	}
 }

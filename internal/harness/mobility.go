@@ -1,0 +1,256 @@
+package harness
+
+// C3 is the partition/mobility soak: a cluster under random link churn
+// and repeated partition/heal cycles while every node races to collect a
+// fixed set of unique tokens with blocking takes. It checks the mobility
+// model of DESIGN.md §10 end to end: tuple conservation (every token
+// collected exactly once — holds reinstated across partition flaps never
+// duplicate a take), no blocked operation left unserved once holder and
+// requester share a partition for a bounded window (join-event re-arming
+// plus rediscovery must reach the holder), orphaned serve-side state is
+// reconciled, and the run leaks no goroutines.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"time"
+
+	"tiamat/internal/core"
+	"tiamat/lease"
+	"tiamat/trace"
+	"tiamat/transport/memnet"
+	"tiamat/tuple"
+	"tiamat/wire"
+)
+
+func c3Token(v int64) tuple.Tuple { return tuple.T(tuple.String("c3"), tuple.Int(v)) }
+func c3Tmpl() tuple.Template      { return tuple.Tmpl(tuple.String("c3"), tuple.FormalInt()) }
+
+// C3Mobility runs the churn soak and asserts its acceptance invariants,
+// returning an error (not just a table) when one is broken.
+func C3Mobility(scale Scale) (*Table, error) {
+	nodes, tokens, churnFor := 6, 40, 1200*time.Millisecond
+	if scale == Full {
+		nodes, tokens, churnFor = 8, 120, 4*time.Second
+	}
+	const healBound = 5 * time.Second
+
+	goroutinesBefore := runtime.NumGoroutine()
+
+	c, err := newCluster(clusterOpts{
+		n: nodes,
+		// Non-zero link latency keeps frames in flight long enough for a
+		// visibility flip to catch them — the stale-drop path a real
+		// radio fade exercises.
+		netOpts: []memnet.Option{memnet.WithLatency(2 * time.Millisecond)},
+		mutate: func(idx int, cfg *core.Config) {
+			// Continuous discovery handles partition-wide resyncs; the
+			// join-event re-arm covers the gaps between rediscovery
+			// rounds. Short grace/suspicion windows keep holds and waits
+			// stranded by a flap reconciled well inside the run.
+			cfg.ContinuousDiscovery = true
+			cfg.RediscoverInterval = 100 * time.Millisecond
+			cfg.ContactTimeout = 30 * time.Millisecond
+			cfg.RetryBackoff = 10 * time.Millisecond
+			cfg.HoldGrace = 300 * time.Millisecond
+			cfg.OrphanSweepInterval = 50 * time.Millisecond
+			cfg.OrphanGrace = 250 * time.Millisecond
+			cfg.RetrySeed = uint64(idx) + 1 // reproducible retry timing
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer c.close()
+	c.net.ConnectAll()
+
+	// Tokens are seeded round-robin under hour-long out leases — nothing
+	// may vanish by lease expiry, so any loss the invariants catch is
+	// real. Seeding is staggered across the churn phase (see the chaos
+	// loop below) so collection work stays live through every partition
+	// and heal instead of finishing before the first flip.
+	outTerms := lease.Flexible(lease.Terms{Duration: time.Hour, MaxBytes: 1 << 16})
+	seeded := int64(0)
+	seedNext := func() error {
+		if seeded >= int64(tokens) {
+			return nil
+		}
+		if err := c.inst[int(seeded)%nodes].Out(c3Token(seeded), outTerms); err != nil {
+			return fmt.Errorf("C3: seeding token %d: %w", seeded, err)
+		}
+		seeded++
+		return nil
+	}
+
+	// Every node collects with blocking takes under short leases; a take
+	// that expires inside a partition simply retries.
+	var mu sync.Mutex
+	collected := make(map[int64]int, tokens)
+	var dupTakes int64
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var wg sync.WaitGroup
+	for _, inst := range c.inst {
+		wg.Add(1)
+		go func(inst *core.Instance) {
+			defer wg.Done()
+			terms := lease.Flexible(lease.Terms{Duration: 250 * time.Millisecond, MaxRemotes: 64})
+			for ctx.Err() == nil {
+				res, err := inst.In(ctx, c3Tmpl(), terms)
+				if err != nil {
+					if errors.Is(err, core.ErrNoMatch) {
+						continue
+					}
+					return // ctx cancelled or instance closed
+				}
+				v, err := res.Tuple.IntAt(1)
+				if err != nil {
+					continue
+				}
+				mu.Lock()
+				collected[v]++
+				if collected[v] > 1 {
+					dupTakes++
+				}
+				mu.Unlock()
+			}
+		}(inst)
+	}
+
+	// The chaos schedule: random symmetric link flips every tick, with
+	// occasional wholesale partitions into two halves and heals. The rng
+	// is seeded, so a failing run replays.
+	rng := rand.New(rand.NewSource(7))
+	ticks := int(churnFor / (25 * time.Millisecond))
+	perTick := (tokens + ticks - 1) / ticks
+	partitions := 0
+	split := false
+	for tick := 0; tick < ticks; tick++ {
+		for s := 0; s < perTick; s++ {
+			if err := seedNext(); err != nil {
+				cancel()
+				wg.Wait()
+				return nil, err
+			}
+		}
+		c.net.Churn(2)
+		// Partition residency averages ~300ms — longer than OrphanGrace,
+		// so sweeps have time to ripen inside a split.
+		if rng.Intn(12) == 0 {
+			if split {
+				c.net.ConnectAll()
+			} else {
+				perm := rng.Perm(nodes)
+				var g1, g2 []wire.Addr
+				for i, p := range perm {
+					if i < nodes/2 {
+						g1 = append(g1, addr(p))
+					} else {
+						g2 = append(g2, addr(p))
+					}
+				}
+				c.net.Partition(g1, g2)
+				partitions++
+			}
+			split = !split
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	for seeded < int64(tokens) {
+		if err := seedNext(); err != nil {
+			cancel()
+			wg.Wait()
+			return nil, err
+		}
+	}
+
+	// Heal. Every holder and requester now share one partition: the
+	// invariant is that nothing stays blocked beyond a bounded window.
+	c.net.ConnectAll()
+	healStart := time.Now()
+	for {
+		mu.Lock()
+		got := len(collected)
+		mu.Unlock()
+		if got == tokens {
+			break
+		}
+		if time.Since(healStart) > healBound {
+			cancel()
+			wg.Wait()
+			return nil, fmt.Errorf("C3 invariant: %d/%d tokens still uncollected %v after heal — blocked ops left unserved",
+				tokens-got, tokens, healBound)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	drain := time.Since(healStart)
+	cancel()
+	wg.Wait()
+
+	// Let every in-flight hold settle (grace timers, orphan sweeps), then
+	// sweep the spaces: with all tokens collected, any token found in a
+	// space was both taken and reinstated — a duplicated take in waiting.
+	time.Sleep(500 * time.Millisecond)
+	leftovers := 0
+	for _, inst := range c.inst {
+		for {
+			if _, ok := inst.LocalSpace().Inp(c3Tmpl()); !ok {
+				break
+			}
+			leftovers++
+		}
+	}
+	if dupTakes > 0 || leftovers > 0 {
+		return nil, fmt.Errorf("C3 invariant: conservation violated — %d duplicate takes, %d reinstated-after-take leftovers",
+			dupTakes, leftovers)
+	}
+
+	var mob core.MobilityReport
+	for _, inst := range c.inst {
+		m := inst.Mobility()
+		mob.Rearms += m.Rearms
+		mob.OrphanWaits += m.OrphanWaits
+		mob.OrphanHolds += m.OrphanHolds
+		mob.OrphanProbes += m.OrphanProbes
+		mob.VisJoins += m.VisJoins
+		mob.VisLeaves += m.VisLeaves
+	}
+
+	// Goroutine accounting: close the cluster and require the count to
+	// return to (about) where it started. The deferred close becomes a
+	// no-op on an already-closed cluster.
+	c.close()
+	leaked := -1
+	for wait := time.Now().Add(2 * time.Second); time.Now().Before(wait); {
+		runtime.GC()
+		if g := runtime.NumGoroutine(); g <= goroutinesBefore+2 {
+			leaked = 0
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if leaked != 0 {
+		return nil, fmt.Errorf("C3 invariant: goroutine leak — %d before, %d after close",
+			goroutinesBefore, runtime.NumGoroutine())
+	}
+
+	t := &Table{
+		ID:    "C3",
+		Title: "partition/mobility soak: random churn + partition/heal cycles, conservation + bounded re-serve",
+		Columns: []string{"nodes", "tokens", "partitions", "dup takes", "drain after heal",
+			"rearms", "orphan waits", "orphan holds", "vis joins", "vis leaves", "stale drops"},
+	}
+	t.AddRow(fmtI(int64(nodes)), fmtI(int64(tokens)), fmtI(int64(partitions)), fmtI(dupTakes), fmtD(drain),
+		fmtI(int64(mob.Rearms)), fmtI(int64(mob.OrphanWaits)), fmtI(int64(mob.OrphanHolds)),
+		fmtI(int64(mob.VisJoins)), fmtI(int64(mob.VisLeaves)), fmtI(c.met.Get(trace.CtrStaleDrops)))
+	t.AddNote("invariants held: every token collected exactly once across %d partition cycles; all blocked takes served within %v of the final heal; no goroutine leaks",
+		partitions, drain.Round(time.Millisecond))
+	t.AddNote("%d retransmissions, %d duplicate frames suppressed, %d reachability probes",
+		c.met.Get(trace.CtrRetries), c.met.Get(trace.CtrDedupDrops), int64(mob.OrphanProbes))
+	chaosSummary(t, c.met.Get(trace.CtrRetries), c.met.Get(trace.CtrDedupDrops))
+	return t, nil
+}

@@ -1,0 +1,17 @@
+package harness
+
+import "testing"
+
+// TestC3MobilitySoak runs the C3 churn soak at Quick scale; the
+// acceptance invariants (tuple conservation, at-most-once take across
+// heals, bounded time-to-serve after the final heal, no goroutine leaks)
+// are asserted inside C3Mobility itself and surface here as an error.
+func TestC3MobilitySoak(t *testing.T) {
+	tab, err := C3Mobility(Quick)
+	if tab != nil {
+		render(t, tab)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+}

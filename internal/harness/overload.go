@@ -83,10 +83,10 @@ func C2Overload(scale Scale) (*Table, error) {
 	// must hold at shed/shrink (the revoke rung itself is pinned by
 	// TestRevokeOnlyAfterShrinkExhausted in internal/core).
 	gcfg := core.GovernorConfig{
-		MaxPeerWaits:  3,
-		MaxTotalWaits: 12,
-		QueueDepth:    256,
-		ShedWatermark: 0.7,
+		MaxPeerWaits:   3,
+		MaxTotalWaits:  12,
+		QueueDepth:     256,
+		ShedWatermark:  0.7,
 		RevokeCooldown: time.Hour,
 	}
 	c, err := newCluster(clusterOpts{

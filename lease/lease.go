@@ -133,7 +133,10 @@ type Lease struct {
 	op       OpKind
 	terms    Terms
 	deadline time.Time
-	id       uint64
+	// skew is the grantor's clock-skew guard band (Capacity.SkewBand):
+	// expiry timers fire this long after the nominal deadline.
+	skew time.Duration
+	id   uint64
 
 	mu          sync.Mutex
 	state       State
@@ -278,7 +281,7 @@ func (l *Lease) ShrinkDuration(d time.Duration) bool {
 	}
 	l.deadline = nd
 	old := l.stopTimer
-	l.stopTimer = l.mgr.clk.AfterFunc(d, func() { l.finish(StateExpired) })
+	l.stopTimer = l.mgr.clk.AfterFunc(d+l.skew, func() { l.finish(StateExpired) })
 	l.mu.Unlock()
 	if old != nil {
 		old()

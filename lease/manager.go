@@ -25,6 +25,14 @@ type Capacity struct {
 	// MaxTotalBytes bounds the sum of storage budgets across active
 	// out/eval leases; offers shrink as the pool fills.
 	MaxTotalBytes int64
+	// SkewBand is a clock-skew guard band on expiry enforcement
+	// (T-Lease-style): the manager fires expiry only SkewBand after the
+	// nominal deadline, so a reconnecting peer whose grant is marginally
+	// stale by at most the expected inter-node skew is not cut off at the
+	// boundary. Deadline() still reports the nominal instant — holders
+	// plan against the promise, only enforcement is lenient. 0 (the
+	// default) enforces exactly at the deadline.
+	SkewBand time.Duration
 }
 
 // DefaultCapacity is a workstation-class configuration.
@@ -205,6 +213,7 @@ func (m *Manager) Grant(op OpKind, r Requester) (*Lease, error) {
 		op:          op,
 		terms:       offer,
 		deadline:    m.clk.Now().Add(offer.Duration),
+		skew:        m.cap.SkewBand,
 		id:          m.nextID,
 		state:       StateActive,
 		remotesLeft: offer.MaxRemotes,
@@ -213,7 +222,8 @@ func (m *Manager) Grant(op OpKind, r Requester) (*Lease, error) {
 	m.active[l.id] = l
 	m.bytesHeld += offer.MaxBytes
 	m.stats.Granted++
-	l.stopTimer = m.clk.AfterFunc(offer.Duration, func() { l.finish(StateExpired) })
+	// Enforcement runs SkewBand behind the promise (clock-skew guard).
+	l.stopTimer = m.clk.AfterFunc(offer.Duration+l.skew, func() { l.finish(StateExpired) })
 	return l, nil
 }
 

@@ -38,6 +38,23 @@ type Monitor struct {
 	outcomes  []bool // success ring
 	latencies []time.Duration
 	refusals  []bool // busy-refusal ring (admission outcomes)
+
+	mob MobilityCounters
+}
+
+// MobilityCounters accumulates the mobility-path activity the monitor has
+// been told about (DESIGN.md §10): blocking operations re-armed toward
+// newly visible peers, orphaned serve-side state swept after a requester
+// vanished, and raw visibility churn events from the responder list.
+// Unlike the windowed rates above these are monotonic totals — the
+// interesting signal is "how often does the world change", which a
+// sliding window would erase between samples.
+type MobilityCounters struct {
+	Rearms      uint64 // in-flight blocking ops re-armed on join events
+	OrphanWaits uint64 // served waits swept for vanished requesters
+	OrphanHolds uint64 // held tuples reinstated for vanished requesters
+	VisJoins    uint64 // peers that became visible
+	VisLeaves   uint64 // peers that dropped out of visibility
 }
 
 // New returns a Monitor with the given sliding-window lengths (samples
@@ -184,6 +201,44 @@ func (m *Monitor) Persistence() []AddrScore {
 type AddrScore struct {
 	Addr  wire.Addr
 	Score float64
+}
+
+// ObserveRearm records that an in-flight blocking operation was re-armed
+// toward a peer that became visible mid-wait.
+func (m *Monitor) ObserveRearm() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.mob.Rearms++
+}
+
+// ObserveOrphanSweep records one orphan-sweep reap: waits is how many
+// served waits were stopped and holds how many held tuples were
+// reinstated because their requester stayed unreachable past the
+// suspicion window.
+func (m *Monitor) ObserveOrphanSweep(waits, holds uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.mob.OrphanWaits += waits
+	m.mob.OrphanHolds += holds
+}
+
+// ObserveVisibilityEvent records one raw visibility transition: join is
+// true when a peer became visible, false when it dropped out.
+func (m *Monitor) ObserveVisibilityEvent(join bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if join {
+		m.mob.VisJoins++
+	} else {
+		m.mob.VisLeaves++
+	}
+}
+
+// Mobility returns the accumulated mobility counters.
+func (m *Monitor) Mobility() MobilityCounters {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.mob
 }
 
 // ObserveOp records one operation outcome (challenge §5.4: modelling

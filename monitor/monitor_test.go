@@ -247,3 +247,22 @@ func TestPropStabilityBounded(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestMobilityCountersAccumulate(t *testing.T) {
+	m := New(0, 0)
+	if m.Mobility() != (MobilityCounters{}) {
+		t.Fatalf("fresh monitor has counters: %+v", m.Mobility())
+	}
+	m.ObserveRearm()
+	m.ObserveRearm()
+	m.ObserveOrphanSweep(3, 1)
+	m.ObserveOrphanSweep(0, 2)
+	m.ObserveVisibilityEvent(true)
+	m.ObserveVisibilityEvent(true)
+	m.ObserveVisibilityEvent(false)
+	got := m.Mobility()
+	want := MobilityCounters{Rearms: 2, OrphanWaits: 3, OrphanHolds: 3, VisJoins: 2, VisLeaves: 1}
+	if got != want {
+		t.Fatalf("mobility = %+v, want %+v", got, want)
+	}
+}

@@ -35,4 +35,19 @@ echo "==> overload suite (-race)"
 go test -race -run 'Govern|RemoteWaitFlood|ShedOrder|Revoke|Shrink|Deadline|Budget|Busy|PanicIsolation|C2' \
 	./internal/core/ ./lease/ ./wire/ ./monitor/ ./internal/harness/
 
+# The mobility gate: join-event re-arming of in-flight blocking ops,
+# orphan wait/hold reconciliation, scripted memnet visibility (one-way
+# edges, schedules, stale-frame drops), the lease clock-skew band, and
+# the C3 random-churn soak with its conservation / at-most-once /
+# bounded-serve invariants — under the race detector.
+echo "==> mobility suite (-race)"
+go test -race -run 'Rearm|Orphan|Vis|Event|OneWay|Sched|Stale|HeldBack|Churn|Partition|Skew|Mobility|C3' \
+	./internal/core/ ./internal/discovery/ ./transport/memnet/ ./lease/ ./monitor/ ./internal/harness/
+
+# Decoder fuzz smoke: a few seconds per target, seeds cover the optional
+# Busy/Budget trailing fields (mixed-version frame layouts).
+echo "==> fuzz smoke (wire, tuple)"
+go test -run '^$' -fuzz FuzzDecode -fuzztime "${FUZZTIME:-10s}" ./wire/
+go test -run '^$' -fuzz FuzzDecodeTuple -fuzztime "${FUZZTIME:-10s}" ./tuple/
+
 echo "OK"

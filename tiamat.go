@@ -60,6 +60,12 @@ type GovernorConfig = core.GovernorConfig
 // available via Instance.Governor.
 type GovernorReport = core.GovernorReport
 
+// MobilityReport is a snapshot of the partition/mobility counters —
+// join-event re-arms of in-flight blocking ops and orphaned remote
+// wait/hold reconciliation (DESIGN.md §10) — available via
+// Instance.Mobility.
+type MobilityReport = core.MobilityReport
+
 // SpaceInfo describes a visible space (handle + persistence flag).
 type SpaceInfo = core.SpaceInfo
 

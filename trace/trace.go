@@ -144,6 +144,23 @@ const (
 	CtrSuspectSkips   = "disc.suspect_skips"
 	CtrGoodbyes       = "disc.goodbyes"
 
+	// Visibility event-stream counters (responder-list joins/leaves and
+	// subscriber-buffer overflow drops) plus the mobility machinery built
+	// on them: in-flight blocking ops re-armed toward newly visible peers,
+	// and orphaned serve-side waits/holds swept after their requester
+	// stayed unreachable past the suspicion window.
+	CtrVisJoins      = "disc.vis_joins"
+	CtrVisLeaves     = "disc.vis_leaves"
+	CtrVisEventDrops = "disc.vis_event_drops"
+	CtrRearms        = "ops.rearms"
+	CtrOrphanWaits   = "serve.orphan_waits"
+	CtrOrphanHolds   = "serve.orphan_holds"
+	CtrOrphanProbes  = "serve.orphan_probes"
+	// CtrStaleDrops counts frames the simulated network dropped because
+	// their visibility edge vanished while they were in flight (radio
+	// propagation: no edge at delivery time, no delivery).
+	CtrStaleDrops = "net.stale_drops"
+
 	// Write-ahead log counters (space/persist durability path).
 	CtrWALAppends       = "wal.appends"
 	CtrWALSyncs         = "wal.syncs"

@@ -10,6 +10,14 @@
 // payload corruption, and latency jitter, each settable globally or per
 // visibility edge. Chaos tests drive these knobs to verify the protocol's
 // at-least-once + idempotent-handler delivery semantics.
+//
+// Mobility is scripted two ways: directly (SetVisible, Partition, Churn,
+// and the asymmetric SetVisibleOneWay for one-way radio links) or on a
+// schedule (ScheduleVisible, SchedulePartition, ScheduleConnectAll),
+// with the timers driven by the network clock so a virtual clock replays
+// the same visibility trace deterministically. Delivery models radio
+// propagation: a frame still in flight (latency or reorder hold-back)
+// when its edge goes invisible is dropped, never delivered stale.
 package memnet
 
 import (
@@ -59,12 +67,14 @@ type Network struct {
 	mu         sync.Mutex
 	rng        *rand.Rand
 	nodes      map[wire.Addr]*node
-	vis        map[edge]bool
+	vis        map[dedge]bool
 	faults     Faults
 	edgeFaults map[edge]Faults
 	closed     bool
 }
 
+// edge is an unordered node pair, used for per-edge fault plans (faults
+// apply to the link, whichever way a frame crosses it).
 type edge struct{ a, b wire.Addr }
 
 func mkEdge(a, b wire.Addr) edge {
@@ -74,6 +84,11 @@ func mkEdge(a, b wire.Addr) edge {
 	return edge{a, b}
 }
 
+// dedge is a directed visibility edge: from can transmit to to. The
+// symmetric API (SetVisible &c.) always flips both directions together;
+// SetVisibleOneWay models asymmetric radio links.
+type dedge struct{ from, to wire.Addr }
+
 type node struct {
 	net    *Network
 	addr   wire.Addr
@@ -82,8 +97,11 @@ type node struct {
 	closed bool
 }
 
-// heldFrame is a frame parked by reorder injection.
+// heldFrame is a frame parked by reorder injection. The source address
+// rides along so the flush can drop frames whose edge has since gone
+// invisible instead of delivering them stale.
 type heldFrame struct {
+	from wire.Addr
 	data []byte
 	lat  time.Duration
 }
@@ -121,7 +139,7 @@ func New(opts ...Option) *Network {
 		met:        &trace.Metrics{},
 		rng:        rand.New(rand.NewSource(1)),
 		nodes:      make(map[wire.Addr]*node),
-		vis:        make(map[edge]bool),
+		vis:        make(map[dedge]bool),
 		edgeFaults: make(map[edge]Faults),
 	}
 	for _, o := range opts {
@@ -149,26 +167,53 @@ func (n *Network) Attach(addr wire.Addr) (transport.Endpoint, error) {
 	return nd, nil
 }
 
-// SetVisible makes a and b mutually visible (or not). Visibility is
-// symmetric but deliberately not transitive (paper Figure 1c).
+// SetVisible makes a and b mutually visible (or not). Visibility set
+// this way is symmetric but deliberately not transitive (paper
+// Figure 1c); SetVisibleOneWay scripts asymmetric links.
 func (n *Network) SetVisible(a, b wire.Addr, visible bool) {
 	if a == b {
 		return
 	}
 	n.mu.Lock()
 	defer n.mu.Unlock()
+	n.setDirLocked(a, b, visible)
+	n.setDirLocked(b, a, visible)
+}
+
+// SetVisibleOneWay makes (or breaks) the directed link from->to only:
+// from can transmit to to, but not necessarily the reverse. This models
+// asymmetric radio reach — a strong transmitter heard by a weak one
+// whose replies do not carry back.
+func (n *Network) SetVisibleOneWay(from, to wire.Addr, visible bool) {
+	if from == to {
+		return
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.setDirLocked(from, to, visible)
+}
+
+func (n *Network) setDirLocked(from, to wire.Addr, visible bool) {
 	if visible {
-		n.vis[mkEdge(a, b)] = true
+		n.vis[dedge{from, to}] = true
 	} else {
-		delete(n.vis, mkEdge(a, b))
+		delete(n.vis, dedge{from, to})
 	}
 }
 
-// Visible reports whether a and b can currently communicate.
+// Visible reports whether a and b can currently communicate in both
+// directions.
 func (n *Network) Visible(a, b wire.Addr) bool {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	return n.vis[mkEdge(a, b)]
+	return n.vis[dedge{a, b}] && n.vis[dedge{b, a}]
+}
+
+// VisibleOneWay reports whether the directed link from->to is up.
+func (n *Network) VisibleOneWay(from, to wire.Addr) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.vis[dedge{from, to}]
 }
 
 // ConnectAll makes every attached pair mutually visible.
@@ -181,18 +226,19 @@ func (n *Network) ConnectAll() {
 	}
 	for i := range addrs {
 		for j := i + 1; j < len(addrs); j++ {
-			n.vis[mkEdge(addrs[i], addrs[j])] = true
+			n.setDirLocked(addrs[i], addrs[j], true)
+			n.setDirLocked(addrs[j], addrs[i], true)
 		}
 	}
 }
 
-// Isolate removes every visibility edge touching addr (the node moves out
-// of range without detaching).
+// Isolate removes every visibility edge touching addr in either
+// direction (the node moves out of range without detaching).
 func (n *Network) Isolate(addr wire.Addr) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	for e := range n.vis {
-		if e.a == addr || e.b == addr {
+		if e.from == addr || e.to == addr {
 			delete(n.vis, e)
 		}
 	}
@@ -203,14 +249,43 @@ func (n *Network) Isolate(addr wire.Addr) {
 func (n *Network) Partition(groups ...[]wire.Addr) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	n.vis = make(map[edge]bool)
+	n.vis = make(map[dedge]bool)
 	for _, g := range groups {
 		for i := range g {
 			for j := i + 1; j < len(g); j++ {
-				n.vis[mkEdge(g[i], g[j])] = true
+				n.setDirLocked(g[i], g[j], true)
+				n.setDirLocked(g[j], g[i], true)
 			}
 		}
 	}
+}
+
+// --- scheduled mobility ---------------------------------------------------
+//
+// Timed visibility traces run on the network clock: with a virtual clock
+// the same schedule replays deterministically, which is what lets the
+// mobility soak assert exact invariants across partition/heal cycles.
+
+// ScheduleVisible arranges for the symmetric edge a<->b to change state
+// after d on the network clock.
+func (n *Network) ScheduleVisible(d time.Duration, a, b wire.Addr, visible bool) {
+	n.clk.AfterFunc(d, func() { n.SetVisible(a, b, visible) })
+}
+
+// ScheduleVisibleOneWay arranges for the directed link from->to to
+// change state after d.
+func (n *Network) ScheduleVisibleOneWay(d time.Duration, from, to wire.Addr, visible bool) {
+	n.clk.AfterFunc(d, func() { n.SetVisibleOneWay(from, to, visible) })
+}
+
+// SchedulePartition arranges for Partition(groups...) after d.
+func (n *Network) SchedulePartition(d time.Duration, groups ...[]wire.Addr) {
+	n.clk.AfterFunc(d, func() { n.Partition(groups...) })
+}
+
+// ScheduleConnectAll arranges for a full heal after d.
+func (n *Network) ScheduleConnectAll(d time.Duration) {
+	n.clk.AfterFunc(d, func() { n.ConnectAll() })
 }
 
 // SetLoss changes the per-message drop probability at runtime (failure
@@ -282,17 +357,11 @@ func (n *Network) Neighbors(a wire.Addr) []wire.Addr {
 func (n *Network) neighborsLocked(a wire.Addr) []wire.Addr {
 	var out []wire.Addr
 	for e, ok := range n.vis {
-		if !ok {
+		if !ok || e.from != a {
 			continue
 		}
-		if e.a == a {
-			if _, live := n.nodes[e.b]; live {
-				out = append(out, e.b)
-			}
-		} else if e.b == a {
-			if _, live := n.nodes[e.a]; live {
-				out = append(out, e.a)
-			}
+		if _, live := n.nodes[e.to]; live {
+			out = append(out, e.to)
 		}
 	}
 	return out
@@ -329,12 +398,11 @@ func (n *Network) Churn(flips int) int {
 		if a == b {
 			continue
 		}
-		e := mkEdge(a, b)
-		if n.vis[e] {
-			delete(n.vis, e)
-		} else {
-			n.vis[e] = true
-		}
+		// Churn flips the symmetric link: an edge that is up in either
+		// direction goes fully down, otherwise fully up.
+		up := n.vis[dedge{a, b}] || n.vis[dedge{b, a}]
+		n.setDirLocked(a, b, !up)
+		n.setDirLocked(b, a, !up)
 		changed++
 	}
 	return changed
@@ -355,7 +423,7 @@ func (n *Network) Close() {
 		}
 	}
 	n.nodes = make(map[wire.Addr]*node)
-	n.vis = make(map[edge]bool)
+	n.vis = make(map[dedge]bool)
 }
 
 // --- endpoint ------------------------------------------------------------
@@ -375,7 +443,7 @@ func (nd *node) Close() error {
 	close(nd.inbox)
 	delete(n.nodes, nd.addr)
 	for e := range n.vis {
-		if e.a == nd.addr || e.b == nd.addr {
+		if e.from == nd.addr || e.to == nd.addr {
 			delete(n.vis, e)
 		}
 	}
@@ -391,7 +459,7 @@ func (nd *node) Send(to wire.Addr, m *wire.Message) error {
 		return transport.ErrClosed
 	}
 	dst, ok := n.nodes[to]
-	if !ok || !n.vis[mkEdge(nd.addr, to)] {
+	if !ok || !n.vis[dedge{nd.addr, to}] {
 		n.mu.Unlock()
 		n.met.Inc(trace.CtrMsgsDropped)
 		return fmt.Errorf("%s -> %s: %w", nd.addr, to, transport.ErrUnreachable)
@@ -407,7 +475,7 @@ func (nd *node) Send(to wire.Addr, m *wire.Message) error {
 	n.met.Add(trace.CtrBytesSent, int64(len(data)))
 	f := n.faultsForLocked(nd.addr, to)
 	n.mu.Unlock()
-	n.transmit(dst, data, f)
+	n.transmit(nd.addr, dst, data, f)
 	buf.Release()
 	return nil
 }
@@ -436,7 +504,7 @@ func (nd *node) Multicast(m *wire.Message) (int, error) {
 	}
 	n.mu.Unlock()
 	for _, tg := range targets {
-		if n.transmit(tg.nd, data, tg.f) {
+		if n.transmit(nd.addr, tg.nd, data, tg.f) {
 			n.met.Inc(trace.CtrMulticastRecvs)
 		}
 	}
@@ -447,7 +515,7 @@ func (nd *node) Multicast(m *wire.Message) (int, error) {
 // transmit runs one frame through the link's fault plan: corruption,
 // loss, duplication, reordering, and latency+jitter. It reports whether
 // the primary copy was put on its way to dst (false only for loss).
-func (n *Network) transmit(dst *node, data []byte, f Faults) bool {
+func (n *Network) transmit(from wire.Addr, dst *node, data []byte, f Faults) bool {
 	if f.Corrupt > 0 && n.chance(f.Corrupt) {
 		// Flip one bit of a private copy so multicast siblings and
 		// duplicate deliveries of the same frame are unaffected.
@@ -463,20 +531,20 @@ func (n *Network) transmit(dst *node, data []byte, f Faults) bool {
 	lat := f.Latency + n.jitter(f.Jitter)
 	if f.Dup > 0 && n.chance(f.Dup) {
 		n.met.Inc(trace.CtrChaosDups)
-		n.deliver(dst, data, f.Latency+n.jitter(f.Jitter))
+		n.deliver(from, dst, data, f.Latency+n.jitter(f.Jitter))
 	}
 	if f.Reorder > 0 && n.chance(f.Reorder) {
-		n.holdBack(dst, data, lat, f)
+		n.holdBack(from, dst, data, lat, f)
 		return true
 	}
-	n.deliver(dst, data, lat)
+	n.deliver(from, dst, data, lat)
 	n.flushHeld(dst)
 	return true
 }
 
 // holdBack parks a frame so it is delivered behind the next frame sent
 // to dst, or after a short flush delay if no later traffic arrives.
-func (n *Network) holdBack(dst *node, data []byte, lat time.Duration, f Faults) {
+func (n *Network) holdBack(from wire.Addr, dst *node, data []byte, lat time.Duration, f Faults) {
 	n.mu.Lock()
 	if dst.closed {
 		n.mu.Unlock()
@@ -485,21 +553,23 @@ func (n *Network) holdBack(dst *node, data []byte, lat time.Duration, f Faults) 
 	}
 	// Copy: the caller's frame lives in a pooled buffer that is reused as
 	// soon as transmit returns, but a held frame outlives the send.
-	dst.held = append(dst.held, heldFrame{data: append([]byte(nil), data...), lat: lat})
+	dst.held = append(dst.held, heldFrame{from: from, data: append([]byte(nil), data...), lat: lat})
 	n.mu.Unlock()
 	n.met.Inc(trace.CtrChaosReorders)
 	flushAfter := f.Latency + f.Jitter + time.Millisecond
 	n.clk.AfterFunc(flushAfter, func() { n.flushHeld(dst) })
 }
 
-// flushHeld releases any parked frames for dst.
+// flushHeld releases any parked frames for dst. Each frame re-checks its
+// edge at delivery (enqueue): a hold-back that outlived its visibility
+// window is dropped, not delivered stale.
 func (n *Network) flushHeld(dst *node) {
 	n.mu.Lock()
 	held := dst.held
 	dst.held = nil
 	n.mu.Unlock()
 	for _, h := range held {
-		n.deliver(dst, h.data, h.lat)
+		n.deliver(h.from, dst, h.data, h.lat)
 	}
 }
 
@@ -531,7 +601,7 @@ func (n *Network) jitter(d time.Duration) time.Duration {
 // Validation happens here, at the receiving edge: a frame corrupted in
 // transit fails its checksum and is counted and dropped, exactly as the
 // real transport does.
-func (n *Network) deliver(dst *node, data []byte, lat time.Duration) {
+func (n *Network) deliver(from wire.Addr, dst *node, data []byte, lat time.Duration) {
 	msg, err := wire.Decode(data)
 	if err != nil {
 		n.met.Inc(trace.CtrCorruptFrames)
@@ -539,19 +609,28 @@ func (n *Network) deliver(dst *node, data []byte, lat time.Duration) {
 		return
 	}
 	if lat <= 0 {
-		n.enqueue(dst, msg)
+		n.enqueue(from, dst, msg)
 		return
 	}
-	n.clk.AfterFunc(lat, func() { n.enqueue(dst, msg) })
+	n.clk.AfterFunc(lat, func() { n.enqueue(from, dst, msg) })
 }
 
-func (n *Network) enqueue(dst *node, msg *wire.Message) {
+func (n *Network) enqueue(from wire.Addr, dst *node, msg *wire.Message) {
 	// The send happens under the network lock so it cannot race a
 	// concurrent Close of the destination; the inbox is buffered and the
 	// send non-blocking, so the critical section stays short.
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	if dst.closed {
+		n.met.Inc(trace.CtrMsgsDropped)
+		return
+	}
+	// Radio propagation: delivery requires the directed edge to be up at
+	// delivery time, not just at send time. A frame delayed by latency or
+	// reorder hold-back whose edge went invisible mid-flight is dropped —
+	// delivering it would smuggle data across a partition.
+	if !n.vis[dedge{from, dst.addr}] {
+		n.met.Inc(trace.CtrStaleDrops)
 		n.met.Inc(trace.CtrMsgsDropped)
 		return
 	}

@@ -518,3 +518,202 @@ func TestJitterDelaysDelivery(t *testing.T) {
 		t.Fatalf("got %+v", m)
 	}
 }
+
+// --- mobility: directed edges, in-flight drops, schedules ----------------
+
+func TestOneWayEdgeDeliversOnlyForward(t *testing.T) {
+	n := New()
+	a, _ := n.Attach("a")
+	b, _ := n.Attach("b")
+	n.SetVisibleOneWay("a", "b", true)
+
+	if err := a.Send("b", disc("a", 1)); err != nil {
+		t.Fatalf("forward send: %v", err)
+	}
+	if m := recvOne(t, b); m.ID != 1 {
+		t.Fatalf("got %+v", m)
+	}
+	if err := b.Send("a", disc("b", 2)); !errors.Is(err, transport.ErrUnreachable) {
+		t.Fatalf("reverse send err = %v, want ErrUnreachable", err)
+	}
+	if n.Visible("a", "b") {
+		t.Fatal("Visible must require both directions")
+	}
+	if !n.VisibleOneWay("a", "b") || n.VisibleOneWay("b", "a") {
+		t.Fatal("VisibleOneWay wrong")
+	}
+	// Multicast from b reaches nobody (no outbound edge); from a it
+	// reaches b.
+	if cnt, _ := b.Multicast(disc("b", 3)); cnt != 0 {
+		t.Fatalf("b multicast reached %d", cnt)
+	}
+	if cnt, _ := a.Multicast(disc("a", 4)); cnt != 1 {
+		t.Fatalf("a multicast reached %d", cnt)
+	}
+}
+
+func TestLatentFrameDroppedWhenEdgeVanishes(t *testing.T) {
+	clk := clock.NewVirtual(time.Unix(0, 0))
+	met := &trace.Metrics{}
+	n := New(WithClock(clk), WithMetrics(met), WithLatency(10*time.Millisecond))
+	a, _ := n.Attach("a")
+	b, _ := n.Attach("b")
+	_ = a
+	n.SetVisible("a", "b", true)
+
+	if err := a.Send("b", disc("a", 1)); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	// The frame is in flight; the edge goes down before delivery.
+	n.SetVisible("a", "b", false)
+	clk.Advance(20 * time.Millisecond)
+	select {
+	case m := <-b.Recv():
+		t.Fatalf("stale frame delivered: %+v", m)
+	default:
+	}
+	if met.Get(trace.CtrStaleDrops) != 1 {
+		t.Fatalf("stale drops = %d, want 1", met.Get(trace.CtrStaleDrops))
+	}
+
+	// Control: with the edge up the same flight delivers.
+	n.SetVisible("a", "b", true)
+	if err := a.Send("b", disc("a", 2)); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	clk.Advance(20 * time.Millisecond)
+	if m := recvOne(t, b); m.ID != 2 {
+		t.Fatalf("got %+v", m)
+	}
+}
+
+func TestHeldBackFrameDroppedWhenEdgeGoesInvisible(t *testing.T) {
+	clk := clock.NewVirtual(time.Unix(0, 0))
+	met := &trace.Metrics{}
+	n := New(WithClock(clk), WithMetrics(met), WithFaults(Faults{Reorder: 1.0}), WithSeed(3))
+	a, _ := n.Attach("a")
+	b, _ := n.Attach("b")
+	n.SetVisible("a", "b", true)
+
+	// Reorder=1 parks the frame in b's hold-back queue.
+	if err := a.Send("b", disc("a", 1)); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	select {
+	case m := <-b.Recv():
+		t.Fatalf("frame was not held back: %+v", m)
+	default:
+	}
+	// Edge goes invisible before the flush timer fires: the held frame
+	// must be dropped, not delivered stale across the partition.
+	n.SetVisible("a", "b", false)
+	clk.Advance(5 * time.Millisecond)
+	select {
+	case m := <-b.Recv():
+		t.Fatalf("stale held-back frame delivered: %+v", m)
+	default:
+	}
+	if met.Get(trace.CtrStaleDrops) != 1 {
+		t.Fatalf("stale drops = %d, want 1", met.Get(trace.CtrStaleDrops))
+	}
+}
+
+func TestChurnComposesWithPerEdgeFaults(t *testing.T) {
+	met := &trace.Metrics{}
+	n := New(WithMetrics(met), WithSeed(11))
+	a, _ := n.Attach("a")
+	b, _ := n.Attach("b")
+	n.ConnectAll()
+	n.SetEdgeFaults("a", "b", Faults{Loss: 1.0})
+
+	// The per-edge fault plan survives churn flips of the same edge: the
+	// override is keyed by the link, not by its current visibility.
+	for n.Visible("a", "b") {
+		n.Churn(1)
+	}
+	for !n.Visible("a", "b") {
+		n.Churn(1)
+	}
+	if err := a.Send("b", disc("a", 1)); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	select {
+	case m := <-b.Recv():
+		t.Fatalf("frame survived Loss=1 edge after churn: %+v", m)
+	default:
+	}
+	if met.Get(trace.CtrMsgsDropped) == 0 {
+		t.Fatal("loss not counted")
+	}
+	// Clearing the override restores the default (perfect) plan.
+	n.ClearEdgeFaults("a", "b")
+	if err := a.Send("b", disc("a", 2)); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	if m := recvOne(t, b); m.ID != 2 {
+		t.Fatalf("got %+v", m)
+	}
+	_ = b
+}
+
+func TestPartitionComposesWithPerEdgeFaults(t *testing.T) {
+	met := &trace.Metrics{}
+	n := New(WithMetrics(met), WithSeed(5))
+	a, _ := n.Attach("a")
+	b, _ := n.Attach("b")
+	c, _ := n.Attach("c")
+	_ = c
+	n.SetEdgeFaults("a", "b", Faults{Loss: 1.0})
+	n.Partition([]wire.Addr{"a", "b"}, []wire.Addr{"c"})
+
+	// Partition rebuilt the visibility relation, but the lossy override
+	// on a<->b still governs the re-created edge.
+	if err := a.Send("b", disc("a", 1)); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	select {
+	case m := <-b.Recv():
+		t.Fatalf("frame survived Loss=1 edge after partition: %+v", m)
+	default:
+	}
+	// Cross-partition stays unreachable regardless of faults.
+	if err := a.Send("c", disc("a", 2)); !errors.Is(err, transport.ErrUnreachable) {
+		t.Fatalf("cross-partition err = %v", err)
+	}
+}
+
+func TestScheduledVisibilityTrace(t *testing.T) {
+	clk := clock.NewVirtual(time.Unix(0, 0))
+	n := New(WithClock(clk))
+	a, _ := n.Attach("a")
+	b, _ := n.Attach("b")
+	c, _ := n.Attach("c")
+	_, _, _ = a, b, c
+
+	// A timed trace: a<->b up at t=10ms, partitioned {a} vs {b,c} at
+	// t=20ms, fully healed at t=30ms, one-way a->c at t=40ms.
+	n.ScheduleVisible(10*time.Millisecond, "a", "b", true)
+	n.SchedulePartition(20*time.Millisecond, []wire.Addr{"a"}, []wire.Addr{"b", "c"})
+	n.ScheduleConnectAll(30 * time.Millisecond)
+
+	if n.Visible("a", "b") {
+		t.Fatal("edge up before schedule")
+	}
+	clk.Advance(10 * time.Millisecond)
+	if !n.Visible("a", "b") {
+		t.Fatal("t=10ms: a<->b should be up")
+	}
+	clk.Advance(10 * time.Millisecond)
+	if n.Visible("a", "b") || !n.Visible("b", "c") {
+		t.Fatal("t=20ms: partition not applied")
+	}
+	clk.Advance(10 * time.Millisecond)
+	if !n.Visible("a", "b") || !n.Visible("a", "c") {
+		t.Fatal("t=30ms: heal not applied")
+	}
+	n.ScheduleVisibleOneWay(10*time.Millisecond, "c", "a", false)
+	clk.Advance(10 * time.Millisecond)
+	if n.VisibleOneWay("c", "a") || !n.VisibleOneWay("a", "c") {
+		t.Fatal("t=40ms: one-way break not applied")
+	}
+}

@@ -15,7 +15,7 @@ import (
 
 func TestOpBudgetRoundTrip(t *testing.T) {
 	m := &Message{Type: TOp, ID: 3, From: "c", Op: OpIn, TTL: 1500 * time.Millisecond,
-		Budget: 250 * time.Millisecond,
+		Budget:   250 * time.Millisecond,
 		Template: tuple.Tmpl(tuple.String("req"), tuple.FormalInt())}
 	back := roundTrip(t, m)
 	if back.Budget != m.Budget || back.TTL != m.TTL {

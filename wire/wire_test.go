@@ -246,6 +246,14 @@ func FuzzDecode(f *testing.F) {
 	f.Add(Encode(&Message{Type: TDiscover, ID: 1, From: "seed"}))
 	f.Add(Encode(&Message{Type: TOp, ID: 2, From: "s", Op: OpIn, TTL: time.Second,
 		Template: tuple.Tmpl(tuple.Any())}))
+	// Frames exercising the optional trailing fields: a busy refusal, a
+	// busy ack, and an op carrying a propagated budget tighter than its
+	// TTL. These are exactly the frames a pre-Busy/Budget decoder never
+	// saw, so the corpus pins both the extended and the truncated layout.
+	f.Add(Encode(&Message{Type: TResult, ID: 3, From: "s", Found: false, Busy: true}))
+	f.Add(Encode(&Message{Type: TAck, ID: 4, From: "s", OK: false, Busy: true}))
+	f.Add(Encode(&Message{Type: TOp, ID: 5, From: "s", Op: OpRd, TTL: time.Second,
+		Budget: 250 * time.Millisecond, Template: tuple.Tmpl(tuple.Any())}))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		m, err := Decode(data)
 		if err != nil {

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench bench-json chaos crash soak fuzz mobility
+.PHONY: build test check bench bench-json chaos crash soak fuzz mobility gray
 
 build:
 	$(GO) build ./...
@@ -57,6 +57,16 @@ mobility:
 	$(GO) test -race -run 'Rearm|Orphan|Vis|Event|OneWay|Sched|Stale|HeldBack|Churn|Partition|Skew|Mobility|C3' \
 		./internal/core/ ./internal/discovery/ ./transport/memnet/ ./lease/ ./monitor/ ./internal/harness/
 	$(GO) run ./cmd/tiamat-bench -quick C3
+
+# gray runs the gray-failure suite under the race detector: latency
+# EWMA/outlier demotion in discovery, hedged-lookup unit tests (first
+# winner, budget, busy suppression), limp-mode memnet scripting, the
+# WAL-stall and queue-delay self-report probes, and the C4 soak with its
+# tail-latency / effectively-once / hedge-budget invariants.
+gray:
+	$(GO) test -race -run 'Hedge|Limp|Demot|Slow|Stall|Degraded|Latency|Outlier|QueueDelay|Gray|C4' \
+		./internal/core/ ./internal/discovery/ ./transport/memnet/ ./space/persist/ ./monitor/ ./internal/harness/
+	$(GO) run ./cmd/tiamat-bench -quick C4
 
 # crash runs the storage fault-injection suite under the race detector:
 # WAL kill-point sweeps, torn writes, bit flips, failed syncs, and the

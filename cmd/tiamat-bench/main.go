@@ -100,6 +100,7 @@ func run() int {
 		{"C1", "crash injection and restart/rejoin", harness.C1Crash},
 		{"C2", "overload governance soak", harness.C2Overload},
 		{"C3", "partition/mobility churn soak", harness.C3Mobility},
+		{"C4", "gray-failure soak: limp mode, hedged lookups", harness.C4Gray},
 		{"AB1", "ablation: contact fanout", harness.AB1ContactFanout},
 	}
 

@@ -7,13 +7,18 @@
 //
 //	tiamatd [-listen 127.0.0.1:0] [-group 239.77.7.3:7703]
 //	        [-peers host:port,host:port] [-persistent] [-data tiamatd.wal]
-//	        [-fsync always|interval|never] [-stats 10s] [-pda]
+//	        [-fsync always|interval|never] [-stall-threshold 250ms]
+//	        [-stats 10s] [-pda]
 //	        [-max-peer-waits n] [-shed-watermark 0.75] [-rearm=true]
 //
 // -max-peer-waits and -shed-watermark tune the overload governor
 // (DESIGN.md §9): the per-peer bound on served blocking waits and the
 // pressure at which admission starts shedding. The drain path prints a
-// one-line governance summary (sheds, shrinks, revocations) on exit.
+// one-line governance summary (sheds, shrinks, revocations) on exit,
+// followed by a gray-failure line (hedges fired/won/suppressed, RTT
+// digest size, and whether the node is currently self-reporting
+// degraded). -stall-threshold tunes the WAL fsync watchdog behind that
+// self-report (DESIGN.md §11).
 //
 // -rearm (on by default) re-contacts newly visible peers for blocking
 // operations still in flight (DESIGN.md §10); -rearm=false restricts an
@@ -61,6 +66,7 @@ func main() {
 	fsyncPolicy := flag.String("fsync", "always", "WAL fsync policy: always, interval, never")
 	statsEvery := flag.Duration("stats", 0, "print stats at this interval (0 = off)")
 	pda := flag.Bool("pda", false, "use constrained PDA-class lease capacities")
+	stallThreshold := flag.Duration("stall-threshold", 0, "fsync duration past which the node self-reports degraded (0 = library default, negative disables; with -persistent)")
 	maxPeerWaits := flag.Int("max-peer-waits", 0, "bound on blocking remote waits served per peer (0 = library default)")
 	shedWatermark := flag.Float64("shed-watermark", 0, "pressure (0..1] at which admission starts shedding (0 = library default)")
 	rearm := flag.Bool("rearm", true, "re-arm in-flight blocking ops when new peers become visible")
@@ -110,7 +116,7 @@ func main() {
 		default:
 			log.Fatalf("unknown -fsync policy %q (want always, interval, or never)", *fsyncPolicy)
 		}
-		sp, err := persist.OpenWith(*data, store.New(), nil, persist.Options{Sync: policy})
+		sp, err := persist.OpenWith(*data, store.New(), nil, persist.Options{Sync: policy, StallThreshold: *stallThreshold})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -171,6 +177,9 @@ func main() {
 			m := inst.Mobility()
 			fmt.Printf("mobility: rearms=%d orphans{waits=%d holds=%d probes=%d} visibility{joins=%d leaves=%d}\n",
 				m.Rearms, m.OrphanWaits, m.OrphanHolds, m.OrphanProbes, m.VisJoins, m.VisLeaves)
+			gr := inst.Gray()
+			fmt.Printf("gray: hedges=%d wins=%d suppressed=%d rtt-samples=%d degraded=%t\n",
+				gr.Hedges, gr.HedgeWins, gr.HedgeSuppressed, gr.RTTSamples, inst.Degraded())
 			if p := inst.LastPanic(); p != "" {
 				fmt.Printf("last recovered panic: %s\n", p)
 			}

@@ -54,7 +54,19 @@ type GovernorConfig struct {
 	// ShrinkInterval rate-limits shrink sweeps over the active lease set
 	// (default 100ms).
 	ShrinkInterval time.Duration
+	// DegradeQueueDelay is the smoothed serve-queue wait at which the
+	// node reports itself degraded on announce frames (DESIGN.md §11):
+	// admitted work lingering this long behind the worker pool means the
+	// node is serving, but slowly — a gray failure peers should route
+	// around rather than discover one timeout at a time. 0 selects the
+	// default 250ms; negative disables the probe.
+	DegradeQueueDelay time.Duration
 }
+
+// degradeDecay is how long the degraded self-report outlives the last
+// over-threshold queue-delay reading; mirrors the WAL stall watchdog's
+// decay so a recovered node stops advertising trouble promptly.
+const degradeDecay = 2 * time.Second
 
 func (c *GovernorConfig) applyDefaults() {
 	if c.MaxPeerWaits <= 0 {
@@ -87,6 +99,9 @@ func (c *GovernorConfig) applyDefaults() {
 	if c.ShrinkInterval <= 0 {
 		c.ShrinkInterval = 100 * time.Millisecond
 	}
+	if c.DegradeQueueDelay == 0 {
+		c.DegradeQueueDelay = 250 * time.Millisecond
+	}
 }
 
 // GovernorReport is a snapshot of governor activity, logged by tiamatd
@@ -102,6 +117,10 @@ type GovernorReport struct {
 	Revokes      uint64 // leases revoked (last resort)
 	GrantClamps  uint64 // serve grants narrowed under pressure
 	DeadlineCuts uint64 // serve budgets cut to the requester's budget
+
+	// QueueDelay is the smoothed time admitted work waits in the serve
+	// queue before a worker picks it up — the gray-failure probe's input.
+	QueueDelay time.Duration
 }
 
 // Sheds is the total of all shed classes.
@@ -126,19 +145,29 @@ type inflightEntry struct {
 	cancelled bool
 }
 
+// queuedMsg timestamps a frame at admission so the worker that dequeues
+// it can measure how long it lingered — the queue-delay probe's raw
+// signal.
+type queuedMsg struct {
+	m  *wire.Message
+	at time.Time
+}
+
 type governor struct {
 	cfg GovernorConfig
 	i   *Instance
 
-	queue chan *wire.Message
+	queue chan queuedMsg
 
-	mu         sync.Mutex
-	peers      map[wire.Addr]*peerState
-	totalWaits int
-	inflight   map[waitKey]*inflightEntry
-	lastRevoke time.Time
-	lastShrink time.Time
-	rep        GovernorReport
+	mu            sync.Mutex
+	peers         map[wire.Addr]*peerState
+	totalWaits    int
+	inflight      map[waitKey]*inflightEntry
+	lastRevoke    time.Time
+	lastShrink    time.Time
+	queueDelay    time.Duration // EWMA of serve-queue wait
+	degradedUntil time.Time     // self-report active until this instant
+	rep           GovernorReport
 }
 
 func newGovernor(i *Instance, cfg GovernorConfig) *governor {
@@ -146,7 +175,7 @@ func newGovernor(i *Instance, cfg GovernorConfig) *governor {
 	return &governor{
 		cfg:      cfg,
 		i:        i,
-		queue:    make(chan *wire.Message, cfg.QueueDepth),
+		queue:    make(chan queuedMsg, cfg.QueueDepth),
 		peers:    make(map[wire.Addr]*peerState),
 		inflight: make(map[waitKey]*inflightEntry),
 		// The revoke cooldown starts at boot: a node that comes up
@@ -160,7 +189,36 @@ func newGovernor(i *Instance, cfg GovernorConfig) *governor {
 func (g *governor) Report() GovernorReport {
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	return g.rep
+	rep := g.rep
+	rep.QueueDelay = g.queueDelay
+	return rep
+}
+
+// noteQueueDelay feeds one dequeue's wait into the smoothed queue-delay
+// probe (gain 1/8, RFC 6298-shaped like the discovery EWMA). When the
+// smoothed wait reaches DegradeQueueDelay the node starts self-reporting
+// degraded on announce frames, and keeps doing so until the signal has
+// stayed below threshold for degradeDecay — admitted-but-slow service is
+// exactly the gray failure peers cannot see from refusals alone.
+func (g *governor) noteQueueDelay(d time.Duration) {
+	if g.cfg.DegradeQueueDelay < 0 {
+		return
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.queueDelay += (d - g.queueDelay) / 8
+	if g.queueDelay >= g.cfg.DegradeQueueDelay {
+		g.degradedUntil = g.i.clk.Now().Add(degradeDecay)
+		g.i.met.Inc(trace.CtrGovQueueStalls)
+	}
+}
+
+// degraded reports whether the queue-delay probe currently flags this
+// node as serving slowly.
+func (g *governor) degraded() bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return !g.degradedUntil.IsZero() && g.i.clk.Now().Before(g.degradedUntil)
 }
 
 // pressure derives the node's load in [0,1] from live lease-manager
@@ -314,7 +372,7 @@ func (g *governor) submit(m *wire.Message) {
 	g.mu.Unlock()
 
 	select {
-	case g.queue <- m:
+	case g.queue <- queuedMsg{m: m, at: g.i.clk.Now()}:
 	default:
 		// The queue filled between the pressure reading and here.
 		g.finish(m)
@@ -500,8 +558,9 @@ func (g *governor) worker() {
 	defer g.i.wg.Done()
 	for {
 		select {
-		case m := <-g.queue:
-			g.serveOne(m)
+		case q := <-g.queue:
+			g.noteQueueDelay(g.i.clk.Now().Sub(q.at))
+			g.serveOne(q.m)
 		case <-g.i.stopped:
 			return
 		}

@@ -1,0 +1,143 @@
+package core
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tiamat/space"
+	"tiamat/wire"
+)
+
+// This file implements the requester side of gray-failure tolerance
+// (DESIGN.md §11): an RTT digest whose upper percentile paces hedged
+// blocking lookups, reply-driven latency feedback into the responder
+// list's health layer, and the aggregation of the node's own degraded
+// state as advertised on announce frames.
+
+// rttSamples is the digest window. 128 first-attempt samples hold a
+// stable upper percentile while still tracking a changing network within
+// a few hundred operations.
+const rttSamples = 128
+
+// rttDigest is a fixed-size ring of recent first-attempt round-trip
+// samples. Only unambiguous samples enter (Karn's rule: a reply that
+// needed retransmissions is never attributed to any one transmission).
+type rttDigest struct {
+	mu      sync.Mutex
+	samples [rttSamples]time.Duration
+	n, next int
+}
+
+func (d *rttDigest) add(s time.Duration) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.samples[d.next] = s
+	d.next = (d.next + 1) % len(d.samples)
+	if d.n < len(d.samples) {
+		d.n++
+	}
+}
+
+func (d *rttDigest) size() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.n
+}
+
+// quantile returns the q-quantile of the windowed samples; ok is false
+// while the digest is empty.
+func (d *rttDigest) quantile(q float64) (time.Duration, bool) {
+	d.mu.Lock()
+	buf := make([]time.Duration, d.n)
+	copy(buf, d.samples[:d.n])
+	d.mu.Unlock()
+	if len(buf) == 0 {
+		return 0, false
+	}
+	sort.Slice(buf, func(a, b int) bool { return buf[a] < buf[b] })
+	idx := int(float64(len(buf)) * q)
+	if idx >= len(buf) {
+		idx = len(buf) - 1
+	}
+	return buf[idx], true
+}
+
+// grayCounters is per-instance hedge accounting (atomics, not trace
+// counters: harness clusters share one metrics registry, and C4 asserts
+// per-node budgets).
+type grayCounters struct {
+	hedges, hedgeWins, hedgeSuppressed atomic.Uint64
+}
+
+// GrayReport snapshots the instance's gray-failure tolerance activity,
+// logged by tiamatd on drain and asserted by the C4 soak.
+type GrayReport struct {
+	Hedges          uint64        // hedged contacts fired
+	HedgeWins       uint64        // found results settled by a hedged contact
+	HedgeSuppressed uint64        // ops whose hedge pacing a busy reply stopped
+	HedgeDelay      time.Duration // current adaptive hedge delay
+	RTTSamples      int           // first-attempt samples in the digest
+	Degraded        bool          // this node's own self-report, right now
+}
+
+// Gray snapshots hedge activity and the node's self-reported health.
+func (i *Instance) Gray() GrayReport {
+	return GrayReport{
+		Hedges:          i.gray.hedges.Load(),
+		HedgeWins:       i.gray.hedgeWins.Load(),
+		HedgeSuppressed: i.gray.hedgeSuppressed.Load(),
+		HedgeDelay:      i.hedgeDelay(),
+		RTTSamples:      i.rtt.size(),
+		Degraded:        i.Degraded(),
+	}
+}
+
+// hedgeDelay is the adaptive pacing for hedged contacts: the configured
+// percentile of recent first-attempt RTTs, floored at HedgeMinDelay and
+// capped at ContactTimeout. With no samples yet the full contact timeout
+// is used — hedge conservatively until the network has been measured.
+func (i *Instance) hedgeDelay() time.Duration {
+	d, ok := i.rtt.quantile(i.cfg.HedgePercentile)
+	if !ok || d > i.cfg.ContactTimeout {
+		return i.cfg.ContactTimeout
+	}
+	if d < i.cfg.HedgeMinDelay {
+		return i.cfg.HedgeMinDelay
+	}
+	return d
+}
+
+// noteReply feeds the health layer from one in-operation reply.
+// measurable reports whether the reply's timing means anything: busy
+// refusals are admission control, and a blocking op's not-found is a
+// serve-lease expiry notice, so neither qualifies. Karn's rule splits the
+// measurable case: a first-attempt reply yields an unambiguous RTT
+// sample; a found reply that needed retransmissions cannot be timed but
+// is direct evidence the responder serves slowly — a slow strike.
+func (i *Instance) noteReply(from wire.Addr, attempts int, sentAt time.Time, measurable bool) {
+	if !measurable {
+		return
+	}
+	if attempts == 1 {
+		rtt := i.clk.Now().Sub(sentAt)
+		i.rtt.add(rtt)
+		i.list.ObserveLatency(from, rtt)
+		return
+	}
+	i.list.Slow(from)
+}
+
+// Degraded reports this node's own gray-failure self-diagnosis: a
+// durably-backed space whose fsyncs are stalling (space.Degrader), or a
+// serve queue whose admitted work waits too long behind the worker pool
+// (the governor's queue-delay probe). The flag rides announce frames
+// (wire.Message.Degraded) so peers deprioritize this node before ever
+// timing out on it.
+func (i *Instance) Degraded() bool {
+	if d, ok := i.local.(space.Degrader); ok && d.Degraded() {
+		return true
+	}
+	return i.gov.degraded()
+}

@@ -76,6 +76,10 @@ type EvalFunc func(ctx context.Context, args tuple.Tuple) (tuple.Tuple, error)
 type SpaceInfo struct {
 	Addr       wire.Addr
 	Persistent bool
+	// Degraded is the space's gray-failure self-report from its announce:
+	// it is serving, but slowly (stalling WAL fsyncs or a backed-up serve
+	// queue), and should not be anyone's first contact.
+	Degraded bool
 }
 
 // Result is a tuple returned by a read/take operation together with the
@@ -146,6 +150,29 @@ type Config struct {
 	// address (distinct nodes jitter differently, a given topology is
 	// stable run-to-run).
 	RetrySeed uint64
+	// DisableHedge turns off hedged blocking lookups (DESIGN.md §11): a
+	// blocking rd/in then contacts responders ContactFanout at a time and
+	// only advances down the list when a contact exhausts its retries.
+	// Kept for the C4 gray-failure ablation and mixed-version runs; with
+	// it set a single slow first contact stalls the whole walk.
+	DisableHedge bool
+	// HedgeMax bounds hedged contacts per blocking operation (default 2).
+	// Once spent, the walk falls back to contacting every remaining
+	// cached responder at once, so hedging bounds added latency without
+	// ever costing completeness.
+	HedgeMax int
+	// HedgePercentile selects the quantile of recent first-attempt RTTs
+	// used as the adaptive hedge delay (default 0.95): a hedge fires only
+	// when the first contact is slower than almost all recent traffic.
+	HedgePercentile float64
+	// HedgeMinDelay floors the adaptive hedge delay (default 2ms) so a
+	// run of fast local samples cannot make every op hedge immediately.
+	HedgeMinDelay time.Duration
+	// DemoteFactor is the relative-outlier threshold for latency-based
+	// responder demotion: a peer whose smoothed RTT reaches DemoteFactor
+	// times the healthy median is re-ranked behind healthy peers while it
+	// keeps serving (default 4; negative disables latency demotion).
+	DemoteFactor float64
 	// DisableRearm turns off visibility-event re-arming of in-flight
 	// blocking operations (DESIGN.md §10): with it set, a blocking rd/in
 	// only reaches peers known at start (plus rediscovery multicasts, if
@@ -221,6 +248,18 @@ func (c *Config) applyDefaults() {
 	if c.RetryAttempts <= 0 {
 		c.RetryAttempts = 3
 	}
+	if c.HedgeMax <= 0 {
+		c.HedgeMax = 2
+	}
+	if c.HedgePercentile <= 0 || c.HedgePercentile >= 1 {
+		c.HedgePercentile = 0.95
+	}
+	if c.HedgeMinDelay <= 0 {
+		c.HedgeMinDelay = 2 * time.Millisecond
+	}
+	if c.DemoteFactor == 0 {
+		c.DemoteFactor = discovery.DefaultDemoteFactor
+	}
 	if c.OrphanSweepInterval <= 0 {
 		c.OrphanSweepInterval = time.Second
 	}
@@ -286,6 +325,14 @@ type Instance struct {
 	// for the drain report.
 	lastPanic atomic.Value // string
 
+	// rtt digests recent first-attempt round-trip samples; its configured
+	// upper percentile paces hedged blocking lookups (hedge.go).
+	rtt rttDigest
+	// gray accumulates hedge activity for Gray(). Per-instance atomics
+	// rather than trace counters alone, because harness clusters share a
+	// single metrics registry across every node.
+	gray grayCounters
+
 	// rnd is the per-instance retry-jitter source (mobility.go).
 	rnd prng
 	// mob accumulates mobility-path activity for Mobility().
@@ -324,12 +371,14 @@ func New(cfg Config) (*Instance, error) {
 	}
 	cfg.applyDefaults()
 	i := &Instance{
-		cfg:        cfg,
-		ep:         cfg.Endpoint,
-		clk:        cfg.Clock,
-		met:        cfg.Metrics,
-		mgr:        lease.NewManager(cfg.Leases, cfg.Clock),
-		list:       discovery.NewResponderList(cfg.ResponderListMax, cfg.Metrics, discovery.WithClock(cfg.Clock)),
+		cfg: cfg,
+		ep:  cfg.Endpoint,
+		clk: cfg.Clock,
+		met: cfg.Metrics,
+		mgr: lease.NewManager(cfg.Leases, cfg.Clock),
+		list: discovery.NewResponderList(cfg.ResponderListMax, cfg.Metrics,
+			discovery.WithClock(cfg.Clock),
+			discovery.WithLatencyPolicy(cfg.DemoteFactor, 0, 0, 0, 0)),
 		ops:        make(map[uint64]*opState),
 		holds:      make(map[uint64]*pendingHold),
 		waits:      make(map[waitKey]*remoteWait),
@@ -390,7 +439,7 @@ func New(cfg Config) (*Instance, error) {
 	// never used by a discovery round, so no open round mistakes it for
 	// a reply. Best-effort: a node that boots in isolation is found by
 	// ordinary discovery later.
-	_, _ = i.ep.Multicast(&wire.Message{Type: wire.TAnnounce, From: i.Addr(), Persistent: cfg.Persistent})
+	_, _ = i.ep.Multicast(&wire.Message{Type: wire.TAnnounce, From: i.Addr(), Persistent: cfg.Persistent, Degraded: i.Degraded()})
 	return i, nil
 }
 

@@ -24,8 +24,10 @@ type opState struct {
 // responder within an operation.
 type contactState struct {
 	attempts int       // transmissions so far
+	sentAt   time.Time // first transmission, for Karn-rule RTT sampling
 	deadline time.Time // when the current wait for a reply expires
 	done     bool      // replied, or given up on
+	hedged   bool      // contacted by a hedge firing, not the primary walk
 }
 
 // stampBudget records the requester's remaining context budget on an
@@ -364,16 +366,18 @@ func (i *Instance) propagate(ctx context.Context, code wire.OpCode, p tuple.Temp
 		retryTimer = i.clk.After(d)
 	}
 
-	// Nonblocking ops contact the responder list incrementally, top-down,
+	// All ops contact the responder list incrementally, top-down,
 	// ContactFanout at a time (paper §3.1.3: "operation propagation always
-	// starts from the top"; a not-found reply advances down the list).
-	// Blocking ops contact the whole list at once — they are waiting
-	// anyway, and wide registration maximises the chance of a match.
+	// starts from the top"). Nonblocking ops advance on not-found replies.
+	// Blocking ops advance on a hedge cadence (below) — one next-ranked
+	// responder per adaptive hedge delay — instead of contacting the whole
+	// list at once, so a healthy top contact costs one message and a slow
+	// one costs bounded extra latency, never an unbounded stall.
 	var queue []wire.Addr
 	if !i.cfg.DisableResponderCache {
 		queue = i.list.Snapshot()
 	}
-	contactNext := func(limit int) {
+	contactNext := func(limit int, hedged bool) {
 		for limit > 0 && len(queue) > 0 {
 			a := queue[0]
 			queue = queue[1:]
@@ -385,18 +389,52 @@ func (i *Instance) propagate(ctx context.Context, code wire.OpCode, p tuple.Temp
 				return
 			}
 			if err := i.send(a, msg); err == nil {
-				contacted[a] = &contactState{attempts: 1, deadline: i.clk.Now().Add(i.retryWait(1))}
+				now := i.clk.Now()
+				contacted[a] = &contactState{attempts: 1, sentAt: now, hedged: hedged, deadline: now.Add(i.retryWait(1))}
 				remaining++
 				limit--
 			}
 		}
 	}
-	if code.Blocking() {
-		contactNext(len(queue) + 1)
-	} else {
-		contactNext(i.cfg.ContactFanout)
+
+	// Hedged lookups (DESIGN.md §11): while a blocking op's first contact
+	// has not answered within the adaptive hedge delay, fire the same op
+	// ID at the next-ranked responder, up to HedgeMax. The serve side's
+	// dedup (waits table + served cache) and accept/release settlement
+	// make a hedged destructive take effectively-once, so racing
+	// responders is safe. A busy refusal suppresses further hedging: an
+	// overloaded neighbourhood wants fewer contacts, not more.
+	hedging := code.Blocking() && !i.cfg.DisableHedge
+	hedgesUsed := 0
+	var hedgeTimer <-chan time.Time
+	armHedge := func() {
+		hedgeTimer = nil
+		if !hedging || len(queue) == 0 {
+			return
+		}
+		hedgeTimer = i.clk.After(i.hedgeDelay())
 	}
+
+	// advanceWalk keeps a blocking walk moving whenever every contact so
+	// far has answered (busy, not-found) or exhausted its retries and list
+	// entries remain: the completeness guarantee when hedging is off,
+	// suppressed, or spent.
+	advanceWalk := func() {
+		if !code.Blocking() || len(queue) == 0 {
+			return
+		}
+		for _, cs := range contacted {
+			if !cs.done {
+				return
+			}
+		}
+		contactNext(i.cfg.ContactFanout, false)
+		armRetry()
+	}
+
+	contactNext(i.cfg.ContactFanout, false)
 	armRetry()
+	armHedge()
 
 	// unknownAudience is set when the transport cannot count multicast
 	// recipients (real UDP); nonblocking ops then wait out the lease
@@ -437,7 +475,7 @@ func (i *Instance) propagate(ctx context.Context, code wire.OpCode, p tuple.Temp
 			return false
 		}
 		if len(queue) > 0 {
-			contactNext(i.cfg.ContactFanout)
+			contactNext(i.cfg.ContactFanout, false)
 			armRetry()
 			if remaining > 0 {
 				return false
@@ -486,7 +524,21 @@ func (i *Instance) propagate(ctx context.Context, code wire.OpCode, p tuple.Temp
 			remaining--
 			if cs := contacted[m.From]; cs != nil && !cs.done {
 				cs.done = true
+				// Feed the health layer: busy refusals and a blocking op's
+				// not-found (a serve-lease expiry notice) carry no timing
+				// signal; everything else does.
+				i.noteReply(m.From, cs.attempts, cs.sentAt, !m.Busy && (m.Found || !code.Blocking()))
 				armRetry()
+			}
+			if m.Busy && hedging {
+				// The neighbourhood is shedding load; hedging would add
+				// contacts exactly when peers want fewer. Stop the hedge
+				// cadence for this op — the retry-exhaustion walk below
+				// still guarantees the rest of the list is reached.
+				hedging = false
+				hedgeTimer = nil
+				i.met.Inc(trace.CtrHedgeSuppressed)
+				i.gray.hedgeSuppressed.Add(1)
 			}
 			if m.Type == wire.TResult {
 				if replied[m.From] {
@@ -495,6 +547,10 @@ func (i *Instance) propagate(ctx context.Context, code wire.OpCode, p tuple.Temp
 				replied[m.From] = true
 			}
 			if m.Type == wire.TResult && m.Found {
+				if cs := contacted[m.From]; cs != nil && cs.hedged {
+					i.met.Inc(trace.CtrHedgeWins)
+					i.gray.hedgeWins.Add(1)
+				}
 				if code.Removes() && m.HoldID != 0 {
 					// First responder wins: accept this hold; the
 					// deferred drain releases any later ones.
@@ -503,6 +559,7 @@ func (i *Instance) propagate(ctx context.Context, code wire.OpCode, p tuple.Temp
 				i.met.Inc(trace.CtrOpsRemoteHit)
 				return Result{Tuple: m.Tuple, From: m.From}, true, nil
 			}
+			advanceWalk()
 			if tryConcludeNB() {
 				return Result{}, false, nil
 			}
@@ -536,10 +593,28 @@ func (i *Instance) propagate(ctx context.Context, code wire.OpCode, p tuple.Temp
 				i.met.Inc(trace.CtrRetries)
 				cs.deadline = now.Add(i.retryWait(cs.attempts))
 			}
+			advanceWalk()
 			armRetry()
 			if tryConcludeNB() {
 				return Result{}, false, nil
 			}
+
+		case <-hedgeTimer:
+			// No answer within the adaptive hedge delay: race the next
+			// ranked responder with the same op ID. Once the hedge budget
+			// is spent, the next firing contacts everyone left — the
+			// staged walk bounds added tail latency, never completeness.
+			hedgeTimer = nil
+			if hedgesUsed >= i.cfg.HedgeMax {
+				contactNext(len(queue), false)
+			} else {
+				hedgesUsed++
+				i.met.Inc(trace.CtrHedges)
+				i.gray.hedges.Add(1)
+				contactNext(1, true)
+			}
+			armRetry()
+			armHedge()
 
 		case <-lse.Done():
 			// Lease expired: stop trying and return nothing (§2.5).
@@ -571,12 +646,14 @@ func (i *Instance) propagate(ctx context.Context, code wire.OpCode, p tuple.Temp
 			if i.send(ev.Addr, msg) != nil {
 				break
 			}
+			now := i.clk.Now()
 			if cs := contacted[ev.Addr]; cs != nil {
 				cs.done = false
 				cs.attempts = 1
-				cs.deadline = i.clk.Now().Add(i.retryWait(1))
+				cs.sentAt = now
+				cs.deadline = now.Add(i.retryWait(1))
 			} else {
-				contacted[ev.Addr] = &contactState{attempts: 1, deadline: i.clk.Now().Add(i.retryWait(1))}
+				contacted[ev.Addr] = &contactState{attempts: 1, sentAt: now, deadline: now.Add(i.retryWait(1))}
 			}
 			remaining++
 			i.met.Inc(trace.CtrRearms)
@@ -857,6 +934,7 @@ func (i *Instance) directOp(ctx context.Context, addr wire.Addr, code wire.OpCod
 	msg := &wire.Message{Type: wire.TOp, ID: opID, From: i.Addr(), Op: code,
 		Template: p, TTL: lse.Deadline().Sub(i.clk.Now())}
 	stampBudget(ctx, msg)
+	sentAt := i.clk.Now()
 	if err := i.send(addr, msg); err != nil {
 		return Result{}, false, err
 	}
@@ -865,6 +943,9 @@ func (i *Instance) directOp(ctx context.Context, addr wire.Addr, code wire.OpCod
 	for {
 		select {
 		case m := <-st.results:
+			if m.From == addr {
+				i.noteReply(addr, attempts, sentAt, !m.Busy && (m.Found || !code.Blocking()))
+			}
 			if m.Type == wire.TResult && m.Found {
 				if code.Removes() && m.HoldID != 0 {
 					i.acceptHold(m.From, m.HoldID, lse)
@@ -994,6 +1075,7 @@ func (i *Instance) rpc(addr wire.Addr, m *wire.Message, lse *lease.Lease) (*wire
 		delete(i.ops, opID)
 		i.mu.Unlock()
 	}()
+	sentAt := i.clk.Now()
 	if err := i.send(addr, m); err != nil {
 		return nil, err
 	}
@@ -1002,6 +1084,9 @@ func (i *Instance) rpc(addr wire.Addr, m *wire.Message, lse *lease.Lease) (*wire
 	for {
 		select {
 		case ack := <-st.results:
+			if ack.From == addr {
+				i.noteReply(addr, attempts, sentAt, !ack.Busy)
+			}
 			return ack, nil
 		case <-retry:
 			retry = nil

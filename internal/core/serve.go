@@ -131,20 +131,25 @@ func (i *Instance) handleDiscover(m *wire.Message) {
 	i.list.Observe(m.From)
 	_ = i.send(m.From, &wire.Message{
 		Type: wire.TAnnounce, ID: m.ID, From: i.Addr(), Persistent: i.cfg.Persistent,
+		Degraded: i.Degraded(),
 	})
 }
 
 // handleAnnounce routes an announce to the discovery round that asked.
+// Either way the frame's self-reported health lands in the responder
+// list, so a peer that flags itself degraded is deprioritized before
+// this node ever times out on it.
 func (i *Instance) handleAnnounce(m *wire.Message) {
 	i.mu.Lock()
 	ch, ok := i.announces[m.ID]
 	i.mu.Unlock()
+	i.list.Observe(m.From) // solicited or not, the announcer is alive
+	i.list.ObserveDegraded(m.From, m.Degraded)
 	if !ok {
-		i.list.Observe(m.From) // unsolicited but useful knowledge
 		return
 	}
 	select {
-	case ch <- SpaceInfo{Addr: m.From, Persistent: m.Persistent}:
+	case ch <- SpaceInfo{Addr: m.From, Persistent: m.Persistent, Degraded: m.Degraded}:
 	default:
 	}
 }

@@ -25,9 +25,22 @@
 // capped. Any successful response fully restores the entry's health.
 // The list order itself never changes on suspicion, preserving the
 // paper's top-down / append-at-bottom structure.
+//
+// A third health dimension covers gray failures (DESIGN.md §11): peers
+// that answer — so suspicion never fires — but orders of magnitude
+// slower than their neighbors. Each entry keeps an EWMA of observed
+// reply latency plus mean deviation; an entry sustaining at least
+// DemoteFactor× the list's median EWMA is *demoted*, as is one that
+// accumulates hedge slow-strikes or self-reports degradation on its
+// announce frames. Demotion is deliberately weaker than suspicion: a
+// demoted peer still serves (Snapshot keeps it, moved to the back) and
+// found-promotion stops short of putting it first. Demotion lifts when
+// its latency returns under the recovery threshold or the cooldown
+// lapses, whichever comes first.
 package discovery
 
 import (
+	"sort"
 	"sync"
 	"time"
 
@@ -46,6 +59,36 @@ const (
 	DefaultSuspectCooldown = 2 * time.Second
 	// DefaultSuspectMax caps the doubling cooldown.
 	DefaultSuspectMax = 30 * time.Second
+
+	// DefaultDemoteFactor demotes an entry whose latency EWMA reaches
+	// this multiple of the list median; recovery needs it back under
+	// half the multiple (hysteresis, so the boundary doesn't flap).
+	DefaultDemoteFactor = 4.0
+	// DefaultDemoteMinSamples is how many latency samples an entry needs
+	// before it participates in outlier detection, on either side.
+	DefaultDemoteMinSamples = 3
+	// DefaultSlowStrikeLimit is how many hedge slow-strikes demote an
+	// entry even before its EWMA crosses the outlier line (hedge losers'
+	// late replies are never sampled, so strikes are the signal there).
+	DefaultSlowStrikeLimit = 3
+	// DefaultDemoteCooldown is the first demotion length; it doubles on
+	// re-demotion up to DefaultDemoteMax.
+	DefaultDemoteCooldown = 2 * time.Second
+	// DefaultDemoteMax caps the doubling demotion cooldown.
+	DefaultDemoteMax = 30 * time.Second
+	// DefaultDegradedTTL bounds how long a self-reported degraded flag
+	// sticks without a refreshing announce.
+	DefaultDegradedTTL = 10 * time.Second
+
+	// demoteMedianFloor keeps the outlier line meaningful on very fast
+	// networks: the demotion threshold is DemoteFactor × max(median,
+	// this floor), so sub-millisecond jitter alone cannot demote.
+	demoteMedianFloor = 500 * time.Microsecond
+
+	// ewmaShift and devShift are the smoothing constants (RFC 6298
+	// shape): srtt += (s-srtt)/8, dev += (|s-srtt|-dev)/4.
+	ewmaShift = 3
+	devShift  = 2
 )
 
 // entry is one cached responder plus its health state.
@@ -54,6 +97,16 @@ type entry struct {
 	fails        int           // consecutive soft failures
 	cooldown     time.Duration // next suspension length
 	suspectUntil time.Time     // zero when not suspected
+
+	// Gray-failure state: latency EWMA + mean deviation, demotion
+	// bookkeeping, hedge slow-strikes, and self-reported degradation.
+	ewma           time.Duration
+	ewmaDev        time.Duration
+	samples        int
+	slowStrikes    int
+	demotedUntil   time.Time     // zero when not demoted
+	demoteCooldown time.Duration // next demotion length
+	degradedUntil  time.Time     // self-reported degradation TTL
 }
 
 // EventKind classifies a visibility event.
@@ -115,6 +168,14 @@ type ResponderList struct {
 	cooldown    time.Duration
 	maxCooldown time.Duration
 
+	// Latency/demotion policy (gray failures).
+	demoteFactor   float64
+	minSamples     int
+	strikeLimit    int
+	demoteCooldown time.Duration
+	demoteMax      time.Duration
+	degradedTTL    time.Duration
+
 	// Visibility event stream state: per-address join epochs (kept after
 	// removal so a rejoin gets the next epoch), subscriber channels, and
 	// lifetime join/leave tallies for monitoring.
@@ -144,6 +205,27 @@ func WithHealthPolicy(threshold int, cooldown, maxCooldown time.Duration) Option
 	}
 }
 
+// WithLatencyPolicy overrides the latency-outlier demotion policy.
+// factor <= 0 disables latency-based demotion (slow-strikes and
+// self-reported degradation still demote).
+func WithLatencyPolicy(factor float64, minSamples, strikeLimit int, cooldown, maxCooldown time.Duration) Option {
+	return func(l *ResponderList) {
+		l.demoteFactor = factor
+		if minSamples > 0 {
+			l.minSamples = minSamples
+		}
+		if strikeLimit > 0 {
+			l.strikeLimit = strikeLimit
+		}
+		if cooldown > 0 {
+			l.demoteCooldown = cooldown
+		}
+		if maxCooldown > 0 {
+			l.demoteMax = maxCooldown
+		}
+	}
+}
+
 // NewResponderList returns an empty list. max bounds the number of cached
 // responders (0 means unbounded); met may be nil.
 func NewResponderList(max int, met *trace.Metrics, opts ...Option) *ResponderList {
@@ -151,15 +233,21 @@ func NewResponderList(max int, met *trace.Metrics, opts ...Option) *ResponderLis
 		met = &trace.Metrics{}
 	}
 	l := &ResponderList{
-		index:       make(map[wire.Addr]*entry),
-		met:         met,
-		clk:         clock.Real{},
-		max:         max,
-		threshold:   DefaultSuspectThreshold,
-		cooldown:    DefaultSuspectCooldown,
-		maxCooldown: DefaultSuspectMax,
-		epochs:      make(map[wire.Addr]uint64),
-		subs:        make(map[uint64]chan Event),
+		index:          make(map[wire.Addr]*entry),
+		met:            met,
+		clk:            clock.Real{},
+		max:            max,
+		threshold:      DefaultSuspectThreshold,
+		cooldown:       DefaultSuspectCooldown,
+		maxCooldown:    DefaultSuspectMax,
+		demoteFactor:   DefaultDemoteFactor,
+		minSamples:     DefaultDemoteMinSamples,
+		strikeLimit:    DefaultSlowStrikeLimit,
+		demoteCooldown: DefaultDemoteCooldown,
+		demoteMax:      DefaultDemoteMax,
+		degradedTTL:    DefaultDegradedTTL,
+		epochs:         make(map[wire.Addr]uint64),
+		subs:           make(map[uint64]chan Event),
 	}
 	for _, o := range opts {
 		o(l)
@@ -232,20 +320,27 @@ func (l *ResponderList) emitLocked(ev Event) {
 }
 
 // Snapshot returns the current contact order, top first, skipping
-// responders under active suspicion.
+// responders under active suspicion. Demoted and self-degraded
+// responders stay in the snapshot — they still serve — but are moved to
+// the back so they are no longer anyone's first contact.
 func (l *ResponderList) Snapshot() []wire.Addr {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	now := l.clk.Now()
 	out := make([]wire.Addr, 0, len(l.addrs))
+	var demoted []wire.Addr
 	for _, e := range l.addrs {
 		if l.suspectedLocked(e, now) {
 			l.met.Inc(trace.CtrSuspectSkips)
 			continue
 		}
+		if l.demotedLocked(e, now) {
+			demoted = append(demoted, e.addr)
+			continue
+		}
 		out = append(out, e.addr)
 	}
-	return out
+	return append(out, demoted...)
 }
 
 // All returns the full contact order including suspected entries, for
@@ -271,6 +366,164 @@ func (l *ResponderList) Suspected(addr wire.Addr) bool {
 	defer l.mu.Unlock()
 	e, ok := l.index[addr]
 	return ok && l.suspectedLocked(e, l.clk.Now())
+}
+
+// demotedLocked reports whether e is demoted at now, by outlier latency,
+// slow-strikes, or an unexpired self-reported degradation.
+func (l *ResponderList) demotedLocked(e *entry, now time.Time) bool {
+	if !e.demotedUntil.IsZero() && now.Before(e.demotedUntil) {
+		return true
+	}
+	return !e.degradedUntil.IsZero() && now.Before(e.degradedUntil)
+}
+
+// Demoted reports whether addr is currently demoted (including by
+// self-reported degradation).
+func (l *ResponderList) Demoted(addr wire.Addr) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	e, ok := l.index[addr]
+	return ok && l.demotedLocked(e, l.clk.Now())
+}
+
+// Latency returns addr's smoothed reply latency and sample count (zero
+// values if the entry is unknown or unsampled).
+func (l *ResponderList) Latency(addr wire.Addr) (ewma time.Duration, samples int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if e := l.index[addr]; e != nil {
+		return e.ewma, e.samples
+	}
+	return 0, 0
+}
+
+// ObserveLatency feeds one reply-latency sample for addr into its EWMA
+// and runs the relative-outlier check: an entry sustaining at least
+// demoteFactor× the median EWMA of its peers is demoted; a demoted
+// entry back under half that line is restored early.
+func (l *ResponderList) ObserveLatency(addr wire.Addr, d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	e := l.index[addr]
+	if e == nil {
+		return
+	}
+	if e.samples == 0 {
+		e.ewma = d
+		e.ewmaDev = d / 2
+	} else {
+		dev := d - e.ewma
+		if dev < 0 {
+			dev = -dev
+		}
+		e.ewmaDev += (dev - e.ewmaDev) >> devShift
+		e.ewma += (d - e.ewma) >> ewmaShift
+	}
+	e.samples++
+	l.outlierCheckLocked(e)
+}
+
+// outlierCheckLocked demotes or restores e based on its EWMA relative
+// to the median of sampled peers. Caller holds l.mu.
+func (l *ResponderList) outlierCheckLocked(e *entry) {
+	if l.demoteFactor <= 0 || e.samples < l.minSamples {
+		return
+	}
+	// Lower median across sampled entries (including e): with two
+	// sampled entries the baseline is the faster one, so a single slow
+	// peer in a small cluster is still an outlier against it.
+	ewmas := make([]time.Duration, 0, len(l.addrs))
+	for _, x := range l.addrs {
+		if x.samples >= l.minSamples {
+			ewmas = append(ewmas, x.ewma)
+		}
+	}
+	if len(ewmas) < 2 {
+		return // no peer baseline to be relative to
+	}
+	sort.Slice(ewmas, func(i, j int) bool { return ewmas[i] < ewmas[j] })
+	median := ewmas[(len(ewmas)-1)/2]
+	if median < demoteMedianFloor {
+		median = demoteMedianFloor
+	}
+	now := l.clk.Now()
+	demoted := !e.demotedUntil.IsZero() && now.Before(e.demotedUntil)
+	switch {
+	case float64(e.ewma) >= l.demoteFactor*float64(median):
+		l.demoteLocked(e, now)
+	case demoted && float64(e.ewma) < l.demoteFactor/2*float64(median):
+		// Hysteresis: recovery requires clearing half the demotion line.
+		e.demotedUntil = time.Time{}
+		e.demoteCooldown = l.demoteCooldown
+		e.slowStrikes = 0
+		l.met.Inc(trace.CtrDemoteRestores)
+	}
+}
+
+// demoteLocked demotes e from now with its current cooldown, then
+// doubles the cooldown up to the cap (mirroring the suspicion breaker's
+// half-open pattern: if the peer is still slow when the demotion lapses,
+// the next sample re-demotes it for twice as long). While a demotion is
+// already active, further evidence changes nothing — the cooldown is the
+// decay. Caller holds l.mu.
+func (l *ResponderList) demoteLocked(e *entry, now time.Time) {
+	if !e.demotedUntil.IsZero() && now.Before(e.demotedUntil) {
+		return
+	}
+	if e.demoteCooldown <= 0 {
+		e.demoteCooldown = l.demoteCooldown
+	}
+	e.demotedUntil = now.Add(e.demoteCooldown)
+	e.demoteCooldown *= 2
+	if e.demoteCooldown > l.demoteMax {
+		e.demoteCooldown = l.demoteMax
+	}
+	e.slowStrikes = 0
+	l.met.Inc(trace.CtrDemotions)
+}
+
+// Slow records a hedge slow-strike against addr: its reply to a blocking
+// op outlived the hedge delay and a hedge had to fire. Strikes matter
+// because hedge losers' late replies never produce latency samples — at
+// the strike limit the entry is demoted without waiting for its EWMA to
+// cross the outlier line.
+func (l *ResponderList) Slow(addr wire.Addr) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	e := l.index[addr]
+	if e == nil {
+		return
+	}
+	l.met.Inc(trace.CtrSlowStrikes)
+	e.slowStrikes++
+	if l.strikeLimit > 0 && e.slowStrikes >= l.strikeLimit {
+		l.demoteLocked(e, l.clk.Now())
+	}
+}
+
+// ObserveDegraded records a peer's self-reported degradation bit from an
+// announce frame. A degraded report sticks for the degraded TTL (so one
+// announce is enough to deprioritize the peer) and is refreshed by each
+// further report; a healthy report clears it immediately.
+func (l *ResponderList) ObserveDegraded(addr wire.Addr, degraded bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	e := l.index[addr]
+	if e == nil {
+		return
+	}
+	now := l.clk.Now()
+	if !degraded {
+		e.degradedUntil = time.Time{}
+		return
+	}
+	if e.degradedUntil.IsZero() || !now.Before(e.degradedUntil) {
+		l.met.Inc(trace.CtrPeerDegraded)
+	}
+	e.degradedUntil = now.Add(l.degradedTTL)
 }
 
 // Len returns the number of cached responders.
@@ -321,7 +574,7 @@ func (l *ResponderList) Observe(addr wire.Addr) {
 		l.met.Inc(trace.CtrListEvictions)
 		l.leaveLocked(victim.addr)
 	}
-	e := &entry{addr: addr, cooldown: l.cooldown}
+	e := &entry{addr: addr, cooldown: l.cooldown, demoteCooldown: l.demoteCooldown}
 	l.addrs = append(l.addrs, e)
 	l.index[addr] = e
 	l.joinLocked(addr)
@@ -343,7 +596,11 @@ func (l *ResponderList) Success(addr wire.Addr) {
 // promotion is what lets repeated lookups reach the tuple holder in one
 // unicast instead of walking past peers that only proved they were
 // empty. Satisfying an operation is also the strongest evidence of life,
-// so promotion restores the entry's health.
+// so promotion restores the entry's failure health — but a demoted or
+// suspected responder does not jump over healthy peers on one found
+// reply: slowness (and flappiness) is measured across many exchanges,
+// and one useful answer does not unmeasure it. The promotion is
+// withheld (counted) until the entry's health state clears.
 func (l *ResponderList) Promote(addr wire.Addr) {
 	if addr == "" {
 		return
@@ -359,12 +616,18 @@ func (l *ResponderList) Promote(addr wire.Addr) {
 			l.met.Inc(trace.CtrListEvictions)
 			l.leaveLocked(victim.addr)
 		}
-		e = &entry{addr: addr, cooldown: l.cooldown}
+		e = &entry{addr: addr, cooldown: l.cooldown, demoteCooldown: l.demoteCooldown}
 		l.index[addr] = e
 		l.addrs = append(l.addrs, e)
 		l.joinLocked(addr)
 	}
+	now := l.clk.Now()
+	hold := l.demotedLocked(e, now) || l.suspectedLocked(e, now)
 	l.restoreLocked(e)
+	if hold {
+		l.met.Inc(trace.CtrPromoteHolds)
+		return
+	}
 	for i, x := range l.addrs {
 		if x == e {
 			copy(l.addrs[1:i+1], l.addrs[:i])

@@ -300,6 +300,12 @@ func TestPromoteRestoresHealthAndRespectsBound(t *testing.T) {
 	if l.Suspected("b") {
 		t.Fatal("promotion did not restore health")
 	}
+	// The found reply cleared suspicion, but a suspected peer does not
+	// jump healthy peers on one answer; the next promote (clean) does.
+	if got := l.Snapshot(); got[0] != "a" {
+		t.Fatalf("order = %v", got)
+	}
+	l.Promote("b")
 	if got := l.Snapshot(); got[0] != "b" {
 		t.Fatalf("order = %v", got)
 	}
@@ -435,6 +441,214 @@ func TestEventsSubscriberOverflowDropsCounted(t *testing.T) {
 	}
 	if got := met.Get(trace.CtrVisEventDrops); got != 10 {
 		t.Fatalf("drops = %d, want 10", got)
+	}
+}
+
+// --- latency-aware health (gray failures) --------------------------------
+
+// feedLatency pushes n identical samples for addr.
+func feedLatency(l *ResponderList, addr wire.Addr, d time.Duration, n int) {
+	for i := 0; i < n; i++ {
+		l.ObserveLatency(addr, d)
+	}
+}
+
+func TestLatencyOutlierDemotesToBack(t *testing.T) {
+	clk := clock.NewVirtual(time.Unix(0, 0))
+	met := &trace.Metrics{}
+	l := NewResponderList(0, met, WithClock(clk))
+	l.Observe("slow")
+	l.Observe("fast1")
+	l.Observe("fast2")
+	feedLatency(l, "fast1", 2*time.Millisecond, 4)
+	feedLatency(l, "fast2", 2*time.Millisecond, 4)
+	if l.Demoted("slow") {
+		t.Fatal("unsampled entry demoted")
+	}
+	// 100ms vs a 2ms median is far past the 4x line.
+	feedLatency(l, "slow", 100*time.Millisecond, 4)
+	if !l.Demoted("slow") {
+		t.Fatal("sustained outlier not demoted")
+	}
+	if l.Suspected("slow") {
+		t.Fatal("demotion leaked into suspicion")
+	}
+	// Demoted peers still serve: present in the snapshot, but last.
+	snap := l.Snapshot()
+	if len(snap) != 3 || snap[2] != "slow" {
+		t.Fatalf("snapshot = %v, want slow last", snap)
+	}
+	// The underlying list order is untouched.
+	if all := l.All(); all[0] != "slow" {
+		t.Fatalf("all = %v", all)
+	}
+	if met.Get(trace.CtrDemotions) != 1 {
+		t.Fatalf("demotions = %d, want 1", met.Get(trace.CtrDemotions))
+	}
+	if ewma, n := l.Latency("slow"); ewma == 0 || n != 4 {
+		t.Fatalf("latency(slow) = %v/%d", ewma, n)
+	}
+}
+
+func TestLatencyDemotionNeedsPeerBaseline(t *testing.T) {
+	clk := clock.NewVirtual(time.Unix(0, 0))
+	l := NewResponderList(0, nil, WithClock(clk))
+	l.Observe("only")
+	// With no sampled peer to be relative to, even huge latency is not an
+	// outlier — there is nothing to be an outlier *from*.
+	feedLatency(l, "only", time.Second, 10)
+	if l.Demoted("only") {
+		t.Fatal("demoted without a peer baseline")
+	}
+}
+
+func TestLatencyRecoveryRestoresEarly(t *testing.T) {
+	clk := clock.NewVirtual(time.Unix(0, 0))
+	met := &trace.Metrics{}
+	l := NewResponderList(0, met, WithClock(clk),
+		WithLatencyPolicy(4, 3, 3, time.Hour, time.Hour)) // cooldown never lapses
+	l.Observe("slow")
+	l.Observe("fast")
+	feedLatency(l, "fast", 2*time.Millisecond, 4)
+	feedLatency(l, "slow", 100*time.Millisecond, 4)
+	if !l.Demoted("slow") {
+		t.Fatal("setup: not demoted")
+	}
+	// Fast samples pull the EWMA back under the recovery line (2x median)
+	// well before the hour-long cooldown lapses.
+	feedLatency(l, "slow", 2*time.Millisecond, 40)
+	if l.Demoted("slow") {
+		t.Fatal("recovered entry still demoted")
+	}
+	if met.Get(trace.CtrDemoteRestores) != 1 {
+		t.Fatalf("restores = %d, want 1", met.Get(trace.CtrDemoteRestores))
+	}
+}
+
+func TestLatencyDemotionCooldownLapses(t *testing.T) {
+	clk := clock.NewVirtual(time.Unix(0, 0))
+	l := NewResponderList(0, nil, WithClock(clk),
+		WithLatencyPolicy(4, 3, 3, time.Second, 8*time.Second))
+	l.Observe("slow")
+	l.Observe("fast")
+	feedLatency(l, "fast", 2*time.Millisecond, 4)
+	feedLatency(l, "slow", 100*time.Millisecond, 4)
+	if !l.Demoted("slow") {
+		t.Fatal("setup: not demoted")
+	}
+	clk.Advance(time.Second)
+	if l.Demoted("slow") {
+		t.Fatal("demotion did not lapse")
+	}
+	// Still slow on the next sample: re-demoted with a doubled cooldown.
+	l.ObserveLatency("slow", 100*time.Millisecond)
+	clk.Advance(time.Second)
+	if !l.Demoted("slow") {
+		t.Fatal("re-demotion cooldown did not double")
+	}
+}
+
+func TestSlowStrikesDemote(t *testing.T) {
+	clk := clock.NewVirtual(time.Unix(0, 0))
+	met := &trace.Metrics{}
+	l := NewResponderList(0, met, WithClock(clk))
+	l.Observe("limper")
+	l.Observe("fine")
+	l.Slow("limper")
+	l.Slow("limper")
+	if l.Demoted("limper") {
+		t.Fatal("demoted below strike limit")
+	}
+	l.Slow("limper")
+	if !l.Demoted("limper") {
+		t.Fatal("strike limit did not demote")
+	}
+	if snap := l.Snapshot(); snap[len(snap)-1] != "limper" {
+		t.Fatalf("snapshot = %v, want limper last", snap)
+	}
+	if met.Get(trace.CtrSlowStrikes) != 3 || met.Get(trace.CtrDemotions) != 1 {
+		t.Fatalf("strikes=%d demotions=%d",
+			met.Get(trace.CtrSlowStrikes), met.Get(trace.CtrDemotions))
+	}
+	l.Slow("ghost") // unknown addr: no entry created
+	if l.Len() != 2 {
+		t.Fatal("Slow created an entry")
+	}
+}
+
+func TestObserveDegradedDeprioritizesAndExpires(t *testing.T) {
+	clk := clock.NewVirtual(time.Unix(0, 0))
+	met := &trace.Metrics{}
+	l := NewResponderList(0, met, WithClock(clk))
+	l.Observe("sick")
+	l.Observe("well")
+	l.ObserveDegraded("sick", true)
+	if !l.Demoted("sick") {
+		t.Fatal("self-report did not demote")
+	}
+	if snap := l.Snapshot(); len(snap) != 2 || snap[0] != "well" || snap[1] != "sick" {
+		t.Fatalf("snapshot = %v", snap)
+	}
+	// A healthy announce clears it immediately.
+	l.ObserveDegraded("sick", false)
+	if l.Demoted("sick") {
+		t.Fatal("healthy report did not clear degradation")
+	}
+	// Without a refresh the flag ages out on its own.
+	l.ObserveDegraded("sick", true)
+	clk.Advance(DefaultDegradedTTL)
+	if l.Demoted("sick") {
+		t.Fatal("degraded flag did not expire")
+	}
+	if met.Get(trace.CtrPeerDegraded) != 2 {
+		t.Fatalf("peer_degraded = %d, want 2", met.Get(trace.CtrPeerDegraded))
+	}
+}
+
+// Regression (PR 6 satellite): a found reply from a demoted or suspected
+// peer must not jump it over healthy peers — Promote restores failure
+// health but withholds the move-to-top until the entry is clean again.
+func TestPromoteWithheldForDemotedAndSuspected(t *testing.T) {
+	clk := clock.NewVirtual(time.Unix(0, 0))
+	met := &trace.Metrics{}
+	l := NewResponderList(0, met, WithClock(clk),
+		WithHealthPolicy(1, time.Second, 8*time.Second))
+	l.Observe("healthy1")
+	l.Observe("healthy2")
+	l.Observe("slow")
+	feedLatency(l, "healthy1", 2*time.Millisecond, 4)
+	feedLatency(l, "healthy2", 2*time.Millisecond, 4)
+	feedLatency(l, "slow", 100*time.Millisecond, 4)
+	if !l.Demoted("slow") {
+		t.Fatal("setup: slow not demoted")
+	}
+	// The demoted peer satisfies an op (it still serves, just slowly):
+	// it must not become first contact.
+	l.Promote("slow")
+	if snap := l.Snapshot(); snap[0] != "healthy1" || snap[len(snap)-1] != "slow" {
+		t.Fatalf("promote jumped a demoted peer: %v", snap)
+	}
+	if met.Get(trace.CtrPromoteHolds) != 1 {
+		t.Fatalf("promote_holds = %d, want 1", met.Get(trace.CtrPromoteHolds))
+	}
+
+	// Suspected interplay: the found reply clears suspicion (evidence of
+	// life) but the promotion itself is still withheld this once.
+	l.Fail("healthy2")
+	if !l.Suspected("healthy2") {
+		t.Fatal("setup: healthy2 not suspected")
+	}
+	l.Promote("healthy2")
+	if l.Suspected("healthy2") {
+		t.Fatal("promote did not restore failure health")
+	}
+	if snap := l.Snapshot(); snap[0] != "healthy1" {
+		t.Fatalf("promote jumped a suspected peer: %v", snap)
+	}
+	// Once clean, promotion works again.
+	l.Promote("healthy2")
+	if snap := l.Snapshot(); snap[0] != "healthy2" {
+		t.Fatalf("clean promote failed: %v", snap)
 	}
 }
 

@@ -1,0 +1,308 @@
+package harness
+
+// C4 is the gray-failure soak (DESIGN.md §11): a healthy cluster
+// establishes a blocking-lookup latency baseline, then one node's links
+// enter limp mode — nothing drops, everything it touches just gets
+// slower. The tentpole claim is that latency-aware health plus hedged
+// lookups keep the tail bounded: p99 stays within a small factor of the
+// healthy baseline, the median is untouched, destructive takes stay
+// exactly-once under hedge racing, and the hedge budget is respected.
+// An ablation pass with Config.DisableHedge re-runs the limped scenario
+// and must demonstrably violate the p99 bound — the walk then advances
+// only by retry exhaustion, paying a full timeout ladder per silent
+// responder.
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"time"
+
+	"tiamat/internal/core"
+	"tiamat/lease"
+	"tiamat/trace"
+	"tiamat/transport/memnet"
+	"tiamat/tuple"
+)
+
+func c4Token(v int64) tuple.Tuple { return tuple.T(tuple.String("c4"), tuple.Int(v)) }
+
+// c4Tmpl matches exactly one token, so each blocking take has exactly
+// one satisfying tuple in the whole cluster: any duplicate take would
+// surface as a leftover (reinstated-after-accept) in the final sweep.
+func c4Tmpl(v int64) tuple.Template { return tuple.Tmpl(tuple.String("c4"), tuple.Int(v)) }
+
+func c4AnyTmpl() tuple.Template { return tuple.Tmpl(tuple.String("c4"), tuple.Any()) }
+func c4NoMatch() tuple.Template { return tuple.Tmpl(tuple.String("c4-none"), tuple.Any()) }
+
+func p50(lat []time.Duration) time.Duration {
+	if len(lat) == 0 {
+		return 0
+	}
+	s := append([]time.Duration(nil), lat...)
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+	return s[len(s)/2]
+}
+
+// C4Gray runs the gray-failure soak and asserts its acceptance
+// invariants.
+func C4Gray(scale Scale) (*Table, error) {
+	nodes := 6
+	roundsA, roundsB, roundsC := 40, 40, 12
+	if scale == Full {
+		roundsA, roundsB, roundsC = 120, 120, 30
+	}
+	const limperIdx = 5
+	// Extra is chosen so the limper's replies still arrive inside the
+	// retry window: the gray zone where the node is slow but never
+	// "down", which timeout-based suspicion alone cannot see.
+	limp := memnet.Limp{Extra: 60 * time.Millisecond, Ramp: 300 * time.Millisecond}
+
+	goroutinesBefore := runtime.NumGoroutine()
+
+	build := func(disableHedge bool) (*cluster, error) {
+		return newCluster(clusterOpts{
+			n:       nodes,
+			netOpts: []memnet.Option{memnet.WithLatency(2 * time.Millisecond)},
+			mutate: func(idx int, cfg *core.Config) {
+				cfg.ContactTimeout = 40 * time.Millisecond
+				cfg.RetryBackoff = 10 * time.Millisecond
+				cfg.RetryAttempts = 3
+				cfg.HoldGrace = time.Second
+				cfg.RetrySeed = uint64(idx) + 1
+				cfg.DisableHedge = disableHedge
+			},
+		})
+	}
+
+	// warm populates every responder list deterministically (announce
+	// replies observe the announcer), so blocking walks use cached
+	// contact order instead of cold multicasts.
+	warm := func(c *cluster) error {
+		c.net.ConnectAll()
+		for _, inst := range c.inst {
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			_, err := inst.Spaces(ctx)
+			cancel()
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	// measure runs rounds of the workload: seed one unique token at a
+	// healthy holder, then a different healthy requester takes it with a
+	// blocking in — the latency is the walk-to-holder time. Tokens live
+	// only at healthy nodes: hedging can route around a slow contact,
+	// not a slow sole data holder.
+	var tokenSeq int64
+	outTerms := lease.Flexible(lease.Terms{Duration: time.Hour, MaxBytes: 1 << 16})
+	inTerms := lease.Flexible(lease.Terms{Duration: 10 * time.Second, MaxRemotes: 64})
+	measure := func(c *cluster, rounds int) ([]time.Duration, error) {
+		var healthy []int
+		for i := 0; i < nodes; i++ {
+			if i != limperIdx {
+				healthy = append(healthy, i)
+			}
+		}
+		lats := make([]time.Duration, 0, rounds)
+		for k := 0; k < rounds; k++ {
+			tokenSeq++
+			v := tokenSeq
+			holder := c.inst[healthy[k%len(healthy)]]
+			requester := c.inst[healthy[(k+1)%len(healthy)]]
+			if err := holder.Out(c4Token(v), outTerms); err != nil {
+				return nil, fmt.Errorf("C4: seeding token %d: %w", v, err)
+			}
+			start := time.Now()
+			res, err := requester.In(context.Background(), c4Tmpl(v), inTerms)
+			if err != nil {
+				return nil, fmt.Errorf("C4: blocking in for token %d: %w", v, err)
+			}
+			if got, _ := res.Tuple.IntAt(1); got != v {
+				return nil, fmt.Errorf("C4: in returned token %d, want %d", got, v)
+			}
+			lats = append(lats, time.Since(start))
+		}
+		return lats, nil
+	}
+
+	sweepLeftovers := func(c *cluster) int {
+		left := 0
+		for _, inst := range c.inst {
+			for {
+				if _, ok := inst.LocalSpace().Inp(c4AnyTmpl()); !ok {
+					break
+				}
+				left++
+			}
+		}
+		return left
+	}
+
+	// --- phases A (healthy baseline) and B (one limping node) ----------
+	c1, err := build(false)
+	if err != nil {
+		return nil, err
+	}
+	defer c1.close()
+	if err := warm(c1); err != nil {
+		return nil, err
+	}
+
+	latsA, err := measure(c1, roundsA)
+	if err != nil {
+		return nil, err
+	}
+
+	c1.net.SetNodeLimp(addr(limperIdx), limp)
+	// Background probe traffic gives the health layer measurable replies
+	// from the limper (nonblocking not-found answers are prompt answers;
+	// blocking responders are silent-by-protocol, so the workload alone
+	// carries no timing signal for non-holders). Replies that needed
+	// retransmissions become slow strikes (Karn's rule), which is what
+	// demotes the limper.
+	probeCtx, stopProbes := context.WithCancel(context.Background())
+	probesDone := make(chan struct{})
+	go func() {
+		defer close(probesDone)
+		for probeCtx.Err() == nil {
+			ctx, cancel := context.WithTimeout(probeCtx, 2*time.Second)
+			_, _, _ = c1.inst[0].Rdp(ctx, c4NoMatch(),
+				lease.Flexible(lease.Terms{Duration: 2 * time.Second, MaxRemotes: 64}))
+			cancel()
+		}
+	}()
+	time.Sleep(limp.Ramp) // let the limp reach full strength
+
+	latsB, err := measure(c1, roundsB)
+	if err != nil {
+		stopProbes()
+		<-probesDone
+		return nil, err
+	}
+	// Give the probe loop time to accumulate the strike quota if the
+	// measured rounds finished before the health verdict landed.
+	for wait := time.Now().Add(3 * time.Second); time.Now().Before(wait); {
+		if c1.met.Get(trace.CtrDemotions) >= 1 {
+			break
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	stopProbes()
+	<-probesDone
+
+	var hedges, hedgeWins, hedgeSuppressed uint64
+	for _, inst := range c1.inst {
+		g := inst.Gray()
+		hedges += g.Hedges
+		hedgeWins += g.HedgeWins
+		hedgeSuppressed += g.HedgeSuppressed
+	}
+	slowStrikes := c1.met.Get(trace.CtrSlowStrikes)
+	demotions := c1.met.Get(trace.CtrDemotions)
+	limped := c1.met.Get(trace.CtrChaosLimped)
+	leftovers := sweepLeftovers(c1)
+	c1.close()
+
+	// --- phase C: ablation — same limped scenario, hedging off ---------
+	c2, err := build(true)
+	if err != nil {
+		return nil, err
+	}
+	defer c2.close()
+	if err := warm(c2); err != nil {
+		return nil, err
+	}
+	c2.net.SetNodeLimp(addr(limperIdx), limp)
+	time.Sleep(limp.Ramp)
+	latsC, err := measure(c2, roundsC)
+	if err != nil {
+		return nil, err
+	}
+	leftovers += sweepLeftovers(c2)
+	c2.close()
+
+	p50A, p99A := p50(latsA), p99(latsA)
+	p50B, p99B := p50(latsB), p99(latsB)
+	p99C := p99(latsC)
+
+	// The p99 bound: 3x the healthy tail, floored so microsecond-scale
+	// healthy baselines don't make the bound meaninglessly tight.
+	bound := 3 * p99A
+	if floor := 80 * time.Millisecond; bound < floor {
+		bound = floor
+	}
+	p50Bound := 3 * p50A
+	if floor := 30 * time.Millisecond; p50Bound < floor {
+		p50Bound = floor
+	}
+
+	t := &Table{
+		ID:      "C4",
+		Title:   "gray-failure soak: one limping node, hedged lookups + latency-aware health",
+		Columns: []string{"metric", "value"},
+	}
+	t.AddRow("nodes (1 limping)", fmtI(int64(nodes)))
+	t.AddRow("rounds healthy/limped/ablation", fmt.Sprintf("%d/%d/%d", roundsA, roundsB, roundsC))
+	t.AddRow("limp extra (one-way)", fmtD(limp.Extra))
+	t.AddRow("healthy p50 / p99", fmt.Sprintf("%s / %s", fmtD(p50A), fmtD(p99A)))
+	t.AddRow("limped p50 / p99", fmt.Sprintf("%s / %s", fmtD(p50B), fmtD(p99B)))
+	t.AddRow("p99 bound (3x healthy, floored)", fmtD(bound))
+	t.AddRow("ablation p99 (DisableHedge)", fmtD(p99C))
+	t.AddRow("hedges fired / wins / suppressed", fmt.Sprintf("%d/%d/%d", hedges, hedgeWins, hedgeSuppressed))
+	t.AddRow("hedge budget (ops x HedgeMax)", fmtI(int64((roundsA+roundsB)*2)))
+	t.AddRow("slow strikes / demotions", fmt.Sprintf("%d/%d", slowStrikes, demotions))
+	t.AddRow("limped frames", fmtI(limped))
+	t.AddRow("leftover tokens", fmtI(int64(leftovers)))
+
+	// Acceptance invariants.
+	if limped == 0 {
+		return t, fmt.Errorf("C4: limp mode never slowed a frame; the injection is broken")
+	}
+	if leftovers != 0 {
+		return t, fmt.Errorf("C4: %d tokens reinstated after a settled take — duplicate takes in waiting", leftovers)
+	}
+	if p99B > bound {
+		return t, fmt.Errorf("C4: limped p99 %v exceeds bound %v (healthy p99 %v); hedging failed to contain the tail", p99B, bound, p99A)
+	}
+	if p50B > p50Bound {
+		return t, fmt.Errorf("C4: limped p50 %v vs healthy %v — the median must not feel one slow peer", p50B, p50A)
+	}
+	if hedges == 0 {
+		return t, fmt.Errorf("C4: no hedges fired across %d blocking lookups; the hedge path never engaged", roundsA+roundsB)
+	}
+	if maxHedges := uint64((roundsA + roundsB) * 2); hedges > maxHedges {
+		return t, fmt.Errorf("C4: %d hedges exceeds the per-op budget total %d", hedges, maxHedges)
+	}
+	if slowStrikes == 0 || demotions == 0 {
+		return t, fmt.Errorf("C4: health layer never engaged (%d slow strikes, %d demotions); the limper went undetected", slowStrikes, demotions)
+	}
+	if p99C <= bound {
+		return t, fmt.Errorf("C4: ablation p99 %v within bound %v — DisableHedge should demonstrably lose the tail", p99C, bound)
+	}
+
+	// Goroutine accounting across both clusters.
+	leaked := -1
+	for wait := time.Now().Add(2 * time.Second); time.Now().Before(wait); {
+		runtime.GC()
+		if g := runtime.NumGoroutine(); g <= goroutinesBefore+2 {
+			leaked = 0
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if leaked != 0 {
+		return t, fmt.Errorf("C4: goroutine leak — %d before, %d after close", goroutinesBefore, runtime.NumGoroutine())
+	}
+
+	t.AddNote("invariants held: limped p99 within %v of healthy, median untouched, zero duplicate takes, hedges under budget, no goroutine leaks", bound)
+	t.AddNote("ablation: without hedging the same limped walk pays a retry-exhaustion ladder per silent responder (p99 %v vs bound %v)", p99C, bound)
+	chaosSummary(t, c1.met.Get(trace.CtrRetries), c1.met.Get(trace.CtrDedupDrops))
+	return t, nil
+}

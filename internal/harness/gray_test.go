@@ -1,0 +1,18 @@
+package harness
+
+import "testing"
+
+// TestC4GraySoak runs the gray-failure soak at Quick scale; the
+// acceptance invariants (limped p99 within 3x of the healthy baseline,
+// median unaffected, zero duplicate takes, hedges under budget, limper
+// demoted, DisableHedge ablation violating the bound, no goroutine
+// leaks) are asserted inside C4Gray itself and surface here as an error.
+func TestC4GraySoak(t *testing.T) {
+	tab, err := C4Gray(Quick)
+	if tab != nil {
+		render(t, tab)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+}

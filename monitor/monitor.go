@@ -39,7 +39,8 @@ type Monitor struct {
 	latencies []time.Duration
 	refusals  []bool // busy-refusal ring (admission outcomes)
 
-	mob MobilityCounters
+	mob  MobilityCounters
+	gray GrayCounters
 }
 
 // MobilityCounters accumulates the mobility-path activity the monitor has
@@ -55,6 +56,20 @@ type MobilityCounters struct {
 	OrphanHolds uint64 // held tuples reinstated for vanished requesters
 	VisJoins    uint64 // peers that became visible
 	VisLeaves   uint64 // peers that dropped out of visibility
+}
+
+// GrayCounters accumulates gray-failure-path activity (DESIGN.md §11):
+// hedged contacts racing a slow first responder, latency-outlier
+// demotions, and peers that announced themselves degraded. Like the
+// mobility counters these are monotonic totals — a gray failure is
+// interesting precisely because it persists, so the lifetime count is
+// the signal.
+type GrayCounters struct {
+	Hedges       uint64 // hedged contacts fired by the requester path
+	HedgeWins    uint64 // operations settled by a hedged contact
+	SlowStrikes  uint64 // measurable replies that needed retransmissions
+	Demotions    uint64 // peers demoted by the latency outlier detector
+	DegradedSeen uint64 // announce frames carrying a degraded self-report
 }
 
 // New returns a Monitor with the given sliding-window lengths (samples
@@ -239,6 +254,48 @@ func (m *Monitor) Mobility() MobilityCounters {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return m.mob
+}
+
+// ObserveHedge records one hedged contact; win says whether that hedge
+// (not the original contact) ended up settling the operation.
+func (m *Monitor) ObserveHedge(win bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.gray.Hedges++
+	if win {
+		m.gray.HedgeWins++
+	}
+}
+
+// ObserveSlowStrike records a measurable reply that arrived only after
+// retransmissions — the Karn's-rule latency strike feeding demotion.
+func (m *Monitor) ObserveSlowStrike() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.gray.SlowStrikes++
+}
+
+// ObserveDemotion records a peer demoted by the latency outlier
+// detector: still served, no longer first contact.
+func (m *Monitor) ObserveDemotion() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.gray.Demotions++
+}
+
+// ObserveDegradedAnnounce records an announce frame in which a peer
+// self-reported degradation (fsync stalls or serve-queue delay).
+func (m *Monitor) ObserveDegradedAnnounce() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.gray.DegradedSeen++
+}
+
+// Gray returns the accumulated gray-failure counters.
+func (m *Monitor) Gray() GrayCounters {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.gray
 }
 
 // ObserveOp records one operation outcome (challenge §5.4: modelling

@@ -266,3 +266,24 @@ func TestMobilityCountersAccumulate(t *testing.T) {
 		t.Fatalf("mobility = %+v, want %+v", got, want)
 	}
 }
+
+func TestGrayCountersAccumulate(t *testing.T) {
+	m := New(0, 0)
+	if m.Gray() != (GrayCounters{}) {
+		t.Fatalf("fresh monitor has counters: %+v", m.Gray())
+	}
+	m.ObserveHedge(false)
+	m.ObserveHedge(true)
+	m.ObserveHedge(true)
+	m.ObserveSlowStrike()
+	m.ObserveSlowStrike()
+	m.ObserveDemotion()
+	m.ObserveDegradedAnnounce()
+	m.ObserveDegradedAnnounce()
+	m.ObserveDegradedAnnounce()
+	got := m.Gray()
+	want := GrayCounters{Hedges: 3, HedgeWins: 2, SlowStrikes: 2, Demotions: 1, DegradedSeen: 3}
+	if got != want {
+		t.Fatalf("gray = %+v, want %+v", got, want)
+	}
+}

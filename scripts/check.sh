@@ -44,6 +44,16 @@ echo "==> mobility suite (-race)"
 go test -race -run 'Rearm|Orphan|Vis|Event|OneWay|Sched|Stale|HeldBack|Churn|Partition|Skew|Mobility|C3' \
 	./internal/core/ ./internal/discovery/ ./transport/memnet/ ./lease/ ./monitor/ ./internal/harness/
 
+# The gray-failure gate: per-peer latency EWMA and outlier demotion,
+# hedged lookups (first-winner settlement, budget cap, busy
+# suppression), memnet limp-mode ramps, WAL fsync-stall and governor
+# queue-delay self-reports, and the C4 limping-node soak with its
+# p99-bound / effectively-once / hedge-budget / ablation invariants —
+# under the race detector.
+echo "==> gray-failure suite (-race)"
+go test -race -run 'Hedge|Limp|Demot|Slow|Stall|Degraded|Latency|Outlier|QueueDelay|Gray|C4' \
+	./internal/core/ ./internal/discovery/ ./transport/memnet/ ./space/persist/ ./monitor/ ./internal/harness/
+
 # Decoder fuzz smoke: a few seconds per target, seeds cover the optional
 # Busy/Budget trailing fields (mixed-version frame layouts).
 echo "==> fuzz smoke (wire, tuple)"

@@ -1,0 +1,122 @@
+package persist
+
+import (
+	"path/filepath"
+	"testing"
+	"time"
+
+	"tiamat/clock"
+	"tiamat/internal/store"
+	"tiamat/trace"
+	"tiamat/tuple"
+)
+
+// slowFS wraps an FS so every File.Sync advances a virtual clock by a
+// configured amount — a disk in limp mode, rendered deterministic: the
+// stall watchdog times fsyncs on the space's clock, so advancing that
+// clock inside Sync is indistinguishable from a real slow flush.
+type slowFS struct {
+	FS
+	clk   *clock.Virtual
+	stall time.Duration
+}
+
+func (f *slowFS) Create(path string) (File, error) {
+	inner, err := f.FS.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return &slowFile{File: inner, fs: f}, nil
+}
+
+func (f *slowFS) OpenAppend(path string) (File, error) {
+	inner, err := f.FS.OpenAppend(path)
+	if err != nil {
+		return nil, err
+	}
+	return &slowFile{File: inner, fs: f}, nil
+}
+
+type slowFile struct {
+	File
+	fs *slowFS
+}
+
+func (f *slowFile) Sync() error {
+	f.fs.clk.Advance(f.fs.stall)
+	return f.File.Sync()
+}
+
+func TestFsyncStallFlipsDegraded(t *testing.T) {
+	clk := clock.NewVirtual(epoch)
+	met := &trace.Metrics{}
+	fs := &slowFS{FS: OSFS{}, clk: clk} // fast until stall is set
+	path := filepath.Join(t.TempDir(), "space.log")
+	s, err := OpenWith(path, store.New(store.WithClock(clk)), clk, Options{
+		FS:             fs,
+		Metrics:        met,
+		StallThreshold: 100 * time.Millisecond,
+		StallDecay:     time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	if _, err := s.Out(item(1), time.Time{}); err != nil {
+		t.Fatal(err)
+	}
+	if s.Degraded() {
+		t.Fatal("degraded with a fast disk")
+	}
+
+	// The disk starts limping: every fsync takes 300ms, past the 100ms
+	// threshold. The very next durable out flips the watchdog.
+	fs.stall = 300 * time.Millisecond
+	if _, err := s.Out(item(2), time.Time{}); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Degraded() {
+		t.Fatal("stalled fsync did not flip Degraded")
+	}
+	if met.Get(trace.CtrWALStalls) == 0 {
+		t.Fatal("stall not counted")
+	}
+
+	// The disk recovers; the flag decays StallDecay after the last stall.
+	fs.stall = 0
+	clk.Advance(time.Second)
+	if s.Degraded() {
+		t.Fatal("degraded flag did not decay")
+	}
+
+	// Negative threshold disables the watchdog entirely.
+	fs2 := &slowFS{FS: OSFS{}, clk: clk, stall: 500 * time.Millisecond}
+	s2, err := OpenWith(filepath.Join(t.TempDir(), "s2.log"),
+		store.New(store.WithClock(clk)), clk, Options{FS: fs2, StallThreshold: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if _, err := s2.Out(item(3), time.Time{}); err != nil {
+		t.Fatal(err)
+	}
+	if s2.Degraded() {
+		t.Fatal("disabled watchdog still flipped Degraded")
+	}
+}
+
+func TestDegradedFalseOnFreshSpace(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "space.log")
+	s := open(t, path, nil)
+	defer s.Close()
+	if s.Degraded() {
+		t.Fatal("fresh space degraded")
+	}
+	if _, err := s.Out(tuple.T(tuple.String("x")), time.Time{}); err != nil {
+		t.Fatal(err)
+	}
+	if s.Degraded() {
+		t.Fatal("healthy sync flipped Degraded")
+	}
+}

@@ -111,6 +111,14 @@ type Options struct {
 	FS FS
 	// Metrics receives wal.* counters (default: private registry).
 	Metrics *trace.Metrics
+	// StallThreshold is the fsync duration past which the space reports
+	// itself Degraded — the slow-disk (gray failure) watchdog. 0 selects
+	// the default 250ms; negative disables stall detection.
+	StallThreshold time.Duration
+	// StallDecay is how long a stall keeps the space Degraded after the
+	// slow fsync returned (default 2s): one limping sync is a hint, a
+	// stream of them keeps the flag refreshed continuously.
+	StallDecay time.Duration
 }
 
 func (o *Options) applyDefaults() {
@@ -125,6 +133,12 @@ func (o *Options) applyDefaults() {
 	}
 	if o.Metrics == nil {
 		o.Metrics = &trace.Metrics{}
+	}
+	if o.StallThreshold == 0 {
+		o.StallThreshold = 250 * time.Millisecond
+	}
+	if o.StallDecay <= 0 {
+		o.StallDecay = 2 * time.Second
 	}
 }
 
@@ -167,10 +181,15 @@ type Space struct {
 	closed      bool
 	failed      error // sticky write/sync failure: the space is wedged
 	stopFlush   func() bool
+
+	// stalledUntil is the instant the slow-fsync Degraded flag lapses
+	// (zero when the disk has been keeping up).
+	stalledUntil time.Time
 }
 
 var _ space.Space = (*Space)(nil)
 var _ space.Syncer = (*Space)(nil)
+var _ space.Degrader = (*Space)(nil)
 
 // Open replays the log at path into inner (which must be empty), compacts
 // it, and returns the durable wrapper with default Options. clk may be
@@ -495,15 +514,33 @@ func (s *Space) compensate(t tuple.Tuple) {
 	}
 }
 
-// syncLocked fsyncs the active segment. Caller holds s.mu.
+// syncLocked fsyncs the active segment, timing the call for the stall
+// watchdog: a disk in limp mode acks writes but fsyncs in hundreds of
+// milliseconds, which no error path ever reports — measuring is the only
+// way to see it. Caller holds s.mu.
 func (s *Space) syncLocked() error {
+	start := s.clk.Now()
 	if err := s.f.Sync(); err != nil {
 		s.failLocked(err)
 		return s.failed
 	}
+	if d := s.clk.Now().Sub(start); s.opts.StallThreshold > 0 && d >= s.opts.StallThreshold {
+		s.stalledUntil = s.clk.Now().Add(s.opts.StallDecay)
+		s.met.Inc(trace.CtrWALStalls)
+	}
 	s.dirty = false
 	s.met.Inc(trace.CtrWALSyncs)
 	return nil
+}
+
+// Degraded implements space.Degrader: the space is serving but its disk
+// is limping (a recent fsync exceeded StallThreshold). The flag decays
+// StallDecay after the last stall, so a transient hiccup clears on its
+// own while a persistently slow disk keeps it set.
+func (s *Space) Degraded() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return !s.stalledUntil.IsZero() && s.clk.Now().Before(s.stalledUntil)
 }
 
 // Sync flushes buffered appends to stable storage (space.Syncer).

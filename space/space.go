@@ -78,6 +78,15 @@ type Syncer interface {
 	Sync() error
 }
 
+// Degrader is optionally implemented by spaces that can self-diagnose a
+// gray failure: Degraded reports that the space is serving but slow
+// (e.g. WAL fsyncs stalling on a limping disk). The instance folds this
+// into the degraded state it advertises on announce frames so healthy
+// requesters deprioritize the node before ever timing out on it.
+type Degrader interface {
+	Degraded() bool
+}
+
 // Waiter is a registered blocking interest in a template match.
 type Waiter interface {
 	// Chan delivers exactly one matching tuple, then is closed. The

@@ -60,6 +60,14 @@ type GovernorConfig = core.GovernorConfig
 // available via Instance.Governor.
 type GovernorReport = core.GovernorReport
 
+// GrayReport is a snapshot of the gray-failure counters — hedged
+// contacts fired/won/suppressed and the size of the RTT digest feeding
+// the adaptive hedge delay (DESIGN.md §11) — available via
+// Instance.Gray. Instance.Degraded reports whether the node is
+// currently advertising itself degraded (WAL fsync stalls or governor
+// queue delay).
+type GrayReport = core.GrayReport
+
 // MobilityReport is a snapshot of the partition/mobility counters —
 // join-event re-arms of in-flight blocking ops and orphaned remote
 // wait/hold reconciliation (DESIGN.md §10) — available via

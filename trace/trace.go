@@ -144,6 +144,30 @@ const (
 	CtrSuspectSkips   = "disc.suspect_skips"
 	CtrGoodbyes       = "disc.goodbyes"
 
+	// Gray-failure counters (DESIGN.md §11). Demotion re-ranks a peer that
+	// is alive but sustaining outlier latency; it is distinct from the
+	// suspicion breaker (demoted peers still serve, they just stop being
+	// first contact). Peer-degraded marks self-reported degradation learned
+	// from announce frames; promote-holds count found-promotions that were
+	// withheld because the replier was demoted or suspected.
+	CtrDemotions      = "disc.demotions"
+	CtrDemoteRestores = "disc.demote_restores"
+	CtrSlowStrikes    = "disc.slow_strikes"
+	CtrPeerDegraded   = "disc.peer_degraded"
+	CtrPromoteHolds   = "disc.promote_holds"
+
+	// Hedged-lookup counters: hedges fired when a blocking op's first
+	// contact outlived the adaptive hedge delay, wins settled by a hedged
+	// contact, and hedges suppressed by a governor busy reply.
+	CtrHedges          = "ops.hedges"
+	CtrHedgeWins       = "ops.hedge_wins"
+	CtrHedgeSuppressed = "ops.hedge_suppressed"
+
+	// CtrGovQueueStalls counts queue-delay probe readings at or above the
+	// degrade threshold — the serve-side slow-node signal behind
+	// self-reported degradation.
+	CtrGovQueueStalls = "gov.queue_stalls"
+
 	// Visibility event-stream counters (responder-list joins/leaves and
 	// subscriber-buffer overflow drops) plus the mobility machinery built
 	// on them: in-flight blocking ops re-armed toward newly visible peers,
@@ -161,6 +185,18 @@ const (
 	// propagation: no edge at delivery time, no delivery).
 	CtrStaleDrops = "net.stale_drops"
 
+	// Socket-level loss accounting for the real-network transport: frames
+	// abandoned after send retries were exhausted, read-side frames lost to
+	// I/O errors or malformed prefixes, and inbox-full drops. memnet's
+	// stale-drop counter plays the same role for the simulated network.
+	CtrSendErrors    = "net.send_errors"
+	CtrReadErrors    = "net.read_errors"
+	CtrInboxOverflow = "net.inbox_overflow"
+
+	// CtrChaosLimped counts frames the simulated network delayed because a
+	// limp-mode ramp (gray-failure injection) was active on their path.
+	CtrChaosLimped = "chaos.limped"
+
 	// Write-ahead log counters (space/persist durability path).
 	CtrWALAppends       = "wal.appends"
 	CtrWALSyncs         = "wal.syncs"
@@ -170,6 +206,9 @@ const (
 	CtrWALReplayed      = "wal.replayed"
 	CtrWALSkipped       = "wal.skipped"
 	CtrWALTornBytes     = "wal.torn_bytes"
+	// CtrWALStalls counts fsyncs that exceeded the configured stall
+	// threshold — the slow-disk signal behind self-reported degradation.
+	CtrWALStalls = "wal.stalls"
 
 	CtrTuplesStored     = "store.tuples_stored"
 	CtrTuplesTaken      = "store.tuples_taken"

@@ -1,0 +1,126 @@
+package memnet
+
+import (
+	"testing"
+	"time"
+
+	"tiamat/clock"
+	"tiamat/trace"
+)
+
+// Limp-mode tests: gray-failure latency ramps on a virtual clock, so the
+// exact slowdown at each instant is deterministic.
+
+func TestNodeLimpAddsRampedLatency(t *testing.T) {
+	clk := clock.NewVirtual(time.Unix(0, 0))
+	met := &trace.Metrics{}
+	n := New(WithClock(clk), WithMetrics(met))
+	defer n.Close()
+	a, _ := n.Attach("a")
+	b, _ := n.Attach("b")
+	n.ConnectAll()
+
+	// Full ramp over 100ms toward 100ms of extra latency.
+	n.SetNodeLimp("b", Limp{Extra: 100 * time.Millisecond, Ramp: 100 * time.Millisecond})
+
+	// At t=0 the ramp has contributed nothing: delivery is synchronous.
+	if err := a.Send("b", disc("a", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if m := recvOne(t, b); m.ID != 1 {
+		t.Fatalf("got %+v", m)
+	}
+
+	// Halfway up the ramp the edge is 50ms slow — in both directions
+	// (the limp belongs to the node, not the sender).
+	clk.Advance(50 * time.Millisecond)
+	if err := b.Send("a", disc("b", 2)); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-a.Recv():
+		t.Fatal("delivered before the ramped latency elapsed")
+	default:
+	}
+	clk.Advance(49 * time.Millisecond)
+	select {
+	case <-a.Recv():
+		t.Fatal("delivered 1ms early")
+	default:
+	}
+	clk.Advance(time.Millisecond)
+	if m := recvOne(t, a); m.ID != 2 {
+		t.Fatalf("got %+v", m)
+	}
+	if met.Get(trace.CtrChaosLimped) == 0 {
+		t.Fatal("limped frames not counted")
+	}
+
+	// Past the ramp the full Extra applies; healing clears it instantly.
+	clk.Advance(time.Second)
+	n.ClearNodeLimp("b")
+	if err := a.Send("b", disc("a", 3)); err != nil {
+		t.Fatal(err)
+	}
+	if m := recvOne(t, b); m.ID != 3 {
+		t.Fatalf("healed link still slow: %+v", m)
+	}
+}
+
+func TestEdgeLimpSparesOtherEdges(t *testing.T) {
+	clk := clock.NewVirtual(time.Unix(0, 0))
+	n := New(WithClock(clk))
+	defer n.Close()
+	a, _ := n.Attach("a")
+	b, _ := n.Attach("b")
+	c, _ := n.Attach("c")
+	n.ConnectAll()
+
+	n.SetEdgeLimp("a", "b", Limp{Extra: 30 * time.Millisecond}) // Ramp 0: full Extra at once
+
+	if err := a.Send("b", disc("a", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send("c", disc("a", 2)); err != nil {
+		t.Fatal(err)
+	}
+	// The healthy edge delivers synchronously; the limping one waits.
+	if m := recvOne(t, c); m.ID != 2 {
+		t.Fatalf("got %+v", m)
+	}
+	select {
+	case <-b.Recv():
+		t.Fatal("limping edge delivered early")
+	default:
+	}
+	clk.Advance(30 * time.Millisecond)
+	if m := recvOne(t, b); m.ID != 1 {
+		t.Fatalf("got %+v", m)
+	}
+}
+
+// TestLimpComposesWithFaults pins that a limp adds to — not replaces —
+// the link's configured fault latency.
+func TestLimpComposesWithFaults(t *testing.T) {
+	clk := clock.NewVirtual(time.Unix(0, 0))
+	n := New(WithClock(clk), WithLatency(20*time.Millisecond))
+	defer n.Close()
+	a, _ := n.Attach("a")
+	b, _ := n.Attach("b")
+	n.ConnectAll()
+	n.SetNodeLimp("b", Limp{Extra: 30 * time.Millisecond})
+
+	if err := a.Send("b", disc("a", 1)); err != nil {
+		t.Fatal(err)
+	}
+	clk.Advance(49 * time.Millisecond)
+	select {
+	case <-b.Recv():
+		t.Fatal("delivered before base latency + limp")
+	default:
+	}
+	clk.Advance(time.Millisecond)
+	if m := recvOne(t, b); m.ID != 1 {
+		t.Fatalf("got %+v", m)
+	}
+}

@@ -59,6 +59,40 @@ type Faults struct {
 	Jitter time.Duration
 }
 
+// Limp is a gray-failure injection: extra one-way delivery latency that
+// climbs linearly from zero to Extra over Ramp, starting when the limp
+// is set. Ramp 0 applies the full Extra immediately. A limping link
+// drops nothing — it just gets slower and slower, which is exactly the
+// failure mode timeout-based detectors miss.
+type Limp struct {
+	Extra time.Duration
+	Ramp  time.Duration
+}
+
+// limpState is an active limp and when its ramp began.
+type limpState struct {
+	l     Limp
+	start time.Time
+}
+
+// extraAt returns the ramped extra latency at now.
+func (s limpState) extraAt(now time.Time) time.Duration {
+	if s.l.Extra <= 0 {
+		return 0
+	}
+	if s.l.Ramp <= 0 {
+		return s.l.Extra
+	}
+	el := now.Sub(s.start)
+	if el >= s.l.Ramp {
+		return s.l.Extra
+	}
+	if el <= 0 {
+		return 0
+	}
+	return time.Duration(float64(s.l.Extra) * float64(el) / float64(s.l.Ramp))
+}
+
 // Network is a simulated broadcast domain.
 type Network struct {
 	clk clock.Clock
@@ -70,6 +104,8 @@ type Network struct {
 	vis        map[dedge]bool
 	faults     Faults
 	edgeFaults map[edge]Faults
+	nodeLimps  map[wire.Addr]limpState
+	edgeLimps  map[edge]limpState
 	closed     bool
 }
 
@@ -141,6 +177,8 @@ func New(opts ...Option) *Network {
 		nodes:      make(map[wire.Addr]*node),
 		vis:        make(map[dedge]bool),
 		edgeFaults: make(map[edge]Faults),
+		nodeLimps:  make(map[wire.Addr]limpState),
+		edgeLimps:  make(map[edge]limpState),
 	}
 	for _, o := range opts {
 		o(n)
@@ -346,6 +384,76 @@ func (n *Network) faultsForLocked(a, b wire.Addr) Faults {
 	return n.faults
 }
 
+// SetNodeLimp starts (or restarts) a limp-mode ramp on every link
+// touching addr: a node whose NIC, disk, or scheduler is slowly dying
+// gets slower to everyone at once.
+func (n *Network) SetNodeLimp(addr wire.Addr, l Limp) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.nodeLimps[addr] = limpState{l: l, start: n.clk.Now()}
+}
+
+// ClearNodeLimp heals addr's limp immediately.
+func (n *Network) ClearNodeLimp(addr wire.Addr) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.nodeLimps, addr)
+}
+
+// SetEdgeLimp starts a limp-mode ramp on the symmetric edge a<->b only
+// (one flaky path in an otherwise healthy neighbourhood).
+func (n *Network) SetEdgeLimp(a, b wire.Addr, l Limp) {
+	if a == b {
+		return
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.edgeLimps[mkEdge(a, b)] = limpState{l: l, start: n.clk.Now()}
+}
+
+// ClearEdgeLimp heals the a<->b limp immediately.
+func (n *Network) ClearEdgeLimp(a, b wire.Addr) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.edgeLimps, mkEdge(a, b))
+}
+
+// limpForLocked returns the extra one-way latency the active limps add
+// to the from->to transmission right now: the worst of the sender's
+// limp, the receiver's limp, and the edge's limp. Callers must hold
+// n.mu.
+func (n *Network) limpForLocked(from, to wire.Addr) time.Duration {
+	if len(n.nodeLimps) == 0 && len(n.edgeLimps) == 0 {
+		return 0
+	}
+	now := n.clk.Now()
+	var d time.Duration
+	if s, ok := n.nodeLimps[from]; ok {
+		d = s.extraAt(now)
+	}
+	if s, ok := n.nodeLimps[to]; ok {
+		if e := s.extraAt(now); e > d {
+			d = e
+		}
+	}
+	if s, ok := n.edgeLimps[mkEdge(from, to)]; ok {
+		if e := s.extraAt(now); e > d {
+			d = e
+		}
+	}
+	return d
+}
+
+// applyLimpLocked folds the active limp (if any) into a transmission's
+// fault plan and counts the slowed frame. Callers must hold n.mu.
+func (n *Network) applyLimpLocked(from, to wire.Addr, f Faults) Faults {
+	if extra := n.limpForLocked(from, to); extra > 0 {
+		f.Latency += extra
+		n.met.Inc(trace.CtrChaosLimped)
+	}
+	return f
+}
+
 // Neighbors returns the addresses currently visible from a, in
 // unspecified order.
 func (n *Network) Neighbors(a wire.Addr) []wire.Addr {
@@ -473,7 +581,7 @@ func (nd *node) Send(to wire.Addr, m *wire.Message) error {
 	n.met.Inc(trace.CtrMsgsSent)
 	n.met.Inc(trace.CtrUnicasts)
 	n.met.Add(trace.CtrBytesSent, int64(len(data)))
-	f := n.faultsForLocked(nd.addr, to)
+	f := n.applyLimpLocked(nd.addr, to, n.faultsForLocked(nd.addr, to))
 	n.mu.Unlock()
 	n.transmit(nd.addr, dst, data, f)
 	buf.Release()
@@ -500,7 +608,7 @@ func (nd *node) Multicast(m *wire.Message) (int, error) {
 	}
 	targets := make([]target, 0, len(neighbors))
 	for _, a := range neighbors {
-		targets = append(targets, target{n.nodes[a], n.faultsForLocked(nd.addr, a)})
+		targets = append(targets, target{n.nodes[a], n.applyLimpLocked(nd.addr, a, n.faultsForLocked(nd.addr, a))})
 	}
 	n.mu.Unlock()
 	for _, tg := range targets {

@@ -190,6 +190,7 @@ func (t *Transport) Send(to wire.Addr, m *wire.Message) error {
 		time.Sleep(wait)
 		t.met.Inc(trace.CtrRetries)
 	}
+	t.met.Inc(trace.CtrSendErrors)
 	t.met.Inc(trace.CtrMsgsDropped)
 	return fmt.Errorf("%s: %v: %w", to, lastErr, transport.ErrUnreachable)
 }
@@ -281,13 +282,21 @@ func (t *Transport) readFrames(conn net.Conn) {
 		_ = conn.SetReadDeadline(time.Now().Add(30 * time.Second))
 		n, err := binary.ReadUvarint(r)
 		if err != nil {
+			// A clean EOF between frames is the peer closing normally
+			// (one connection per frame); anything else — timeout, reset,
+			// EOF mid-prefix — silently loses a frame and must be visible.
+			if err != io.EOF {
+				t.met.Inc(trace.CtrReadErrors)
+			}
 			return
 		}
 		if n == 0 || n > maxFrame {
+			t.met.Inc(trace.CtrReadErrors)
 			return
 		}
 		buf := make([]byte, n)
 		if _, err := io.ReadFull(conn, buf); err != nil {
+			t.met.Inc(trace.CtrReadErrors)
 			return
 		}
 		// The frame buffer is dedicated to this message, so the decoded
@@ -322,7 +331,11 @@ func (t *Transport) udpRecvOne(buf []byte) (stop bool) {
 		if errors.Is(err, net.ErrClosed) {
 			return true
 		}
-		return t.isClosed()
+		if t.isClosed() {
+			return true
+		}
+		t.met.Inc(trace.CtrReadErrors)
+		return false
 	}
 	m, err := wire.Decode(buf[:n])
 	if err != nil {
@@ -346,6 +359,7 @@ func (t *Transport) enqueue(m *wire.Message) {
 	select {
 	case t.inbox <- m:
 	default:
+		t.met.Inc(trace.CtrInboxOverflow)
 		t.met.Inc(trace.CtrMsgsDropped)
 	}
 }

@@ -317,3 +317,58 @@ func TestSendRetriesBeforeGivingUp(t *testing.T) {
 		t.Fatalf("retries = %d, want 1", got)
 	}
 }
+
+// TestSocketErrorsAreCounted pins satellite coverage for the gray-failure
+// work: socket-level losses that used to vanish silently must surface as
+// named counters — a send abandoned after retries, a connection that dies
+// mid-frame, and an oversized prefix.
+func TestSocketErrorsAreCounted(t *testing.T) {
+	a, err := New(Config{SendAttempts: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+
+	// Exhausted send: unreachable peer.
+	if err := a.Send("127.0.0.1:1", &wire.Message{Type: wire.TDiscover, ID: 1, From: a.Addr()}); err == nil {
+		t.Fatal("send to dead peer succeeded")
+	}
+	if got := a.met.Get(trace.CtrSendErrors); got != 1 {
+		t.Fatalf("send_errors = %d, want 1", got)
+	}
+
+	// Oversized prefix: the reader hangs up and counts the loss.
+	conn, err := net.Dial("tcp", string(a.Addr()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write(binary.AppendUvarint(nil, maxFrame+1)); err != nil {
+		t.Fatal(err)
+	}
+	conn.Close()
+	waitCounter(t, a.met, trace.CtrReadErrors, 1)
+
+	// Connection reset mid-frame: prefix promises 100 bytes, body never
+	// arrives.
+	conn2, err := net.Dial("tcp", string(a.Addr()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn2.Write(binary.AppendUvarint(nil, 100)); err != nil {
+		t.Fatal(err)
+	}
+	conn2.Close()
+	waitCounter(t, a.met, trace.CtrReadErrors, 2)
+}
+
+func waitCounter(t *testing.T, met *trace.Metrics, ctr string, want int64) {
+	t.Helper()
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		if met.Get(ctr) >= want {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("%s = %d, want >= %d", ctr, met.Get(ctr), want)
+}

@@ -1,0 +1,43 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// The Degraded (TAnnounce) field is the gray-failure self-report: an
+// optional trailing field like TOp's Budget and TResult's Busy, encoded
+// only when true so healthy announces stay byte-identical to the
+// previous wire revision.
+
+func TestAnnounceDegradedRoundTrip(t *testing.T) {
+	for _, m := range []*Message{
+		{Type: TAnnounce, ID: 1, From: "a", Degraded: true},
+		{Type: TAnnounce, ID: 2, From: "b", Persistent: true, Degraded: true},
+	} {
+		back := roundTrip(t, m)
+		if back.Degraded != m.Degraded || back.Persistent != m.Persistent {
+			t.Fatalf("degraded lost: %+v", back)
+		}
+	}
+}
+
+func TestAnnounceHealthyEncodesIdentically(t *testing.T) {
+	m := &Message{Type: TAnnounce, ID: 3, From: "c", Persistent: true}
+	want := Encode(m)
+	m.Degraded = false
+	if got := Encode(m); !bytes.Equal(got, want) {
+		t.Fatal("false degraded changed the frame bytes")
+	}
+}
+
+func TestAnnounceDegradedAbsentDecodesToZero(t *testing.T) {
+	data := Encode(&Message{Type: TAnnounce, ID: 4, From: "d", Persistent: true})
+	m, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Degraded {
+		t.Fatal("degraded = true from a field-free frame")
+	}
+}

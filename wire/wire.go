@@ -185,6 +185,11 @@ type Message struct {
 
 	// Persistent is the space-info flag carried by TAnnounce.
 	Persistent bool
+	// Degraded is the self-reported gray-failure flag carried by
+	// TAnnounce: the announcer is serving but slow (WAL fsync stalls,
+	// governor queue delay), so requesters should deprioritize it. Only
+	// encoded when true; absent means healthy for pre-Degraded peers.
+	Degraded bool
 
 	// Func is the registered eval function name (TEval).
 	Func string
@@ -266,6 +271,14 @@ func AppendEncode(dst []byte, m *Message) []byte {
 		// header only
 	case TAnnounce:
 		b = appendBool(b, m.Persistent)
+		// Optional trailing degraded marker, same mixed-version contract
+		// as TOp's budget field: a healthy announce is byte-identical to
+		// the pre-Degraded revision, and peers running the previous code
+		// reject degraded announces as trailing garbage — they merely
+		// fail to learn the hint, never act on a misread one.
+		if m.Degraded {
+			b = appendBool(b, true)
+		}
 	case TOp:
 		b = append(b, byte(m.Op), m.Hops)
 		b = binary.AppendUvarint(b, uint64(m.TTL/time.Millisecond))
@@ -368,6 +381,12 @@ func decode(data []byte, alias bool) (*Message, error) {
 	case TAnnounce:
 		if m.Persistent, src, err = readBool(src); err != nil {
 			return nil, err
+		}
+		// Optional degraded marker: absent means a healthy announcer.
+		if len(src) > 0 {
+			if m.Degraded, src, err = readBool(src); err != nil {
+				return nil, err
+			}
 		}
 	case TOp:
 		if len(src) < 1 {

@@ -181,6 +181,7 @@ func (randMsg) Generate(r *rand.Rand, _ int) reflect.Value {
 	switch m.Type {
 	case TAnnounce:
 		m.Persistent = r.Intn(2) == 0
+		m.Degraded = r.Intn(2) == 0
 	case TOp:
 		m.Op = OpCode(1 + r.Intn(4))
 		m.TTL = time.Duration(r.Intn(10000)) * time.Millisecond
@@ -254,6 +255,9 @@ func FuzzDecode(f *testing.F) {
 	f.Add(Encode(&Message{Type: TAck, ID: 4, From: "s", OK: false, Busy: true}))
 	f.Add(Encode(&Message{Type: TOp, ID: 5, From: "s", Op: OpRd, TTL: time.Second,
 		Budget: 250 * time.Millisecond, Template: tuple.Tmpl(tuple.Any())}))
+	// A degraded announce: the gray-failure self-report rides the same
+	// optional-trailing-field contract on TAnnounce.
+	f.Add(Encode(&Message{Type: TAnnounce, ID: 6, From: "s", Persistent: true, Degraded: true}))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		m, err := Decode(data)
 		if err != nil {

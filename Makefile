@@ -9,12 +9,12 @@ test:
 	$(GO) test ./...
 
 # check is the pre-merge gate: vet + tests + race detector (includes
-# the chaos suite in internal/core, which takes seconds of wall time).
-# The benchdiff step is advisory (leading -): perf regressions are
-# reported against the last two BENCH_*.json baselines but don't block.
+# the chaos suite in internal/core, which takes seconds of wall time),
+# plus the benchdiff perf gate over the last two BENCH_*.json baselines
+# and the tiamat-load open-loop smoke — both now blocking, both inside
+# check.sh.
 check:
 	./scripts/check.sh
-	-./scripts/benchdiff.sh
 
 bench:
 	$(GO) run ./cmd/tiamat-bench -quick

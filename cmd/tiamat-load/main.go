@@ -1,0 +1,236 @@
+// Command tiamat-load is an open-loop load generator for the batched
+// wire path (DESIGN.md §12): arrivals are paced by the clock at a
+// configured rate, never by completions, so a slow server accumulates
+// backlog and the measured latencies include queueing — the honest view
+// closed-loop benchmarks hide (coordinated omission).
+//
+// Each arrival drives one remote take: an Out of a zipfian-keyed tuple
+// on one instance, then a timed Inp for that key from another. The
+// timed window opens after -warmup; at the end the p50/p99 of recorded
+// latencies are asserted against the SLO flags and the process exits
+// nonzero on violation, making the generator usable as a CI gate
+// (scripts/check.sh runs it as a smoke test).
+//
+// Usage:
+//
+//	tiamat-load [-nodes n] [-rate ops/s] [-duration d] [-warmup d]
+//	            [-keys n] [-zipf s] [-inflight n] [-p50 d] [-p99 d] [-chaos]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime/pprof"
+	"sort"
+	"sync"
+	"time"
+
+	"tiamat/internal/core"
+	"tiamat/internal/harness"
+	"tiamat/trace"
+	"tiamat/tuple"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	nodes := flag.Int("nodes", 2, "cluster size")
+	rate := flag.Float64("rate", 50000, "target arrival rate, ops/s")
+	duration := flag.Duration("duration", 5*time.Second, "measured run length (after warmup)")
+	warmup := flag.Duration("warmup", time.Second, "warmup period excluded from stats")
+	keys := flag.Uint64("keys", 1024, "key space size")
+	zipfS := flag.Float64("zipf", 1.1, "zipfian skew s (>1)")
+	// The cap bounds worker concurrency, not the schedule: arrivals keep
+	// coming at the configured rate and are counted as overload when no
+	// worker slot is free. Keeping it small matters twice over: the
+	// admission governor refuses thousands of simultaneous ops by design,
+	// and a deep backlog of live tuples turns the store's match scan
+	// superlinear, so large caps measure queueing spirals instead of the
+	// wire. 32 was the sweep optimum for both throughput and p99.
+	inflight := flag.Int("inflight", 32, "in-flight pair cap; arrivals beyond it count as overload")
+	p50SLO := flag.Duration("p50", 5*time.Millisecond, "p50 latency SLO")
+	p99SLO := flag.Duration("p99", 50*time.Millisecond, "p99 latency SLO")
+	minOps := flag.Float64("minops", 50000, "minimum sustained Linda ops/s (out+inp each count); 0 disables")
+	seed := flag.Int64("seed", 1, "workload PRNG seed")
+	chaos := flag.Bool("chaos", false, "inject loss/duplication/reordering")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tiamat-load: cpuprofile: %v\n", err)
+			return 2
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "tiamat-load: cpuprofile: %v\n", err)
+			return 2
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	if *nodes < 2 {
+		fmt.Fprintln(os.Stderr, "tiamat-load: need at least 2 nodes")
+		return 2
+	}
+	if *chaos {
+		f := harness.DefaultChaos()
+		harness.SetChaos(&f)
+		defer harness.SetChaos(nil)
+	}
+	lc, err := harness.NewLoadCluster(*nodes, func(idx int, cfg *core.Config) {})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tiamat-load: cluster: %v\n", err)
+		return 2
+	}
+	defer lc.Close()
+
+	rng := rand.New(rand.NewSource(*seed))
+	zipf := rand.NewZipf(rng, *zipfS, 1, *keys-1)
+
+	var (
+		mu        sync.Mutex
+		lats      []time.Duration
+		errs      int
+		misses    int
+		completed int // out+inp pairs fully executed
+		ops       int // Linda operations completed (each out and each inp)
+	)
+	sem := make(chan struct{}, *inflight)
+	overload := 0
+	var wg sync.WaitGroup
+
+	ctx := context.Background()
+	start := time.Now()
+	measureFrom := start.Add(*warmup)
+	end := measureFrom.Add(*duration)
+	interval := float64(time.Second) / *rate
+
+	issued := 0
+	for {
+		now := time.Now()
+		if now.After(end) {
+			break
+		}
+		// Open-loop pacing at coarse sleep granularity: dispatch every
+		// arrival whose scheduled time has passed, then nap. The schedule
+		// is fixed by the clock — completions never push it back.
+		due := int(float64(now.Sub(start)) / interval)
+		for issued < due {
+			issued++
+			// The workload is drawn on this goroutine (rand.Zipf is not
+			// concurrency-safe) and handed to the worker.
+			key := int64(zipf.Uint64())
+			prod := lc.Inst[rng.Intn(len(lc.Inst))]
+			cons := lc.Inst[rng.Intn(len(lc.Inst))]
+			for cons == prod {
+				cons = lc.Inst[rng.Intn(len(lc.Inst))]
+			}
+			select {
+			case sem <- struct{}{}:
+			default:
+				overload++
+				continue
+			}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer func() { <-sem }()
+				t := tuple.T(tuple.String("load"), tuple.Int(key))
+				if err := prod.Out(t, nil); err != nil {
+					mu.Lock()
+					errs++
+					mu.Unlock()
+					return
+				}
+				mu.Lock()
+				ops++
+				mu.Unlock()
+				// Exact-key take: the tuple lives on the producer, so every
+				// arrival crosses the network (a formal key would let the
+				// consumer drain its own space instead). A miss means a
+				// hotter consumer stole the key first — still a full
+				// remote round trip, so it stays in the latency record.
+				opStart := time.Now()
+				_, ok, err := cons.Inp(ctx, tuple.Tmpl(tuple.String("load"), tuple.Int(key)), nil)
+				lat := time.Since(opStart)
+				mu.Lock()
+				defer mu.Unlock()
+				completed++
+				ops++
+				if err != nil {
+					errs++
+					return
+				}
+				if !ok {
+					misses++
+				}
+				if opStart.After(measureFrom) {
+					lats = append(lats, lat)
+				}
+			}()
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	mu.Lock()
+	defer mu.Unlock()
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	pct := func(q float64) time.Duration {
+		if len(lats) == 0 {
+			return 0
+		}
+		idx := int(float64(len(lats)) * q)
+		if idx >= len(lats) {
+			idx = len(lats) - 1
+		}
+		return lats[idx]
+	}
+	p50, p95, p99 := pct(0.50), pct(0.95), pct(0.99)
+	pairRate := float64(completed) / elapsed.Seconds()
+	opRate := float64(ops) / elapsed.Seconds()
+
+	fmt.Printf("tiamat-load: nodes=%d rate=%.0f pairs/s duration=%s warmup=%s keys=%d zipf=%.2f\n",
+		*nodes, *rate, *duration, *warmup, *keys, *zipfS)
+	fmt.Printf("  issued=%d pairs=%d (%.0f/s) ops=%d (%.0f/s) errs=%d misses=%d overload=%d\n",
+		issued, completed, pairRate, ops, opRate, errs, misses, overload)
+	fmt.Printf("  latency (measured %d ops): p50=%s p95=%s p99=%s\n",
+		len(lats), p50, p95, p99)
+	fmt.Printf("  wire: coalesced_acks=%d batch_flushes=%d msgs_sent=%d\n",
+		lc.Met.Get(trace.CtrAcksCoalesced), lc.Met.Get(trace.CtrBatchFlushes), lc.Met.Get(trace.CtrMsgsSent))
+
+	failed := false
+	if p50 > *p50SLO {
+		fmt.Printf("  FAIL: p50 %s > SLO %s\n", p50, *p50SLO)
+		failed = true
+	}
+	if p99 > *p99SLO {
+		fmt.Printf("  FAIL: p99 %s > SLO %s\n", p99, *p99SLO)
+		failed = true
+	}
+	if len(lats) == 0 {
+		fmt.Println("  FAIL: no latencies recorded in the measured window")
+		failed = true
+	}
+	if issued > 0 && float64(errs) > 0.01*float64(issued) {
+		fmt.Printf("  FAIL: error rate %.2f%% > 1%%\n", 100*float64(errs)/float64(issued))
+		failed = true
+	}
+	if *minOps > 0 && opRate < *minOps {
+		fmt.Printf("  FAIL: %.0f ops/s < required %.0f\n", opRate, *minOps)
+		failed = true
+	}
+	if failed {
+		return 1
+	}
+	fmt.Println("  SLO: ok")
+	return 0
+}

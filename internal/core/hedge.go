@@ -21,6 +21,13 @@ import (
 // a few hundred operations.
 const rttSamples = 128
 
+// rttRefresh is how many new samples a cached quantile may be stale by
+// before it is recomputed. Every blocking op asks for the hedge delay;
+// copying and sorting the whole window per ask was a measurable slice of
+// the hot path, and a percentile over a 128-sample window moves slowly
+// enough that an 8-sample-stale answer paces hedges identically.
+const rttRefresh = 8
+
 // rttDigest is a fixed-size ring of recent first-attempt round-trip
 // samples. Only unambiguous samples enter (Karn's rule: a reply that
 // needed retransmissions is never attributed to any one transmission).
@@ -28,6 +35,11 @@ type rttDigest struct {
 	mu      sync.Mutex
 	samples [rttSamples]time.Duration
 	n, next int
+	sortBuf [rttSamples]time.Duration
+	stale   int // samples added since the cached quantile was computed
+	cachedQ float64
+	cachedV time.Duration
+	cached  bool
 }
 
 func (d *rttDigest) add(s time.Duration) {
@@ -38,6 +50,7 @@ func (d *rttDigest) add(s time.Duration) {
 	if d.n < len(d.samples) {
 		d.n++
 	}
+	d.stale++
 }
 
 func (d *rttDigest) size() int {
@@ -46,21 +59,34 @@ func (d *rttDigest) size() int {
 	return d.n
 }
 
+// durSlice sorts durations without the per-call closure sort.Slice costs.
+type durSlice []time.Duration
+
+func (s durSlice) Len() int           { return len(s) }
+func (s durSlice) Less(i, j int) bool { return s[i] < s[j] }
+func (s durSlice) Swap(i, j int)      { s[i], s[j] = s[j], s[i] }
+
 // quantile returns the q-quantile of the windowed samples; ok is false
-// while the digest is empty.
+// while the digest is empty. The answer is cached and reused until
+// rttRefresh new samples arrive (or a different q is asked for).
 func (d *rttDigest) quantile(q float64) (time.Duration, bool) {
 	d.mu.Lock()
-	buf := make([]time.Duration, d.n)
-	copy(buf, d.samples[:d.n])
-	d.mu.Unlock()
-	if len(buf) == 0 {
+	defer d.mu.Unlock()
+	if d.n == 0 {
 		return 0, false
 	}
-	sort.Slice(buf, func(a, b int) bool { return buf[a] < buf[b] })
+	if d.cached && d.cachedQ == q && d.stale < rttRefresh {
+		return d.cachedV, true
+	}
+	buf := d.sortBuf[:d.n]
+	copy(buf, d.samples[:d.n])
+	sort.Sort(durSlice(buf))
 	idx := int(float64(len(buf)) * q)
 	if idx >= len(buf) {
 		idx = len(buf) - 1
 	}
+	d.cachedQ, d.cachedV, d.cached = q, buf[idx], true
+	d.stale = 0
 	return buf[idx], true
 }
 

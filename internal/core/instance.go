@@ -293,6 +293,9 @@ type Instance struct {
 	ops       map[uint64]*opState     // outbound operations awaiting replies
 	holds     map[uint64]*pendingHold // tentative removals we are holding
 	nextHold  uint64
+	// pendAccepts are accept retransmissions awaiting the owner's ack,
+	// keyed by ack ID (ops.go: acceptHold).
+	pendAccepts map[uint64]*pendingAccept
 	waits     map[waitKey]*remoteWait   // blocking waiters we serve for peers
 	announces map[uint64]chan SpaceInfo // open Spaces() discovery rounds
 	// served caches replies to already-handled remote requests, keyed by
@@ -316,6 +319,10 @@ type Instance struct {
 	sidByLease map[uint64]uint64       // lease ID -> store tuple id
 	evals      map[string]EvalFunc
 	relays     []wire.Addr
+	// defReq is the requester used when an operation passes nil: built
+	// once so the nil-requester hot path does not re-box a closure pair
+	// per grant.
+	defReq lease.Requester
 
 	// gov is the serve-path resource governor: bounded admission of
 	// remote work, per-peer fairness, and the shrink→shed→revoke
@@ -379,8 +386,9 @@ func New(cfg Config) (*Instance, error) {
 		list: discovery.NewResponderList(cfg.ResponderListMax, cfg.Metrics,
 			discovery.WithClock(cfg.Clock),
 			discovery.WithLatencyPolicy(cfg.DemoteFactor, 0, 0, 0, 0)),
-		ops:        make(map[uint64]*opState),
-		holds:      make(map[uint64]*pendingHold),
+		ops:         make(map[uint64]*opState),
+		holds:       make(map[uint64]*pendingHold),
+		pendAccepts: make(map[uint64]*pendingAccept),
 		waits:      make(map[waitKey]*remoteWait),
 		announces:  make(map[uint64]chan SpaceInfo),
 		served:     make(map[waitKey]servedReply),
@@ -393,6 +401,7 @@ func New(cfg Config) (*Instance, error) {
 		stopped:    make(chan struct{}),
 	}
 	i.seedRetryJitter()
+	i.defReq = lease.Flexible(cfg.DefaultTerms)
 	if cfg.Space != nil {
 		i.local = cfg.Space
 	} else {
@@ -534,7 +543,7 @@ func (i *Instance) Shutdown(ctx context.Context) error {
 drain:
 	for {
 		i.mu.Lock()
-		busy := len(i.holds) + len(i.ops)
+		busy := len(i.holds) + len(i.ops) + len(i.pendAccepts)
 		i.mu.Unlock()
 		if busy == 0 {
 			break
@@ -579,6 +588,11 @@ func (i *Instance) Close() error {
 			waits = append(waits, w)
 		}
 		i.waits = make(map[waitKey]*remoteWait)
+		accepts := make([]*pendingAccept, 0, len(i.pendAccepts))
+		for _, pa := range i.pendAccepts {
+			accepts = append(accepts, pa)
+		}
+		i.pendAccepts = make(map[uint64]*pendingAccept)
 		i.mu.Unlock()
 		for _, h := range holds {
 			if h.stop != nil {
@@ -587,6 +601,11 @@ func (i *Instance) Close() error {
 		}
 		for _, w := range waits {
 			w.stop()
+		}
+		for _, pa := range accepts {
+			if pa.stop != nil {
+				pa.stop()
+			}
 		}
 	})
 	return nil
@@ -641,7 +660,7 @@ func (i *Instance) nextOp() uint64 {
 // requester normalises a possibly-nil Requester.
 func (i *Instance) requester(r lease.Requester) lease.Requester {
 	if r == nil {
-		return lease.Flexible(i.cfg.DefaultTerms)
+		return i.defReq
 	}
 	return r
 }

@@ -4,8 +4,10 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
+	"tiamat/clock"
 	"tiamat/internal/discovery"
 	"tiamat/lease"
 	"tiamat/trace"
@@ -14,10 +16,65 @@ import (
 	"tiamat/wire"
 )
 
-// opState tracks one outbound propagated operation.
+// opState tracks one outbound operation (propagated or direct). States
+// are pooled: the results channel, contact map, replied set, and queue
+// buffer survive across operations, so starting an op costs a pool hit
+// instead of several allocations (the channel buffer dominates).
+//
+// Reuse is safe because handleResult delivers into st.results under
+// i.mu, and an op removes itself from i.ops under the same lock before
+// draining and returning its state to the pool: once the drain runs, no
+// sender can reach the channel again.
 type opState struct {
 	id      uint64
 	results chan *wire.Message
+	// contacted tracks the retransmission budget per contacted responder;
+	// csFree recycles the entries.
+	contacted map[wire.Addr]*contactState
+	csFree    []*contactState
+	// replied tracks responders that already answered, for dedup counting
+	// and re-arm suppression.
+	replied map[wire.Addr]bool
+	// queueBuf backs the responder-list snapshot.
+	queueBuf []wire.Addr
+}
+
+var opStatePool = sync.Pool{New: func() any {
+	return &opState{
+		results:   make(chan *wire.Message, 256),
+		contacted: make(map[wire.Addr]*contactState),
+		replied:   make(map[wire.Addr]bool),
+	}
+}}
+
+func getOpState(id uint64) *opState {
+	st := opStatePool.Get().(*opState)
+	st.id = id
+	return st
+}
+
+// putOpState returns a drained state to the pool. The caller must have
+// removed the op from i.ops (under i.mu) and drained st.results.
+func putOpState(st *opState) {
+	for a, cs := range st.contacted {
+		*cs = contactState{}
+		st.csFree = append(st.csFree, cs)
+		delete(st.contacted, a)
+	}
+	for a := range st.replied {
+		delete(st.replied, a)
+	}
+	opStatePool.Put(st)
+}
+
+// newContact hands out a zeroed contactState, recycling released ones.
+func (st *opState) newContact() *contactState {
+	if n := len(st.csFree); n > 0 {
+		cs := st.csFree[n-1]
+		st.csFree = st.csFree[:n-1]
+		return cs
+	}
+	return &contactState{}
 }
 
 // contactState tracks the retransmission budget for one contacted
@@ -297,18 +354,30 @@ func (i *Instance) logicalOp(ctx context.Context, code wire.OpCode, p tuple.Temp
 // the first match, release the rest (paper §3.1.3).
 func (i *Instance) propagate(ctx context.Context, code wire.OpCode, p tuple.Template, lse *lease.Lease, localWait <-chan tuple.Tuple) (Result, bool, error) {
 	opID := i.nextOp()
-	st := &opState{id: opID, results: make(chan *wire.Message, 256)}
+	st := getOpState(opID)
 	i.mu.Lock()
 	if i.closed {
 		i.mu.Unlock()
+		putOpState(st)
 		return Result{}, false, ErrClosed
 	}
 	i.ops[opID] = st
 	i.mu.Unlock()
 
-	contacted := make(map[wire.Addr]*contactState)
+	contacted := st.contacted
 	multicasted := false
+	// Retry and hedge pacing run on two reusable timers instead of a
+	// fresh time.After per arm: a long op re-arms its retry timer once
+	// per reply, and the runtime otherwise keeps every discarded timer
+	// alive until it fires.
+	var retryTimer, hedgeTimer clock.Timer
 	defer func() {
+		if retryTimer != nil {
+			retryTimer.Stop()
+		}
+		if hedgeTimer != nil {
+			hedgeTimer.Stop()
+		}
 		i.mu.Lock()
 		delete(i.ops, opID)
 		i.mu.Unlock()
@@ -320,12 +389,15 @@ func (i *Instance) propagate(ctx context.Context, code wire.OpCode, p tuple.Temp
 			i.cancelRemotes(opID, contacted, multicasted)
 		}
 		// Drain late results: any found hold must be released so the
-		// tuple is reinstated at its owner.
+		// tuple is reinstated at its owner. No sender can reach the
+		// channel after the deletion above, so the drained state can go
+		// back to the pool.
 		for {
 			select {
 			case m := <-st.results:
 				i.releaseLate(m)
 			default:
+				putOpState(st)
 				return
 			}
 		}
@@ -338,15 +410,13 @@ func (i *Instance) propagate(ctx context.Context, code wire.OpCode, p tuple.Temp
 	// remaining counts replies still expected; nonblocking ops complete
 	// when it reaches zero.
 	remaining := 0
-	// replied tracks responders that already answered, so duplicated
-	// replies are visible in the dedup counter.
-	replied := make(map[wire.Addr]bool)
+	replied := st.replied
 
-	// retryTimer fires when the earliest outstanding contact has waited
+	// retryC fires when the earliest outstanding contact has waited
 	// long enough for a retransmission (or a give-up).
-	var retryTimer <-chan time.Time
+	var retryC <-chan time.Time
 	armRetry := func() {
-		retryTimer = nil
+		retryC = nil
 		var earliest time.Time
 		for _, cs := range contacted {
 			if cs.done {
@@ -357,13 +427,21 @@ func (i *Instance) propagate(ctx context.Context, code wire.OpCode, p tuple.Temp
 			}
 		}
 		if earliest.IsZero() {
+			if retryTimer != nil {
+				retryTimer.Stop()
+			}
 			return
 		}
 		d := earliest.Sub(i.clk.Now())
 		if d < time.Millisecond {
 			d = time.Millisecond
 		}
-		retryTimer = i.clk.After(d)
+		if retryTimer == nil {
+			retryTimer = i.clk.NewTimer(d)
+		} else {
+			retryTimer.Reset(d)
+		}
+		retryC = retryTimer.C()
 	}
 
 	// All ops contact the responder list incrementally, top-down,
@@ -375,7 +453,8 @@ func (i *Instance) propagate(ctx context.Context, code wire.OpCode, p tuple.Temp
 	// one costs bounded extra latency, never an unbounded stall.
 	var queue []wire.Addr
 	if !i.cfg.DisableResponderCache {
-		queue = i.list.Snapshot()
+		st.queueBuf = i.list.SnapshotAppend(st.queueBuf[:0])
+		queue = st.queueBuf
 	}
 	contactNext := func(limit int, hedged bool) {
 		for limit > 0 && len(queue) > 0 {
@@ -390,7 +469,9 @@ func (i *Instance) propagate(ctx context.Context, code wire.OpCode, p tuple.Temp
 			}
 			if err := i.send(a, msg); err == nil {
 				now := i.clk.Now()
-				contacted[a] = &contactState{attempts: 1, sentAt: now, hedged: hedged, deadline: now.Add(i.retryWait(1))}
+				cs := st.newContact()
+				*cs = contactState{attempts: 1, sentAt: now, hedged: hedged, deadline: now.Add(i.retryWait(1))}
+				contacted[a] = cs
 				remaining++
 				limit--
 			}
@@ -406,13 +487,21 @@ func (i *Instance) propagate(ctx context.Context, code wire.OpCode, p tuple.Temp
 	// overloaded neighbourhood wants fewer contacts, not more.
 	hedging := code.Blocking() && !i.cfg.DisableHedge
 	hedgesUsed := 0
-	var hedgeTimer <-chan time.Time
+	var hedgeC <-chan time.Time
 	armHedge := func() {
-		hedgeTimer = nil
+		hedgeC = nil
 		if !hedging || len(queue) == 0 {
+			if hedgeTimer != nil {
+				hedgeTimer.Stop()
+			}
 			return
 		}
-		hedgeTimer = i.clk.After(i.hedgeDelay())
+		if hedgeTimer == nil {
+			hedgeTimer = i.clk.NewTimer(i.hedgeDelay())
+		} else {
+			hedgeTimer.Reset(i.hedgeDelay())
+		}
+		hedgeC = hedgeTimer.C()
 	}
 
 	// advanceWalk keeps a blocking walk moving whenever every contact so
@@ -536,7 +625,10 @@ func (i *Instance) propagate(ctx context.Context, code wire.OpCode, p tuple.Temp
 				// cadence for this op — the retry-exhaustion walk below
 				// still guarantees the rest of the list is reached.
 				hedging = false
-				hedgeTimer = nil
+				hedgeC = nil
+				if hedgeTimer != nil {
+					hedgeTimer.Stop()
+				}
 				i.met.Inc(trace.CtrHedgeSuppressed)
 				i.gray.hedgeSuppressed.Add(1)
 			}
@@ -564,7 +656,7 @@ func (i *Instance) propagate(ctx context.Context, code wire.OpCode, p tuple.Temp
 				return Result{}, false, nil
 			}
 
-		case <-retryTimer:
+		case <-retryC:
 			now := i.clk.Now()
 			for a, cs := range contacted {
 				if cs.done || now.Before(cs.deadline) {
@@ -599,12 +691,12 @@ func (i *Instance) propagate(ctx context.Context, code wire.OpCode, p tuple.Temp
 				return Result{}, false, nil
 			}
 
-		case <-hedgeTimer:
+		case <-hedgeC:
 			// No answer within the adaptive hedge delay: race the next
 			// ranked responder with the same op ID. Once the hedge budget
 			// is spent, the next firing contacts everyone left — the
 			// staged walk bounds added tail latency, never completeness.
-			hedgeTimer = nil
+			hedgeC = nil
 			if hedgesUsed >= i.cfg.HedgeMax {
 				contactNext(len(queue), false)
 			} else {
@@ -653,7 +745,9 @@ func (i *Instance) propagate(ctx context.Context, code wire.OpCode, p tuple.Temp
 				cs.sentAt = now
 				cs.deadline = now.Add(i.retryWait(1))
 			} else {
-				contacted[ev.Addr] = &contactState{attempts: 1, sentAt: now, deadline: now.Add(i.retryWait(1))}
+				cs := st.newContact()
+				*cs = contactState{attempts: 1, sentAt: now, deadline: now.Add(i.retryWait(1))}
+				contacted[ev.Addr] = cs
 			}
 			remaining++
 			i.met.Inc(trace.CtrRearms)
@@ -671,11 +765,28 @@ func (i *Instance) propagate(ctx context.Context, code wire.OpCode, p tuple.Temp
 	}
 }
 
+// pendingAccept is an accept retransmission in flight: the TAccept is
+// resent on a timer until the owner acks, the grace deadline passes, or
+// the instance closes. Guarded by Instance.mu.
+type pendingAccept struct {
+	owner    wire.Addr
+	msg      *wire.Message
+	deadline time.Time
+	attempt  int
+	stop     func() bool
+}
+
 // acceptHold claims a tentative hold at its owner (first responder wins,
 // paper §3.1.3). The TAccept is retransmitted until the owner
 // acknowledges it: a lost accept would otherwise let the owner's grace
 // timer reinstate a tuple the requester is already using — a duplication.
-// The retry loop runs in the background so the operation returns at once.
+//
+// The retransmission is timer-driven, not goroutine-driven: a take-heavy
+// workload settles one accept per take, and a goroutine per settlement
+// cannot keep up with a tight issue loop — the unsettled leases back up
+// the manager toward its MaxActive watermark and the governor starts
+// shedding healthy traffic (the BENCH_3 regression). The happy path here
+// is one send plus one armed timer that the ack stops.
 func (i *Instance) acceptHold(owner wire.Addr, holdID uint64, lse *lease.Lease) {
 	i.rememberAccepted(acceptKey{owner: owner, holdID: holdID})
 	budget := lse.Deadline().Sub(i.clk.Now()) + i.cfg.HoldGrace
@@ -685,41 +796,80 @@ func (i *Instance) acceptHold(owner wire.Addr, holdID uint64, lse *lease.Lease) 
 	deadline := i.clk.Now().Add(budget)
 
 	ackID := i.nextOp()
-	st := &opState{id: ackID, results: make(chan *wire.Message, 4)}
+	msg := &wire.Message{Type: wire.TAccept, ID: ackID, From: i.Addr(), HoldID: holdID}
+	if i.send(owner, msg) != nil {
+		return // owner unreachable: its grace timer takes over
+	}
+	pa := &pendingAccept{owner: owner, msg: msg, deadline: deadline, attempt: 1}
 	i.mu.Lock()
 	if i.closed {
 		i.mu.Unlock()
 		return
 	}
-	i.ops[ackID] = st
-	i.wg.Add(1)
+	i.pendAccepts[ackID] = pa
 	i.mu.Unlock()
-	go func() {
-		defer i.wg.Done()
-		defer i.recoverPanic("accept-hold")
-		defer func() {
-			i.mu.Lock()
-			delete(i.ops, ackID)
-			i.mu.Unlock()
-		}()
-		msg := &wire.Message{Type: wire.TAccept, ID: ackID, From: i.Addr(), HoldID: holdID}
-		for attempt := 1; ; attempt++ {
-			if i.send(owner, msg) != nil {
-				return // owner unreachable: its grace timer takes over
-			}
-			select {
-			case <-st.results:
-				return // acknowledged
-			case <-i.clk.After(i.retryWait(attempt)):
-				if !i.clk.Now().Before(deadline) {
-					return // past the owner's grace window: moot
-				}
-				i.met.Inc(trace.CtrRetries)
-			case <-i.stopped:
-				return
-			}
-		}
-	}()
+	i.armAcceptRetry(ackID, pa, 1)
+}
+
+// armAcceptRetry schedules the next TAccept retransmission for pa,
+// unless the ack (or teardown) already settled it.
+func (i *Instance) armAcceptRetry(ackID uint64, pa *pendingAccept, attempt int) {
+	stop := i.clk.AfterFunc(i.retryWait(attempt), func() { i.retryAccept(ackID) })
+	i.mu.Lock()
+	if cur, ok := i.pendAccepts[ackID]; ok && cur == pa {
+		pa.stop = stop
+		i.mu.Unlock()
+		return
+	}
+	i.mu.Unlock()
+	stop() // settled while we were arming; don't leave a timer behind
+}
+
+// retryAccept is the accept-retransmission timer callback.
+func (i *Instance) retryAccept(ackID uint64) {
+	defer i.recoverPanic("accept-hold")
+	i.mu.Lock()
+	pa, ok := i.pendAccepts[ackID]
+	if !ok {
+		i.mu.Unlock()
+		return
+	}
+	if i.closed || !i.clk.Now().Before(pa.deadline) {
+		// Past the owner's grace window (or closing): the accept is moot.
+		delete(i.pendAccepts, ackID)
+		i.mu.Unlock()
+		return
+	}
+	pa.attempt++
+	attempt := pa.attempt
+	owner, msg := pa.owner, pa.msg
+	i.mu.Unlock()
+	if i.send(owner, msg) != nil {
+		i.mu.Lock()
+		delete(i.pendAccepts, ackID)
+		i.mu.Unlock()
+		return // owner unreachable: its grace timer takes over
+	}
+	i.met.Inc(trace.CtrRetries)
+	i.armAcceptRetry(ackID, pa, attempt)
+}
+
+// finishAccept settles the pending accept named by an inbound ack ID.
+// It reports whether the ID belonged to one.
+func (i *Instance) finishAccept(id uint64) bool {
+	i.mu.Lock()
+	pa, ok := i.pendAccepts[id]
+	if ok {
+		delete(i.pendAccepts, id)
+	}
+	i.mu.Unlock()
+	if !ok {
+		return false
+	}
+	if pa.stop != nil {
+		pa.stop()
+	}
+	return true
 }
 
 // cancelRemotes tells contacted instances (and, if the operation was
@@ -781,18 +931,42 @@ func (i *Instance) handleResult(m *wire.Message) {
 			i.list.Observe(m.From)
 		}
 	}
+	if m.Type == wire.TAck {
+		// A pure ack may settle a pending accept directly, and a
+		// coalesced ack settles a whole batch of them (wire.Message
+		// AckIDs): each covered ID is handled as if it had arrived as
+		// its own ack frame — settling its pending accept if one is
+		// registered, otherwise waking the operation waiting on it.
+		for _, id := range m.AckIDs {
+			if id != m.ID && !i.finishAccept(id) {
+				i.deliverResult(id, m)
+			}
+		}
+		if i.finishAccept(m.ID) {
+			return
+		}
+	}
+	i.deliverResult(m.ID, m)
+}
+
+// deliverResult hands a reply to the outbound operation waiting on id.
+// Delivery happens under i.mu: an op deletes itself from i.ops under the
+// same lock before recycling its (pooled) state, so a late reply can
+// never land in a reused channel.
+func (i *Instance) deliverResult(id uint64, m *wire.Message) {
 	i.mu.Lock()
-	st, ok := i.ops[m.ID]
+	st, ok := i.ops[id]
+	if ok {
+		select {
+		case st.results <- m:
+			i.mu.Unlock()
+			return
+		default:
+			// Overflowing op inbox: treat as lost race.
+		}
+	}
 	i.mu.Unlock()
-	if !ok {
-		i.releaseLate(m)
-		return
-	}
-	select {
-	case st.results <- m:
-	default:
-		i.releaseLate(m) // overflowing op inbox: treat as lost race
-	}
+	i.releaseLate(m)
 }
 
 // Spaces discovers currently visible spaces: it multicasts a probe and
@@ -910,7 +1084,7 @@ func (i *Instance) directOp(ctx context.Context, addr wire.Addr, code wire.OpCod
 	}
 
 	opID := i.nextOp()
-	st := &opState{id: opID, results: make(chan *wire.Message, 16)}
+	st := getOpState(opID)
 	i.mu.Lock()
 	i.ops[opID] = st
 	i.mu.Unlock()
@@ -926,6 +1100,7 @@ func (i *Instance) directOp(ctx context.Context, addr wire.Addr, code wire.OpCod
 			case m := <-st.results:
 				i.releaseLate(m)
 			default:
+				putOpState(st)
 				return
 			}
 		}
@@ -1062,10 +1237,11 @@ func (i *Instance) OutBack(res Result, r lease.Requester) error {
 func (i *Instance) rpc(addr wire.Addr, m *wire.Message, lse *lease.Lease) (*wire.Message, error) {
 	opID := i.nextOp()
 	m.ID = opID
-	st := &opState{id: opID, results: make(chan *wire.Message, 4)}
+	st := getOpState(opID)
 	i.mu.Lock()
 	if i.closed {
 		i.mu.Unlock()
+		putOpState(st)
 		return nil, ErrClosed
 	}
 	i.ops[opID] = st
@@ -1074,6 +1250,15 @@ func (i *Instance) rpc(addr wire.Addr, m *wire.Message, lse *lease.Lease) (*wire
 		i.mu.Lock()
 		delete(i.ops, opID)
 		i.mu.Unlock()
+		for {
+			select {
+			case lm := <-st.results:
+				i.releaseLate(lm)
+			default:
+				putOpState(st)
+				return
+			}
+		}
 	}()
 	sentAt := i.clk.Now()
 	if err := i.send(addr, m); err != nil {

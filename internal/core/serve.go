@@ -203,18 +203,18 @@ func (i *Instance) handleOp(m *wire.Message) {
 		return
 	}
 
-	notFound := &wire.Message{Type: wire.TResult, ID: m.ID, From: i.Addr(), Found: false}
-
 	// The serve budget is min(TTL, propagated requester budget); under
 	// pressure the governor narrows the proposal further before the
 	// lease manager ever sees it (escalation rung 1).
 	ttl := i.effTTL(m)
 
 	// Admit the work through our own lease manager; refusal means we
-	// contribute nothing to this operation.
-	lse, err := i.mgr.Grant(opKind(m.Op), lease.Flexible(i.gov.clampTerms(serveTerms(ttl))))
+	// contribute nothing to this operation. GrantTerms is the
+	// accept-any-offer fast path: the requester already negotiated on
+	// its own node, so there is nothing to consider here.
+	lse, err := i.mgr.GrantTerms(opKind(m.Op), i.gov.clampTerms(serveTerms(ttl)))
 	if err != nil {
-		_ = i.send(m.From, notFound)
+		_ = i.send(m.From, &wire.Message{Type: wire.TResult, ID: m.ID, From: i.Addr(), Found: false})
 		return
 	}
 
@@ -244,6 +244,7 @@ func (i *Instance) handleOp(m *wire.Message) {
 	}
 
 	if !m.Op.Blocking() {
+		notFound := &wire.Message{Type: wire.TResult, ID: m.ID, From: i.Addr(), Found: false}
 		i.recordServed(key, notFound)
 		_ = i.send(m.From, notFound)
 		lse.Cancel()
@@ -270,6 +271,10 @@ func (i *Instance) serveBlocking(m *wire.Message, lse *lease.Lease, ttl time.Dur
 		})
 		return
 	}
+	// The wait can outlive the frame that carried the op: the template is
+	// deep-copied so a no-copy-decoded frame buffer (which the template
+	// would otherwise alias) is not pinned for the whole wait.
+	tmpl := m.Template.Copy()
 	rw := &remoteWait{key: key, stopc: make(chan struct{})}
 	i.mu.Lock()
 	if i.closed {
@@ -313,14 +318,14 @@ func (i *Instance) serveBlocking(m *wire.Message, lse *lease.Lease, ttl time.Dur
 		for {
 			// Watch in copy mode; on a hit, race for a hold so the
 			// tuple's expiry metadata is preserved on reinstatement.
-			w := i.local.Wait(m.Template, false)
+			w := i.local.Wait(tmpl, false)
 			select {
 			case t, ok := <-w.Chan():
 				if !ok {
 					return // store closed
 				}
 				if m.Op.Removes() {
-					h, ok := i.local.Hold(m.Template)
+					h, ok := i.local.Hold(tmpl)
 					if !ok {
 						continue // lost the race; wait again
 					}
@@ -467,7 +472,7 @@ func (i *Instance) handleRemoteOut(m *wire.Message) {
 	if clamped := i.gov.clampTerms(terms); clamped.Duration < terms.Duration {
 		terms.Duration = clamped.Duration
 	}
-	lse, err := i.mgr.Grant(lease.OpOut, lease.Flexible(terms))
+	lse, err := i.mgr.GrantTerms(lease.OpOut, terms)
 	if err != nil {
 		ack.Err = err.Error()
 		reply()
@@ -479,7 +484,9 @@ func (i *Instance) handleRemoteOut(m *wire.Message) {
 		reply()
 		return
 	}
-	sid, err := i.local.Out(m.Tuple, lse.Deadline())
+	// Retention boundary: the tuple outlives the frame that carried it,
+	// so detach it from a possibly-aliased decode buffer.
+	sid, err := i.local.Out(m.Tuple.Copy(), lse.Deadline())
 	if err != nil {
 		lse.Cancel()
 		ack.Err = err.Error()
@@ -534,7 +541,7 @@ func (i *Instance) handleRemoteEval(m *wire.Message) {
 	terms := serveTerms(m.TTL)
 	terms.MaxBytes = i.mgr.Capacity().MaxBytes
 	terms = i.gov.clampTerms(terms)
-	lse, err := i.mgr.Grant(lease.OpEval, lease.Flexible(terms))
+	lse, err := i.mgr.GrantTerms(lease.OpEval, terms)
 	if err != nil {
 		ack.Err = err.Error()
 		reply()
@@ -549,11 +556,13 @@ func (i *Instance) handleRemoteEval(m *wire.Message) {
 	}
 	ack.OK = true
 	reply()
+	// Retention boundary: the eval runs long after the frame is gone.
+	args := m.Tuple.Copy()
 	i.wg.Add(1)
 	go func() {
 		defer i.wg.Done()
 		defer release()
-		i.runEval(f, m.Tuple, lse)
+		i.runEval(f, args, lse)
 	}()
 }
 

@@ -324,10 +324,18 @@ func (l *ResponderList) emitLocked(ev Event) {
 // responders stay in the snapshot — they still serve — but are moved to
 // the back so they are no longer anyone's first contact.
 func (l *ResponderList) Snapshot() []wire.Addr {
+	return l.SnapshotAppend(nil)
+}
+
+// SnapshotAppend appends the current contact order to dst and returns
+// the extended slice, with the same skip/demote policy as Snapshot. The
+// hot propagation path passes a reused per-operation buffer so each op
+// does not allocate a fresh snapshot.
+func (l *ResponderList) SnapshotAppend(dst []wire.Addr) []wire.Addr {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	now := l.clk.Now()
-	out := make([]wire.Addr, 0, len(l.addrs))
+	out := dst
 	var demoted []wire.Addr
 	for _, e := range l.addrs {
 		if l.suspectedLocked(e, now) {

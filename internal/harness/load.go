@@ -1,0 +1,40 @@
+package harness
+
+import (
+	"tiamat/internal/core"
+	"tiamat/trace"
+	"tiamat/transport/memnet"
+)
+
+// LoadCluster is the exported face of the harness cluster for external
+// load generators (cmd/tiamat-load): a fully connected set of instances
+// over one simulated network, sharing a metrics registry. The zero-config
+// harness experiments keep using the unexported cluster directly; this
+// wrapper exists so open-loop drivers outside the package can reuse the
+// same construction (chaos injection included, via SetChaos) instead of
+// growing a second, subtly different cluster recipe.
+type LoadCluster struct {
+	Net  *memnet.Network
+	Met  *trace.Metrics
+	Inst []*core.Instance
+}
+
+// NewLoadCluster builds an n-node cluster on the real clock with every
+// pair mutually visible. mutate, when non-nil, adjusts each instance's
+// config before construction.
+func NewLoadCluster(n int, mutate func(idx int, cfg *core.Config)) (*LoadCluster, error) {
+	c, err := newCluster(clusterOpts{n: n, mutate: mutate})
+	if err != nil {
+		return nil, err
+	}
+	c.net.ConnectAll()
+	return &LoadCluster{Net: c.net, Met: c.met, Inst: c.inst}, nil
+}
+
+// Close tears the cluster down: instances first, then the network.
+func (lc *LoadCluster) Close() {
+	for _, i := range lc.Inst {
+		i.Close()
+	}
+	lc.Net.Close()
+}

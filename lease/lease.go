@@ -142,9 +142,19 @@ type Lease struct {
 	state       State
 	remotesLeft int
 	bytesUsed   int64
-	done        chan struct{}
-	stopTimer   func() bool
+	// done is created lazily on the first Done() call: most leases on the
+	// serve path are granted and cancelled without anyone selecting on
+	// them, and the channel was a per-grant allocation.
+	done chan struct{}
 }
+
+// closedChan is returned by Done() for leases that finished before anyone
+// asked for their channel.
+var closedChan = func() chan struct{} {
+	ch := make(chan struct{})
+	close(ch)
+	return ch
+}()
 
 // ID returns the manager-unique lease identifier.
 func (l *Lease) ID() uint64 { return l.id }
@@ -171,6 +181,12 @@ func (l *Lease) Deadline() time.Time {
 func (l *Lease) Done() <-chan struct{} {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	if l.done == nil {
+		if l.state != StateActive {
+			return closedChan
+		}
+		l.done = make(chan struct{})
+	}
 	return l.done
 }
 
@@ -280,12 +296,16 @@ func (l *Lease) ShrinkDuration(d time.Duration) bool {
 		return false
 	}
 	l.deadline = nd
-	old := l.stopTimer
-	l.stopTimer = l.mgr.clk.AfterFunc(d+l.skew, func() { l.finish(StateExpired) })
 	l.mu.Unlock()
-	if old != nil {
-		old()
+	// The original (later) heap entry becomes stale: the earlier one fires
+	// first, finishes the lease, and the old entry is skipped when it
+	// surfaces.
+	m := l.mgr
+	m.mu.Lock()
+	if !m.closed {
+		m.scheduleExpiryLocked(l, nd.Add(l.skew), m.clk.Now())
 	}
+	m.mu.Unlock()
 	return true
 }
 
@@ -335,12 +355,10 @@ func (l *Lease) finish(s State) {
 		return
 	}
 	l.state = s
-	stop := l.stopTimer
-	close(l.done)
-	l.mu.Unlock()
-	if stop != nil {
-		stop()
+	if l.done != nil {
+		close(l.done)
 	}
+	l.mu.Unlock()
 	l.mgr.release(l, s)
 }
 

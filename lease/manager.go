@@ -1,6 +1,7 @@
 package lease
 
 import (
+	"container/heap"
 	"fmt"
 	"sort"
 	"sync"
@@ -87,6 +88,37 @@ type Manager struct {
 	onRevoke  RevokeFunc
 	stats     Stats
 	factories map[ResourceKind]*factory
+
+	// Expiry is driven by one shared timer over a deadline heap instead of
+	// one runtime timer per lease: grants are the hot path (three per
+	// remote op) and the per-grant AfterFunc was a measurable slice of its
+	// allocations. Entries for cancelled leases are skipped lazily when
+	// they surface at the head.
+	expiries expHeap
+	expStop  func() bool // stops the armed shared timer, nil when unarmed
+	expAt    time.Time   // fire time of the armed shared timer
+}
+
+// expEntry schedules one expiry check: at is the enforcement instant
+// (nominal deadline plus skew band).
+type expEntry struct {
+	at time.Time
+	l  *Lease
+}
+
+type expHeap []expEntry
+
+func (h expHeap) Len() int            { return len(h) }
+func (h expHeap) Less(i, j int) bool  { return h[i].at.Before(h[j].at) }
+func (h expHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *expHeap) Push(x any)         { *h = append(*h, x.(expEntry)) }
+func (h *expHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = expEntry{}
+	*h = old[:n-1]
+	return e
 }
 
 // NewManager returns a Manager with the given capacity, using clk for all
@@ -207,24 +239,112 @@ func (m *Manager) Grant(op OpKind, r Requester) (*Lease, error) {
 		return nil, fmt.Errorf("%s: offer withdrawn under contention: %w", op, ErrRefused)
 	}
 
+	return m.grantLocked(op, offer), nil
+}
+
+// GrantTerms is the negotiation fast path for grantors that accept
+// whatever the manager offers (the serve path grants on behalf of remote
+// requesters whose negotiation already happened on their own node). It is
+// equivalent to Grant(op, Flexible(want)) but runs in one lock round and
+// allocates nothing beyond the lease itself.
+func (m *Manager) GrantTerms(op OpKind, want Terms) (*Lease, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil, ErrClosed
+	}
+	offer := m.offerLocked(op, want)
+	if offer.Duration <= 0 {
+		m.stats.Refused++
+		return nil, fmt.Errorf("%s: manager has nothing to offer: %w", op, ErrRefused)
+	}
+	return m.grantLocked(op, offer), nil
+}
+
+// grantLocked mints the lease for an already-accepted offer and schedules
+// its expiry on the shared timer. Caller holds m.mu.
+func (m *Manager) grantLocked(op OpKind, offer Terms) *Lease {
 	m.nextID++
+	now := m.clk.Now()
 	l := &Lease{
 		mgr:         m,
 		op:          op,
 		terms:       offer,
-		deadline:    m.clk.Now().Add(offer.Duration),
+		deadline:    now.Add(offer.Duration),
 		skew:        m.cap.SkewBand,
 		id:          m.nextID,
 		state:       StateActive,
 		remotesLeft: offer.MaxRemotes,
-		done:        make(chan struct{}),
 	}
 	m.active[l.id] = l
 	m.bytesHeld += offer.MaxBytes
 	m.stats.Granted++
 	// Enforcement runs SkewBand behind the promise (clock-skew guard).
-	l.stopTimer = m.clk.AfterFunc(offer.Duration+l.skew, func() { l.finish(StateExpired) })
-	return l, nil
+	m.scheduleExpiryLocked(l, l.deadline.Add(l.skew), now)
+	return l
+}
+
+// scheduleExpiryLocked queues an expiry check for l at the given instant
+// and re-arms the shared timer if this became the earliest deadline.
+// Caller holds m.mu.
+func (m *Manager) scheduleExpiryLocked(l *Lease, at, now time.Time) {
+	heap.Push(&m.expiries, expEntry{at: at, l: l})
+	m.armExpiryLocked(now)
+}
+
+// armExpiryLocked points the shared timer at the heap head. Caller holds
+// m.mu. The delay is clamped to a strictly positive value so a virtual
+// clock never runs the callback synchronously under the lock.
+func (m *Manager) armExpiryLocked(now time.Time) {
+	// Drop stale heads (already-released leases) so the timer always
+	// points at a live deadline — and disarms entirely when none remain.
+	for len(m.expiries) > 0 {
+		if _, ok := m.active[m.expiries[0].l.id]; ok {
+			break
+		}
+		heap.Pop(&m.expiries)
+	}
+	if len(m.expiries) == 0 {
+		if m.expStop != nil {
+			m.expStop()
+			m.expStop = nil
+		}
+		return
+	}
+	head := m.expiries[0].at
+	if m.expStop != nil {
+		if !head.Before(m.expAt) {
+			return // armed timer already fires early enough
+		}
+		m.expStop()
+	}
+	d := head.Sub(now)
+	if d <= 0 {
+		d = time.Nanosecond
+	}
+	m.expAt = head
+	m.expStop = m.clk.AfterFunc(d, m.fireExpiries)
+}
+
+// fireExpiries is the shared-timer callback: it expires every lease whose
+// enforcement instant has passed and re-arms for the next head. Stale
+// entries (leases already released) are discarded as they surface.
+func (m *Manager) fireExpiries() {
+	m.mu.Lock()
+	m.expStop = nil
+	now := m.clk.Now()
+	var due []*Lease
+	for len(m.expiries) > 0 && !m.expiries[0].at.After(now) {
+		e := heap.Pop(&m.expiries).(expEntry)
+		if _, ok := m.active[e.l.id]; ok {
+			due = append(due, e.l)
+		}
+	}
+	m.armExpiryLocked(now)
+	m.mu.Unlock()
+	for _, l := range due {
+		l.finish(StateExpired)
+	}
 }
 
 // release is called exactly once per lease when it leaves StateActive.
@@ -236,6 +356,24 @@ func (m *Manager) release(l *Lease, s State) {
 	}
 	delete(m.active, l.id)
 	m.bytesHeld -= l.terms.MaxBytes
+	// Cancelled leases leave stale entries in the expiry heap (they are
+	// skipped when they surface). Compact when stale entries dominate so
+	// a cancel-heavy workload does not accumulate heap memory for the
+	// full nominal lease duration.
+	if len(m.expiries) > 64 && len(m.expiries) > 4*len(m.active) {
+		live := m.expiries[:0]
+		for _, e := range m.expiries {
+			if _, ok := m.active[e.l.id]; ok {
+				live = append(live, e)
+			}
+		}
+		for i := len(live); i < len(m.expiries); i++ {
+			m.expiries[i] = expEntry{}
+		}
+		m.expiries = live
+		heap.Init(&m.expiries)
+	}
+	m.armExpiryLocked(m.clk.Now())
 	switch s {
 	case StateExpired:
 		m.stats.Expired++
@@ -355,6 +493,11 @@ func (m *Manager) Close() {
 		return
 	}
 	m.closed = true
+	if m.expStop != nil {
+		m.expStop()
+		m.expStop = nil
+	}
+	m.expiries = nil
 	ls := make([]*Lease, 0, len(m.active))
 	for _, l := range m.active {
 		ls = append(ls, l)

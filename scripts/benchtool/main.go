@@ -5,11 +5,14 @@
 // Usage:
 //
 //	go test -bench ... -benchmem | benchtool -parse > BENCH_2.json
-//	benchtool -diff BENCH_2.json BENCH_3.json [-threshold 0.20]
+//	benchtool -diff BENCH_2.json BENCH_3.json [-threshold 0.20] [-filter regex]
 //
 // -diff exits 1 if any benchmark present in both files regressed in
 // ns/op by more than the threshold (default 20%). New or removed
-// benchmarks are reported but never fail the diff.
+// benchmarks are reported but never fail the diff. -filter restricts
+// the comparison to benchmarks whose name matches the regex, which is
+// how the pre-merge gate holds the hot-path set to a tighter threshold
+// than the long tail.
 package main
 
 import (
@@ -18,6 +21,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"regexp"
 	"sort"
 	"strconv"
 	"strings"
@@ -45,6 +49,7 @@ func main() {
 	parse := flag.Bool("parse", false, "parse `go test -bench` output on stdin to JSON on stdout")
 	diff := flag.Bool("diff", false, "diff two baseline files: -diff old.json new.json")
 	threshold := flag.Float64("threshold", 0.20, "ns/op regression fraction that fails the diff")
+	filter := flag.String("filter", "", "regex restricting the diff to matching benchmark names")
 	flag.Parse()
 
 	switch {
@@ -58,7 +63,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "benchtool: -diff needs exactly two files (old new)")
 			os.Exit(2)
 		}
-		ok, err := runDiff(flag.Arg(0), flag.Arg(1), *threshold)
+		ok, err := runDiff(flag.Arg(0), flag.Arg(1), *threshold, *filter)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "benchtool: %v\n", err)
 			os.Exit(2)
@@ -178,7 +183,7 @@ func load(path string) (map[string]Benchmark, error) {
 	return out, nil
 }
 
-func runDiff(oldPath, newPath string, threshold float64) (bool, error) {
+func runDiff(oldPath, newPath string, threshold float64, filter string) (bool, error) {
 	oldB, err := load(oldPath)
 	if err != nil {
 		return false, err
@@ -186,6 +191,22 @@ func runDiff(oldPath, newPath string, threshold float64) (bool, error) {
 	newB, err := load(newPath)
 	if err != nil {
 		return false, err
+	}
+	var re *regexp.Regexp
+	if filter != "" {
+		if re, err = regexp.Compile(filter); err != nil {
+			return false, fmt.Errorf("filter: %w", err)
+		}
+		for name := range oldB {
+			if !re.MatchString(name) {
+				delete(oldB, name)
+			}
+		}
+		for name := range newB {
+			if !re.MatchString(name) {
+				delete(newB, name)
+			}
+		}
 	}
 	names := make([]string, 0, len(newB))
 	for name := range newB {

@@ -60,4 +60,19 @@ echo "==> fuzz smoke (wire, tuple)"
 go test -run '^$' -fuzz FuzzDecode -fuzztime "${FUZZTIME:-10s}" ./wire/
 go test -run '^$' -fuzz FuzzDecodeTuple -fuzztime "${FUZZTIME:-10s}" ./tuple/
 
+# The perf gate: the last two committed BENCH_*.json baselines must not
+# show a >15% ns/op regression on the serve-path hot set (StoreOutInp,
+# RemoteInpTwoNodes, WireRoundtrip); the rest of the suite is reported
+# at 20% but only advises. Soft in the sense that it compares committed
+# baselines, not a fresh run: refresh with scripts/bench-json.sh when
+# the wire or store paths change.
+echo "==> perf gate (benchdiff)"
+./scripts/benchdiff.sh
+
+# The load smoke: the open-loop generator must sustain its default floor
+# (50k Linda ops/s over memnet) inside the default p50/p99 SLOs. Short
+# on purpose — a throughput collapse or latency spiral fails in seconds.
+echo "==> load smoke (tiamat-load)"
+go run ./cmd/tiamat-load -rate 50000 -duration 2s -warmup 500ms
+
 echo "OK"

@@ -193,6 +193,13 @@ const (
 	CtrReadErrors    = "net.read_errors"
 	CtrInboxOverflow = "net.inbox_overflow"
 
+	// Batched wire-path counters (DESIGN.md §12): writes that carried a
+	// multi-frame batch, frames that travelled inside such batches, and
+	// pure acks that rode a coalesced ack frame instead of their own.
+	CtrBatchFlushes  = "net.batch_flushes"
+	CtrBatchedFrames = "net.batched_frames"
+	CtrAcksCoalesced = "net.acks_coalesced"
+
 	// CtrChaosLimped counts frames the simulated network delayed because a
 	// limp-mode ramp (gray-failure injection) was active on their path.
 	CtrChaosLimped = "chaos.limped"

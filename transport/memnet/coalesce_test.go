@@ -1,0 +1,139 @@
+package memnet
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"tiamat/trace"
+	"tiamat/transport"
+	"tiamat/wire"
+)
+
+// Tests for pure-ack coalescing in the simulator (memnet mirrors the
+// netudp session semantics so chaos suites exercise the same wire
+// behaviour the real transport ships).
+
+func ack(from wire.Addr, id uint64) *wire.Message {
+	return &wire.Message{Type: wire.TAck, ID: id, From: from, OK: true}
+}
+
+// TestQueuedAckStillFailsSynchronously pins the contract that coalescing
+// must not weaken: a pure ack to an unreachable peer reports
+// ErrUnreachable from Send itself, not from a later flush.
+func TestQueuedAckStillFailsSynchronously(t *testing.T) {
+	n := New()
+	defer n.Close()
+	a, _ := n.Attach("a")
+	n.Attach("b")
+	if err := a.Send("b", ack("a", 1)); !errors.Is(err, transport.ErrUnreachable) {
+		t.Fatalf("ack without visibility: %v", err)
+	}
+	if err := a.Send("ghost", ack("a", 2)); !errors.Is(err, transport.ErrUnreachable) {
+		t.Fatalf("ack to unknown: %v", err)
+	}
+}
+
+// TestFlushCoalescesQueuedAcks drives flushAcks over a known pending set:
+// one frame must leave, carrying the first ID in the header and the rest
+// in AckIDs, and the counters must attribute one unicast to many acks.
+func TestFlushCoalescesQueuedAcks(t *testing.T) {
+	n := New()
+	defer n.Close()
+	aEp, _ := n.Attach("a")
+	b, _ := n.Attach("b")
+	n.SetVisible("a", "b", true)
+
+	a := aEp.(*node)
+	n.mu.Lock()
+	a.pendAcks["b"] = []uint64{4, 5, 6}
+	n.mu.Unlock()
+	a.flushAcks("b")
+
+	m := recvOne(t, b)
+	if m.Type != wire.TAck || !m.OK || m.ID != 4 ||
+		len(m.AckIDs) != 2 || m.AckIDs[0] != 5 || m.AckIDs[1] != 6 {
+		t.Fatalf("coalesced ack: %+v", m)
+	}
+	if got := n.met.Get(trace.CtrAcksCoalesced); got != 2 {
+		t.Fatalf("acks_coalesced = %d, want 2", got)
+	}
+	if got := n.met.Get(trace.CtrMsgsSent); got != 3 {
+		t.Fatalf("msgs_sent = %d, want 3", got)
+	}
+	if got := n.met.Get(trace.CtrUnicasts); got != 1 {
+		t.Fatalf("unicasts = %d, want 1", got)
+	}
+}
+
+// TestFullAckBatchFlushesInline fills the per-destination queue to the
+// watermark with the timer disarmed: the watermark send must flush the
+// whole batch synchronously rather than waiting for a timer that will
+// never fire.
+func TestFullAckBatchFlushesInline(t *testing.T) {
+	n := New()
+	defer n.Close()
+	aEp, _ := n.Attach("a")
+	b, _ := n.Attach("b")
+	n.SetVisible("a", "b", true)
+
+	a := aEp.(*node)
+	n.mu.Lock()
+	for id := uint64(1); id < ackBatchMax; id++ {
+		a.pendAcks["b"] = append(a.pendAcks["b"], id)
+	}
+	a.ackArmed["b"] = true // pretend a timer is pending so queueAck won't arm one
+	n.mu.Unlock()
+
+	if err := a.Send("b", ack("a", ackBatchMax)); err != nil {
+		t.Fatal(err)
+	}
+	m := recvOne(t, b)
+	if m.Type != wire.TAck || m.ID != 1 || len(m.AckIDs) != ackBatchMax-1 {
+		t.Fatalf("watermark flush: %+v", m)
+	}
+	if m.AckIDs[len(m.AckIDs)-1] != ackBatchMax {
+		t.Fatalf("last coalesced id = %d, want %d", m.AckIDs[len(m.AckIDs)-1], uint64(ackBatchMax))
+	}
+}
+
+// TestCoalescedAcksSurviveChaos floods acks across a link that
+// duplicates and reorders (but never drops): every queued ID must reach
+// the receiver at least once, whatever frame it ends up riding, and no
+// ID the sender never issued may appear. This is the correctness claim
+// for coalescing under the fault model — merging changes packaging, not
+// content.
+func TestCoalescedAcksSurviveChaos(t *testing.T) {
+	n := New()
+	defer n.Close()
+	a, _ := n.Attach("a")
+	b, _ := n.Attach("b")
+	n.SetVisible("a", "b", true)
+	n.SetFaults(Faults{Dup: 0.3, Reorder: 0.3})
+
+	const total = 200
+	for id := uint64(1); id <= total; id++ {
+		if err := a.Send("b", ack("a", id)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	seen := make(map[uint64]bool)
+	deadline := time.After(5 * time.Second)
+	for len(seen) < total {
+		select {
+		case m := <-b.Recv():
+			if m.Type != wire.TAck {
+				t.Fatalf("unexpected %+v", m)
+			}
+			for _, id := range append([]uint64{m.ID}, m.AckIDs...) {
+				if id < 1 || id > total {
+					t.Fatalf("phantom ack id %d", id)
+				}
+				seen[id] = true
+			}
+		case <-deadline:
+			t.Fatalf("only %d/%d ack ids delivered", len(seen), total)
+		}
+	}
+}

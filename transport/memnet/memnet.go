@@ -36,6 +36,10 @@ import (
 // mirroring a saturated radio.
 const inboxSize = 4096
 
+// ackBatchMax caps how many pure acks to one peer coalesce into a single
+// TAck frame before the queue is flushed regardless of the timer.
+const ackBatchMax = 16
+
 // Faults describes the failure behaviour injected on a link: independent
 // per-message probabilities plus delivery timing. The zero value is a
 // perfect link (synchronous, lossless delivery).
@@ -131,6 +135,13 @@ type node struct {
 	inbox  chan *wire.Message
 	held   []heldFrame // reorder holdback, flushed behind later traffic
 	closed bool
+
+	// pendAcks queues pure successful acks per destination so a burst of
+	// settlements to one peer travels as a single coalesced TAck frame
+	// (same semantics as the real transport's session batching, §12).
+	// ackArmed marks destinations with a flush already scheduled.
+	pendAcks map[wire.Addr][]uint64
+	ackArmed map[wire.Addr]bool
 }
 
 // heldFrame is a frame parked by reorder injection. The source address
@@ -200,7 +211,13 @@ func (n *Network) Attach(addr wire.Addr) (transport.Endpoint, error) {
 	if _, ok := n.nodes[addr]; ok {
 		return nil, fmt.Errorf("memnet: address %q already attached", addr)
 	}
-	nd := &node{net: n, addr: addr, inbox: make(chan *wire.Message, inboxSize)}
+	nd := &node{
+		net:      n,
+		addr:     addr,
+		inbox:    make(chan *wire.Message, inboxSize),
+		pendAcks: make(map[wire.Addr][]uint64),
+		ackArmed: make(map[wire.Addr]bool),
+	}
 	n.nodes[addr] = nd
 	return nd, nil
 }
@@ -558,8 +575,23 @@ func (nd *node) Close() error {
 	return nil
 }
 
-// Send implements transport.Endpoint.
+// pureAck reports whether a message can ride a coalesced ack frame: a
+// plain successful TAck carrying nothing but its ID (mirrors the real
+// transport's predicate — anything with an error, busy marker, or its
+// own ID list keeps its own frame).
+func pureAck(m *wire.Message) bool {
+	return m.Type == wire.TAck && m.OK && m.Err == "" && !m.Busy && len(m.AckIDs) == 0
+}
+
+// Send implements transport.Endpoint. Pure successful acks are queued
+// and coalesced per destination (see queueAck); everything else flushes
+// any queued acks to that peer first — the ack was logically sent
+// earlier — and then transmits immediately.
 func (nd *node) Send(to wire.Addr, m *wire.Message) error {
+	if pureAck(m) {
+		return nd.queueAck(to, m.ID)
+	}
+	nd.flushAcks(to)
 	n := nd.net
 	n.mu.Lock()
 	if nd.closed {
@@ -586,6 +618,78 @@ func (nd *node) Send(to wire.Addr, m *wire.Message) error {
 	n.transmit(nd.addr, dst, data, f)
 	buf.Release()
 	return nil
+}
+
+// queueAck enqueues a pure ack for coalescing. Reachability is checked
+// synchronously, exactly as an immediate send would, so the caller still
+// learns about a down peer; the frame itself leaves on the next flush —
+// scheduled for "right now" (AfterFunc(0)), which a virtual clock runs
+// inline (deterministic, batch of one) and a real clock runs as soon as
+// the runtime schedules it, letting concurrent settlements pile into one
+// frame. A full queue flushes without waiting.
+func (nd *node) queueAck(to wire.Addr, id uint64) error {
+	n := nd.net
+	n.mu.Lock()
+	if nd.closed {
+		n.mu.Unlock()
+		return transport.ErrClosed
+	}
+	if _, ok := n.nodes[to]; !ok || !n.vis[dedge{nd.addr, to}] {
+		n.mu.Unlock()
+		n.met.Inc(trace.CtrMsgsDropped)
+		return fmt.Errorf("%s -> %s: %w", nd.addr, to, transport.ErrUnreachable)
+	}
+	nd.pendAcks[to] = append(nd.pendAcks[to], id)
+	full := len(nd.pendAcks[to]) >= ackBatchMax
+	arm := !full && !nd.ackArmed[to]
+	if arm {
+		nd.ackArmed[to] = true
+	}
+	n.mu.Unlock()
+	if full {
+		nd.flushAcks(to)
+	} else if arm {
+		n.clk.AfterFunc(0, func() { nd.flushAcks(to) })
+	}
+	return nil
+}
+
+// flushAcks sends every queued ack for one destination as a single
+// coalesced TAck frame. The frame crosses the link's fault plan as one
+// unit: a drop loses the whole batch (each covered accept retries and
+// re-acks), a duplicate re-settles idempotently.
+func (nd *node) flushAcks(to wire.Addr) {
+	n := nd.net
+	n.mu.Lock()
+	ids := nd.pendAcks[to]
+	delete(nd.pendAcks, to)
+	delete(nd.ackArmed, to)
+	if len(ids) == 0 {
+		n.mu.Unlock()
+		return
+	}
+	dst, ok := n.nodes[to]
+	if nd.closed || !ok || !n.vis[dedge{nd.addr, to}] {
+		n.mu.Unlock()
+		n.met.Add(trace.CtrMsgsDropped, int64(len(ids)))
+		return
+	}
+	am := wire.Message{Type: wire.TAck, ID: ids[0], From: nd.addr, OK: true}
+	if len(ids) > 1 {
+		am.AckIDs = ids[1:]
+		n.met.Add(trace.CtrAcksCoalesced, int64(len(ids)-1))
+		n.met.Inc(trace.CtrBatchFlushes)
+	}
+	buf := wire.GetBuf()
+	buf.B = wire.AppendEncode(buf.B, &am)
+	data := buf.B
+	n.met.Add(trace.CtrMsgsSent, int64(len(ids)))
+	n.met.Inc(trace.CtrUnicasts)
+	n.met.Add(trace.CtrBytesSent, int64(len(data)))
+	f := n.applyLimpLocked(nd.addr, to, n.faultsForLocked(nd.addr, to))
+	n.mu.Unlock()
+	n.transmit(nd.addr, dst, data, f)
+	buf.Release()
 }
 
 // Multicast implements transport.Endpoint.
@@ -710,7 +814,13 @@ func (n *Network) jitter(d time.Duration) time.Duration {
 // transit fails its checksum and is counted and dropped, exactly as the
 // real transport does.
 func (n *Network) deliver(from wire.Addr, dst *node, data []byte, lat time.Duration) {
-	msg, err := wire.Decode(data)
+	// One owned copy per delivered frame, then a no-copy decode aliasing
+	// it: the caller's buffer is pooled and reused the moment transmit
+	// returns, while the decoded message lives arbitrarily long in the
+	// receiver. A single buffer allocation replaces one per
+	// variable-length field, matching the real transport's receive path.
+	own := append([]byte(nil), data...)
+	msg, err := wire.DecodeNoCopy(own)
 	if err != nil {
 		n.met.Inc(trace.CtrCorruptFrames)
 		n.met.Inc(trace.CtrMsgsDropped)

@@ -13,7 +13,6 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"math/rand"
 	"net"
 	"sync"
 	"time"
@@ -32,6 +31,12 @@ const (
 	writeTimeout = 2 * time.Second
 	// maxDatagram is the largest multicast probe we send.
 	maxDatagram = 60 * 1024
+	// readIdle is how long the receive side waits between frames on a
+	// persistent connection before hanging up. It must exceed senders'
+	// IdleTimeout so the idle closer is normally the sender (a sender-side
+	// close is a clean EOF here; a receiver-side close risks racing a
+	// write into a half-closed socket).
+	readIdle = 30 * time.Second
 )
 
 // Config configures a Transport.
@@ -50,8 +55,17 @@ type Config struct {
 	// unreachable (default 3: one dial plus two retries).
 	SendAttempts int
 	// SendBackoff is the base pause before a redial; attempt k waits
-	// SendBackoff·2^(k-1) plus up to SendBackoff of jitter (default 50ms).
+	// SendBackoff·2^(k-1) plus up to SendBackoff of jitter (default 50ms,
+	// jitter drawn from a per-transport splitmix64 source).
 	SendBackoff time.Duration
+	// FlushBytes caps how many queued bytes one batched write may carry;
+	// a larger backlog splits into multiple writes at frame boundaries
+	// (default 64 KiB).
+	FlushBytes int
+	// IdleTimeout is how long a per-peer session keeps its connection
+	// after the last write before proactively redialing (default 15s; it
+	// must stay under the receive side's 30s idle hangup).
+	IdleTimeout time.Duration
 	// Metrics receives transport counters (optional).
 	Metrics *trace.Metrics
 }
@@ -65,10 +79,13 @@ type Transport struct {
 	group *net.UDPAddr
 	met   *trace.Metrics
 	inbox chan *wire.Message
+	rng   prng // backoff jitter source
 
-	mu     sync.Mutex
-	closed bool
-	wg     sync.WaitGroup
+	mu       sync.Mutex
+	closed   bool
+	sessions map[wire.Addr]*session
+	accepted map[net.Conn]struct{}
+	wg       sync.WaitGroup
 }
 
 var _ transport.Endpoint = (*Transport)(nil)
@@ -88,17 +105,30 @@ func New(cfg Config) (*Transport, error) {
 	if cfg.SendBackoff <= 0 {
 		cfg.SendBackoff = 50 * time.Millisecond
 	}
+	if cfg.FlushBytes <= 0 {
+		cfg.FlushBytes = 64 << 10
+	}
+	if cfg.IdleTimeout <= 0 {
+		cfg.IdleTimeout = 15 * time.Second
+	}
 	ln, err := net.Listen("tcp", cfg.Listen)
 	if err != nil {
 		return nil, fmt.Errorf("netudp: listen %s: %w", cfg.Listen, err)
 	}
 	t := &Transport{
-		cfg:   cfg,
-		addr:  wire.Addr(ln.Addr().String()),
-		ln:    ln,
-		met:   cfg.Metrics,
-		inbox: make(chan *wire.Message, 4096),
+		cfg:      cfg,
+		addr:     wire.Addr(ln.Addr().String()),
+		ln:       ln,
+		met:      cfg.Metrics,
+		inbox:    make(chan *wire.Message, 4096),
+		sessions: make(map[wire.Addr]*session),
+		accepted: make(map[net.Conn]struct{}),
 	}
+	seed := uint64(time.Now().UnixNano())
+	for _, c := range t.addr {
+		seed = seed*131 + uint64(c)
+	}
+	t.rng.seed(seed)
 	if cfg.Group != "" {
 		group, err := net.ResolveUDPAddr("udp", cfg.Group)
 		if err != nil {
@@ -134,6 +164,21 @@ func (t *Transport) Close() error {
 		return nil
 	}
 	t.closed = true
+	sessions := make([]*session, 0, len(t.sessions))
+	for _, s := range t.sessions {
+		sessions = append(sessions, s)
+	}
+	t.mu.Unlock()
+	for _, s := range sessions {
+		s.closeSession()
+	}
+	// Hang up accepted connections too: with persistent peer sessions they
+	// would otherwise hold the accept loop open until the remote side
+	// idles out.
+	t.mu.Lock()
+	for c := range t.accepted {
+		c.Close()
+	}
 	t.mu.Unlock()
 	t.ln.Close()
 	if t.udp != nil {
@@ -150,61 +195,38 @@ func (t *Transport) isClosed() bool {
 	return t.closed
 }
 
-// Send implements transport.Endpoint: one TCP connection per frame, with
-// dial and write deadlines. A failed dial or write is retried with
-// exponential backoff up to SendAttempts times — transient listen-queue
-// drops and route flaps are common on the networks §5 targets — before
-// the peer is reported ErrUnreachable so the communications manager
-// evicts it.
+// Send implements transport.Endpoint via the peer's persistent session
+// (see session.go): the frame joins the session's current batch and Send
+// returns once that batch has been written. Delivery failures are retried
+// with exponential backoff up to SendAttempts times — transient
+// listen-queue drops and route flaps are common on the networks §5
+// targets — before the peer is reported ErrUnreachable so the
+// communications manager evicts it.
 func (t *Transport) Send(to wire.Addr, m *wire.Message) error {
 	if t.isClosed() {
 		return transport.ErrClosed
 	}
-	// Build prefix+frame in one pooled buffer: reserve the widest possible
-	// uvarint up front, encode the frame after it, then back-fill the real
-	// prefix flush against the frame. One buffer, zero per-send allocations.
-	pb := wire.GetBuf()
-	defer pb.Release()
-	b := append(pb.B, make([]byte, binary.MaxVarintLen64)...)
-	b = wire.AppendEncode(b, m)
-	pb.B = b
-	var pfx [binary.MaxVarintLen64]byte
-	pn := binary.PutUvarint(pfx[:], uint64(len(b)-binary.MaxVarintLen64))
-	start := binary.MaxVarintLen64 - pn
-	copy(b[start:], pfx[:pn])
-	buf := b[start:]
-	var lastErr error
-	for attempt := 1; ; attempt++ {
-		lastErr = t.sendOnce(to, buf)
-		if lastErr == nil {
-			t.met.Inc(trace.CtrMsgsSent)
-			t.met.Inc(trace.CtrUnicasts)
-			t.met.Add(trace.CtrBytesSent, int64(len(buf)))
-			return nil
-		}
-		if attempt >= t.cfg.SendAttempts || t.isClosed() {
-			break
-		}
-		wait := t.cfg.SendBackoff << (attempt - 1)
-		wait += time.Duration(rand.Int63n(int64(t.cfg.SendBackoff)))
-		time.Sleep(wait)
-		t.met.Inc(trace.CtrRetries)
+	err := t.session(to).send(m)
+	if err == nil {
+		return nil
 	}
-	t.met.Inc(trace.CtrSendErrors)
-	t.met.Inc(trace.CtrMsgsDropped)
-	return fmt.Errorf("%s: %v: %w", to, lastErr, transport.ErrUnreachable)
+	if errors.Is(err, transport.ErrClosed) || t.isClosed() {
+		return transport.ErrClosed
+	}
+	return fmt.Errorf("%s: %v: %w", to, err, transport.ErrUnreachable)
 }
 
-// sendOnce makes a single delivery attempt.
-func (t *Transport) sendOnce(to wire.Addr, buf []byte) error {
-	conn, err := net.DialTimeout("tcp", string(to), dialTimeout)
-	if err != nil {
-		return err
+// session returns the persistent send session for a peer, creating it on
+// first use.
+func (t *Transport) session(to wire.Addr) *session {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := t.sessions[to]
+	if s == nil {
+		s = &session{t: t, to: to}
+		t.sessions[to] = s
 	}
-	defer conn.Close()
-	_ = conn.SetWriteDeadline(time.Now().Add(writeTimeout))
-	_, err = conn.Write(buf)
-	return err
+	return s
 }
 
 // Multicast implements transport.Endpoint. With a multicast group the
@@ -256,10 +278,23 @@ func (t *Transport) acceptLoop() {
 		if err != nil {
 			return // listener closed
 		}
+		t.mu.Lock()
+		if t.closed {
+			t.mu.Unlock()
+			conn.Close()
+			return
+		}
+		t.accepted[conn] = struct{}{}
+		t.mu.Unlock()
 		connWG.Add(1)
 		go func() {
 			defer connWG.Done()
-			defer conn.Close()
+			defer func() {
+				t.mu.Lock()
+				delete(t.accepted, conn)
+				t.mu.Unlock()
+				conn.Close()
+			}()
 			defer t.recoverPanic()
 			t.readFrames(conn)
 		}()
@@ -279,13 +314,17 @@ func (t *Transport) recoverPanic() {
 func (t *Transport) readFrames(conn net.Conn) {
 	r := &byteReaderConn{conn: conn}
 	for {
-		_ = conn.SetReadDeadline(time.Now().Add(30 * time.Second))
+		_ = conn.SetReadDeadline(time.Now().Add(readIdle))
+		r.count = 0
 		n, err := binary.ReadUvarint(r)
 		if err != nil {
-			// A clean EOF between frames is the peer closing normally
-			// (one connection per frame); anything else — timeout, reset,
-			// EOF mid-prefix — silently loses a frame and must be visible.
-			if err != io.EOF {
+			// Clean ends: EOF between frames (the peer closed its
+			// session normally), an idle timeout before any prefix byte
+			// arrived (the sender has gone quiet past our patience), or
+			// our own shutdown hanging up the connection. Anything else —
+			// reset, EOF or timeout mid-prefix — silently loses a frame
+			// and must be visible.
+			if err != io.EOF && !(r.count == 0 && isTimeout(err)) && !t.isClosed() {
 				t.met.Inc(trace.CtrReadErrors)
 			}
 			return
@@ -364,15 +403,26 @@ func (t *Transport) enqueue(m *wire.Message) {
 	}
 }
 
-// byteReaderConn adapts a net.Conn to io.ByteReader for uvarint decoding.
+// byteReaderConn adapts a net.Conn to io.ByteReader for uvarint
+// decoding, counting bytes consumed so the read loop can tell an idle
+// connection (timeout before any prefix byte) from a frame lost
+// mid-prefix.
 type byteReaderConn struct {
-	conn net.Conn
-	one  [1]byte
+	conn  net.Conn
+	one   [1]byte
+	count int
 }
 
 func (b *byteReaderConn) ReadByte() (byte, error) {
 	if _, err := io.ReadFull(b.conn, b.one[:]); err != nil {
 		return 0, err
 	}
+	b.count++
 	return b.one[0], nil
+}
+
+// isTimeout reports whether err is a connection deadline expiry.
+func isTimeout(err error) bool {
+	ne, ok := err.(net.Error)
+	return ok && ne.Timeout()
 }

@@ -182,6 +182,15 @@ type Message struct {
 	// OK and Err report TAck outcomes.
 	OK  bool
 	Err string
+	// AckIDs extends a TAck to cover additional operation IDs beyond
+	// m.ID: a transport flushing a batch of pure successful acks to one
+	// peer merges them into a single frame. Only pure acks (OK, empty
+	// Err, not Busy) are ever merged, so every covered ID shares the
+	// frame's outcome. Only encoded when non-empty — a single ack stays
+	// byte-identical to the pre-batching revision, and pre-batching
+	// peers reject coalesced frames as trailing garbage rather than
+	// misreading them (the sender's per-ID retry then re-acks singly).
+	AckIDs []uint64
 
 	// Persistent is the space-info flag carried by TAnnounce.
 	Persistent bool
@@ -315,8 +324,16 @@ func AppendEncode(dst []byte, m *Message) []byte {
 		b = appendBool(b, m.OK)
 		b = appendStr(b, m.Err)
 		// Optional trailing busy marker, same contract as TResult's.
-		if m.Busy {
-			b = appendBool(b, true)
+		// When AckIDs follow, the busy byte is encoded even if false so
+		// the decoder can tell the two optional fields apart.
+		if m.Busy || len(m.AckIDs) > 0 {
+			b = appendBool(b, m.Busy)
+		}
+		if len(m.AckIDs) > 0 {
+			b = binary.AppendUvarint(b, uint64(len(m.AckIDs)))
+			for _, id := range m.AckIDs {
+				b = binary.AppendUvarint(b, id)
+			}
 		}
 	case TRelay:
 		b = appendStr(b, string(m.Target))
@@ -473,6 +490,23 @@ func decode(data []byte, alias bool) (*Message, error) {
 		if len(src) > 0 {
 			if m.Busy, src, err = readBool(src); err != nil {
 				return nil, err
+			}
+		}
+		// Optional coalesced-ack ID list: absent means the ack covers
+		// only m.ID.
+		if len(src) > 0 {
+			var n uint64
+			if n, src, err = readUvarint(src); err != nil {
+				return nil, err
+			}
+			if n == 0 || n > maxStr {
+				return nil, fmt.Errorf("ack ids %d: %w", n, ErrFrame)
+			}
+			m.AckIDs = make([]uint64, n)
+			for j := range m.AckIDs {
+				if m.AckIDs[j], src, err = readUvarint(src); err != nil {
+					return nil, err
+				}
 			}
 		}
 	case TRelay:

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench bench-json chaos crash soak fuzz mobility gray
+.PHONY: build test check bench bench-json chaos crash soak fuzz mobility gray replica
 
 build:
 	$(GO) build ./...
@@ -67,6 +67,17 @@ gray:
 	$(GO) test -race -run 'Hedge|Limp|Demot|Slow|Stall|Degraded|Latency|Outlier|QueueDelay|Gray|C4' \
 		./internal/core/ ./internal/discovery/ ./transport/memnet/ ./space/persist/ ./monitor/ ./internal/harness/
 	$(GO) run ./cmd/tiamat-bench -quick C4
+
+# replica runs the availability-under-node-loss suite under the race
+# detector: consistent-hash ring placement/rebalance, write-through
+# replication, failover takes with their supersede proof, sibling
+# invalidation and fencing, anti-entropy repair and dead-origin
+# adoption, and the C5 kill soak with its zero-loss / exactly-once /
+# repair-convergence / goroutine-leak invariants.
+replica:
+	$(GO) test -race -run 'TestRing|WriteThrough|ReplicaServes|FailoverTake|FailoverRefused|TakeInvalidates|InvalidateFences|LocalReplica|RepairReplaces|Adoption|ReplicationOff|C5' \
+		./routing/ ./internal/core/ ./wire/ ./internal/harness/
+	$(GO) run ./cmd/tiamat-bench -quick C5
 
 # crash runs the storage fault-injection suite under the race detector:
 # WAL kill-point sweeps, torn writes, bit flips, failed syncs, and the

@@ -210,6 +210,50 @@ func BenchmarkRemoteInpTwoNodes(b *testing.B) {
 	}
 }
 
+// BenchmarkRemoteInpTwoNodesReplicated is the R=2 twin of
+// BenchmarkRemoteInpTwoNodes: every out write-through-replicates to the
+// ring backup and every take runs the sibling-invalidation round, so
+// the delta against the R=1 number is the steady-state cost of leased
+// replication on the remote hot path.
+func BenchmarkRemoteInpTwoNodesReplicated(b *testing.B) {
+	net := memnet.New()
+	defer net.Close()
+	epA, _ := net.Attach("a")
+	epB, _ := net.Attach("b")
+	net.ConnectAll()
+	a, err := tiamat.New(tiamat.Config{Endpoint: epA, Replicas: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer a.Close()
+	bb, err := tiamat.New(tiamat.Config{Endpoint: epB, Replicas: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer bb.Close()
+	t := tuple.T(tuple.String("k"), tuple.Int(1))
+	p := tuple.Tmpl(tuple.String("k"), tuple.FormalInt())
+	ctx := context.Background()
+	req := lease.Flexible(lease.Terms{Duration: 10 * time.Second, MaxRemotes: 4})
+	outReq := lease.Flexible(lease.Terms{Duration: 10 * time.Second, MaxBytes: 1 << 16, MaxRemotes: 4})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := a.Out(t, outReq); err != nil {
+			b.Fatal(err)
+		}
+		for {
+			_, ok, err := bb.Inp(ctx, p, req)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if ok {
+				break
+			}
+		}
+	}
+}
+
 func BenchmarkSpacesDiscovery(b *testing.B) {
 	net := memnet.New()
 	defer net.Close()

@@ -101,6 +101,7 @@ func run() int {
 		{"C2", "overload governance soak", harness.C2Overload},
 		{"C3", "partition/mobility churn soak", harness.C3Mobility},
 		{"C4", "gray-failure soak: limp mode, hedged lookups", harness.C4Gray},
+		{"C5", "replica availability soak: node kills, failover takes, anti-entropy repair", harness.C5Replica},
 		{"AB1", "ablation: contact fanout", harness.AB1ContactFanout},
 	}
 

@@ -70,6 +70,8 @@ func main() {
 	maxPeerWaits := flag.Int("max-peer-waits", 0, "bound on blocking remote waits served per peer (0 = library default)")
 	shedWatermark := flag.Float64("shed-watermark", 0, "pressure (0..1] at which admission starts shedding (0 = library default)")
 	rearm := flag.Bool("rearm", true, "re-arm in-flight blocking ops when new peers become visible")
+	replicas := flag.Int("replicas", 1, "replica-set size R for leased replication (1 = off)")
+	repairInterval := flag.Duration("repair-interval", 0, "anti-entropy repair sweep interval (0 = library default; with -replicas > 1)")
 	flag.Parse()
 
 	if *shedWatermark < 0 || *shedWatermark > 1 {
@@ -94,6 +96,8 @@ func main() {
 		Persistent:          *persistent,
 		ContinuousDiscovery: true,
 		DisableRearm:        !*rearm,
+		Replicas:            *replicas,
+		RepairInterval:      *repairInterval,
 		Governor: tiamat.GovernorConfig{
 			MaxPeerWaits:  *maxPeerWaits,
 			ShedWatermark: *shedWatermark,
@@ -180,6 +184,12 @@ func main() {
 			gr := inst.Gray()
 			fmt.Printf("gray: hedges=%d wins=%d suppressed=%d rtt-samples=%d degraded=%t\n",
 				gr.Hedges, gr.HedgeWins, gr.HedgeSuppressed, gr.RTTSamples, inst.Degraded())
+			if *replicas > 1 {
+				rp := inst.Replication()
+				fmt.Printf("repl: writes=%d failover-takes=%d repairs=%d fenced-holds=%d stale-reads=%d outs=%d copies=%d under-replicated=%d\n",
+					rp.Writes, rp.FailoverTakes, rp.Repairs, rp.FencedHolds, rp.StaleReads,
+					rp.Outs, rp.Copies, rp.UnderReplicated)
+			}
 			if p := inst.LastPanic(); p != "" {
 				fmt.Printf("last recovered panic: %s\n", p)
 			}

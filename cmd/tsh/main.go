@@ -46,6 +46,7 @@ func main() {
 	peers := flag.String("peers", "", "comma-separated static peers")
 	leaseDur := flag.Duration("lease", 5*time.Second, "default operation lease duration")
 	remotes := flag.Int("remotes", 16, "default remote-contact budget")
+	replicas := flag.Int("replicas", 1, "replica-set size R for leased replication (1 = off)")
 	flag.Parse()
 
 	var staticPeers []string
@@ -56,7 +57,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	inst, err := tiamat.New(tiamat.Config{Endpoint: tr, ContinuousDiscovery: true})
+	inst, err := tiamat.New(tiamat.Config{Endpoint: tr, ContinuousDiscovery: true, Replicas: *replicas})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -187,6 +187,19 @@ type Config struct {
 	// (default 3s). The window bounds how long a partition can strand
 	// serve-side state below the lease TTL backstop.
 	OrphanGrace time.Duration
+	// Replicas is the replica-set size R for leased replication
+	// (DESIGN.md §13): every out is written through to the R-1
+	// ring-placed backups, reads may be served from any live replica,
+	// and destructive takes fail over down the holder chain when the
+	// primary is provably dead. The default 1 disables replication
+	// entirely and keeps every frame byte-identical to the
+	// pre-replication protocol.
+	Replicas int
+	// RepairInterval paces the anti-entropy sweeper (default 1s): how
+	// often under-replicated tuples are re-placed and copies orphaned by
+	// a dead origin are adopted by their surviving holders. Only
+	// meaningful when Replicas ≥ 2.
+	RepairInterval time.Duration
 	// RoutePolicy selects OutBack behaviour (default RouteLocal).
 	RoutePolicy RoutePolicy
 	// Persistent marks this space as persistent in announcements and in
@@ -266,6 +279,12 @@ func (c *Config) applyDefaults() {
 	if c.OrphanGrace <= 0 {
 		c.OrphanGrace = 3 * time.Second
 	}
+	if c.Replicas <= 0 {
+		c.Replicas = 1
+	}
+	if c.RepairInterval <= 0 {
+		c.RepairInterval = time.Second
+	}
 	if c.EvalWorkers <= 0 {
 		c.EvalWorkers = 4
 	}
@@ -339,6 +358,10 @@ type Instance struct {
 	// rather than trace counters alone, because harness clusters share a
 	// single metrics registry across every node.
 	gray grayCounters
+
+	// repl is the replication manager (replica.go), nil when Replicas=1:
+	// the single pointer that gates every replication code path.
+	repl *replicator
 
 	// rnd is the per-instance retry-jitter source (mobility.go).
 	rnd prng
@@ -424,6 +447,7 @@ func New(cfg Config) (*Instance, error) {
 		i.mu.Unlock()
 		if ok {
 			i.local.Remove(sid)
+			i.replOnLocalRemoval(sid)
 		}
 	})
 	// The space-info tuple (paper §2.4): a handle on this space plus
@@ -437,6 +461,11 @@ func New(cfg Config) (*Instance, error) {
 	go i.loop()
 	i.wg.Add(1)
 	go i.orphanLoop()
+	if cfg.Replicas >= 2 {
+		i.repl = newReplicator(i)
+		i.wg.Add(1)
+		go i.repairLoop()
+	}
 	for w := 0; w < i.gov.cfg.Workers; w++ {
 		i.wg.Add(1)
 		go i.gov.worker()
@@ -676,6 +705,11 @@ func (i *Instance) releaseOutLease(sid uint64) {
 	i.mu.Unlock()
 	if ok {
 		lse.Cancel()
+		// The authoritative copy is gone: tell every replica holder to
+		// drop theirs (replica.go). Ordered after the lease-record delete
+		// so replWriteThrough's liveness re-check cannot race a removal
+		// into replicating a consumed tuple.
+		i.replOnLocalRemoval(sid)
 	}
 }
 

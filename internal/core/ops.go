@@ -149,6 +149,14 @@ func (i *Instance) Out(t tuple.Tuple, r lease.Requester) error {
 	if sid != 0 {
 		lse.ShrinkBytes() // only the stored size stays reserved
 		i.trackOutLease(sid, lse)
+		if i.repl != nil {
+			// Write the tuple through to its ring backups before returning
+			// (replica.go): a successful Out then means the tuple survives
+			// this node. ErrClosed mid-wait means it may not have.
+			if err := i.replWriteThrough(sid, t, lse); err != nil {
+				return err
+			}
+		}
 	} else {
 		// Consumed immediately by a waiting taker; no storage held.
 		lse.Cancel()
@@ -226,6 +234,9 @@ func (i *Instance) runEval(f EvalFunc, args tuple.Tuple, lse *lease.Lease) {
 	}
 	lse.ShrinkBytes()
 	i.trackOutLease(sid, lse)
+	if i.repl != nil {
+		_ = i.replWriteThrough(sid, result, lse) // eval is async; best-effort
+	}
 }
 
 // Rd reads (a copy of) a tuple matching p from the logical space,
@@ -337,6 +348,18 @@ func (i *Instance) logicalOp(ctx context.Context, code wire.OpCode, p tuple.Temp
 		}
 	}
 
+	// The walk below never contacts this node itself, so a requester that
+	// is the last surviving holder of a replica copy must serve it
+	// locally. Reads take any live copy; destructive takes pass the same
+	// supersede proof as a remote failover (replica.go).
+	if i.repl != nil {
+		if res, ok := i.replServeLocal(code, p); ok {
+			i.met.Inc(trace.CtrOpsLocalHit)
+			i.met.Inc(trace.CtrOpsSatisfied)
+			return res, true, nil
+		}
+	}
+
 	res, ok, err := i.propagate(ctx, code, p, lse, localWait)
 	if err != nil {
 		return Result{}, false, err
@@ -406,6 +429,13 @@ func (i *Instance) propagate(ctx context.Context, code wire.OpCode, p tuple.Temp
 	ttl := lse.Deadline().Sub(i.clk.Now())
 	msg := &wire.Message{Type: wire.TOp, ID: opID, From: i.Addr(), Op: code, Template: p, TTL: ttl}
 	stampBudget(ctx, msg)
+	// Destructive takes on a replicated cluster carry the Failover flag on
+	// every unicast contact: a responder holding only a replica copy may
+	// then serve it — provided it can prove every higher-ranked holder
+	// dead (replica.go), so an alive primary always keeps its takes. The
+	// flag stays off multicasts (see doMulticast).
+	mayFailover := code.Removes() && i.repl != nil
+	msg.Failover = mayFailover
 
 	// remaining counts replies still expected; nonblocking ops complete
 	// when it reaches zero.
@@ -454,6 +484,15 @@ func (i *Instance) propagate(ctx context.Context, code wire.OpCode, p tuple.Temp
 	var queue []wire.Addr
 	if !i.cfg.DisableResponderCache {
 		st.queueBuf = i.list.SnapshotAppend(st.queueBuf[:0])
+		if mayFailover {
+			// Make sure the walk reaches the ring-placed replica holders
+			// for this template's key: a freshly dead primary's backups may
+			// be suspected (and so absent from the snapshot) while still
+			// alive and holding the copy.
+			if tag, arity, ok := replTemplateKey(p); ok {
+				st.queueBuf = i.repl.appendHolders(st.queueBuf, tag, arity)
+			}
+		}
 		queue = st.queueBuf
 	}
 	contactNext := func(limit int, hedged bool) {
@@ -536,7 +575,13 @@ func (i *Instance) propagate(ctx context.Context, code wire.OpCode, p tuple.Temp
 		if lse.ConsumeRemote() != nil {
 			return
 		}
+		// Multicasts reach every listener, including pre-replication
+		// decoders that would reject a Failover-extended frame outright —
+		// so the flag rides unicast contacts only.
+		prevFO := msg.Failover
+		msg.Failover = false
 		n, err := i.ep.Multicast(msg)
+		msg.Failover = prevFO
 		if err == nil {
 			if n < 0 {
 				unknownAudience = true
@@ -647,6 +692,10 @@ func (i *Instance) propagate(ctx context.Context, code wire.OpCode, p tuple.Temp
 					// First responder wins: accept this hold; the
 					// deferred drain releases any later ones.
 					i.acceptHold(m.From, m.HoldID, lse)
+					// A reply carrying a replica identity means other
+					// holders keep copies of this tuple: tell them it is
+					// consumed (replica.go).
+					i.replInvalidateSiblings(m)
 				}
 				i.met.Inc(trace.CtrOpsRemoteHit)
 				return Result{Tuple: m.Tuple, From: m.From}, true, nil
@@ -657,6 +706,16 @@ func (i *Instance) propagate(ctx context.Context, code wire.OpCode, p tuple.Temp
 			}
 
 		case <-retryC:
+			// The local replica store may have become servable since the
+			// pre-walk attempt: a higher-ranked holder died mid-walk, or the
+			// failover grace armed then has now elapsed. Re-try it on each
+			// retry tick — the walk never contacts this node itself.
+			if i.repl != nil {
+				if res, ok := i.replServeLocal(code, p); ok {
+					i.met.Inc(trace.CtrOpsLocalHit)
+					return res, true, nil
+				}
+			}
 			now := i.clk.Now()
 			for a, cs := range contacted {
 				if cs.done || now.Before(cs.deadline) {
@@ -938,11 +997,16 @@ func (i *Instance) handleResult(m *wire.Message) {
 		// its own ack frame — settling its pending accept if one is
 		// registered, otherwise waking the operation waiting on it.
 		for _, id := range m.AckIDs {
-			if id != m.ID && !i.finishAccept(id) {
+			if id != m.ID && !i.finishAccept(id) && !i.replFinishAck(id, m) {
 				i.deliverResult(id, m)
 			}
 		}
 		if i.finishAccept(m.ID) {
+			return
+		}
+		// Replicate/repair write-throughs ack the same way accepts do; a
+		// settled flight never reaches an operation channel.
+		if i.replFinishAck(m.ID, m) {
 			return
 		}
 	}
@@ -1124,6 +1188,7 @@ func (i *Instance) directOp(ctx context.Context, addr wire.Addr, code wire.OpCod
 			if m.Type == wire.TResult && m.Found {
 				if code.Removes() && m.HoldID != 0 {
 					i.acceptHold(m.From, m.HoldID, lse)
+					i.replInvalidateSiblings(m)
 				}
 				return Result{Tuple: m.Tuple, From: m.From}, true, nil
 			}

@@ -191,17 +191,28 @@ func (i *Instance) handleOp(m *wire.Message) {
 	now := i.clk.Now()
 	i.mu.Lock()
 	cached := i.servedLookupLocked(key, now)
-	_, waiting := i.waits[key]
+	rw, waiting := i.waits[key]
 	i.mu.Unlock()
 	if cached != nil {
+		// A cached found reply replays as-is — re-executing would take a
+		// second tuple. A cached not-found may be superseded when a
+		// failover take arrives: the replica store can serve what the
+		// space could not, so fall through and let the failover path (or a
+		// fresh execution) answer.
+		if cached.Found || !(m.Failover && m.Op.Removes() && i.repl != nil) {
+			i.met.Inc(trace.CtrDedupDrops)
+			_ = i.send(m.From, cached)
+			return
+		}
+	}
+	if waiting && !(m.Failover && m.Op.Removes() && i.repl != nil) {
 		i.met.Inc(trace.CtrDedupDrops)
-		_ = i.send(m.From, cached)
 		return
 	}
-	if waiting {
-		i.met.Inc(trace.CtrDedupDrops)
-		return
-	}
+	// A failover retransmission of a take we already hold a waiter for
+	// falls through instead: the replica store may satisfy it even though
+	// the local space (which the waiter watches) cannot. If it does, the
+	// standing waiter is stopped below so the take is served exactly once.
 
 	// The serve budget is min(TTL, propagated requester budget); under
 	// pressure the governor narrows the proposal further before the
@@ -222,14 +233,41 @@ func (i *Instance) handleOp(m *wire.Message) {
 	if m.Op.Removes() {
 		if h, ok := i.local.Hold(m.Template); ok {
 			holdID := i.registerHold(h, ttl, key)
+			ro, rs := i.replIdentityFor(h)
 			reply := &wire.Message{
 				Type: wire.TResult, ID: m.ID, From: i.Addr(),
 				Found: true, HoldID: holdID, Tuple: h.Tuple(),
+				ReplOrigin: ro, ReplSeq: rs,
 			}
 			i.recordServed(key, reply)
 			_ = i.send(m.From, reply)
+			if waiting {
+				rw.stop()
+			}
 			lse.Cancel()
 			return
+		}
+		if m.Failover {
+			// Failover take (replica.go): surrender a replica copy through
+			// the ordinary hold protocol, but only if every holder ranked
+			// above this node is provably dead. The reply carries the
+			// copy's identity so the requester invalidates the remaining
+			// holders on accept.
+			if h, k, ok := i.replFailoverHold(m.Template); ok {
+				holdID := i.registerHold(h, ttl, key)
+				reply := &wire.Message{
+					Type: wire.TResult, ID: m.ID, From: i.Addr(),
+					Found: true, HoldID: holdID, Tuple: h.Tuple(),
+					ReplOrigin: k.origin, ReplSeq: k.seq,
+				}
+				i.recordServed(key, reply)
+				_ = i.send(m.From, reply)
+				if waiting {
+					rw.stop()
+				}
+				lse.Cancel()
+				return
+			}
 		}
 	} else {
 		if t, ok := i.local.Rdp(m.Template); ok {
@@ -241,6 +279,26 @@ func (i *Instance) handleOp(m *wire.Message) {
 			lse.Cancel()
 			return
 		}
+		// Any live replica may answer a read (replica.go): staleness is
+		// bounded by the copy's lease, exactly the bound the paper already
+		// accepts for visibility.
+		if t, ok := i.replRdp(m.Template); ok {
+			reply := &wire.Message{
+				Type: wire.TResult, ID: m.ID, From: i.Addr(), Found: true, Tuple: t,
+			}
+			i.recordServed(key, reply)
+			_ = i.send(m.From, reply)
+			lse.Cancel()
+			return
+		}
+	}
+
+	if waiting {
+		// Nothing servable beyond what the standing waiter already
+		// watches; it stays registered and this duplicate ends here.
+		i.met.Inc(trace.CtrDedupDrops)
+		lse.Cancel()
+		return
 	}
 
 	if !m.Op.Blocking() {
@@ -330,9 +388,11 @@ func (i *Instance) serveBlocking(m *wire.Message, lse *lease.Lease, ttl time.Dur
 						continue // lost the race; wait again
 					}
 					holdID := i.registerHold(h, ttl, key)
+					ro, rs := i.replIdentityFor(h)
 					reply := &wire.Message{
 						Type: wire.TResult, ID: m.ID, From: i.Addr(),
 						Found: true, HoldID: holdID, Tuple: h.Tuple(),
+						ReplOrigin: ro, ReplSeq: rs,
 					}
 					i.recordServed(key, reply)
 					_ = i.send(m.From, reply)
@@ -441,6 +501,12 @@ func (i *Instance) handleAccept(m *wire.Message) {
 // its op, and the worker must drop it rather than register a waiter
 // this cancel can no longer reach.
 func (i *Instance) handleCancel(m *wire.Message) {
+	if m.ReplSeq != 0 {
+		// Replica invalidation rides TCancel (replica.go): the identified
+		// copy is consumed; drop it and fence its identity.
+		i.replInvalidate(m)
+		return
+	}
 	key := waitKey{from: m.From, id: m.ID}
 	i.gov.markCancelled(key)
 	i.mu.Lock()
@@ -455,6 +521,13 @@ func (i *Instance) handleCancel(m *wire.Message) {
 // stored under a lease this instance negotiates for itself. Duplicated
 // frames replay the cached ack — re-executing would store a second copy.
 func (i *Instance) handleRemoteOut(m *wire.Message) {
+	if m.ReplSeq != 0 {
+		// Replicate/repair write-through (replica.go): soft state in the
+		// replica store, not a remote out into the space. Idempotent, so
+		// no served-cache round-trip is needed.
+		i.handleReplicate(m)
+		return
+	}
 	key := waitKey{from: m.From, id: m.ID}
 	if i.resendServed(key) {
 		return

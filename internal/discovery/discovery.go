@@ -291,6 +291,33 @@ func (l *ResponderList) EventCounts() (joins, leaves uint64) {
 	return l.joins, l.leaves
 }
 
+// Revision returns a monotonic membership revision: it advances on every
+// join and leave. Consumers that derive state from the membership set —
+// the replica placement ring (DESIGN.md §13) rebuilds from Members() —
+// use it as a cheap change detector, and the Subscribe event stream as
+// the push-side signal that replica ranks shifted.
+func (l *ResponderList) Revision() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.joins + l.leaves
+}
+
+// Members returns the current membership in sorted order: every known
+// peer, including suspected and demoted entries (a slow or briefly
+// unreachable peer still holds its replicas — health affects contact
+// order, not placement). Sorting makes the snapshot canonical, so two
+// nodes holding the same set derive identical replica rankings from it.
+func (l *ResponderList) Members() []wire.Addr {
+	l.mu.Lock()
+	out := make([]wire.Addr, len(l.addrs))
+	for i, e := range l.addrs {
+		out[i] = e.addr
+	}
+	l.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
 // joinLocked assigns addr its next epoch and emits a join event. Caller
 // holds l.mu and has just inserted the entry.
 func (l *ResponderList) joinLocked(addr wire.Addr) {

@@ -665,3 +665,52 @@ func TestEventsCancelStopsDelivery(t *testing.T) {
 		t.Fatalf("events after cancel = %v", evs)
 	}
 }
+
+// Members must be a canonical (sorted) snapshot that keeps suspected and
+// demoted peers — replica placement (DESIGN.md §13) is derived from it,
+// and a slow peer still holds its replicas — while Revision advances on
+// every membership transition so ring caches know when to rebuild.
+func TestMembersCanonicalAndRevisionTracksChurn(t *testing.T) {
+	l := NewResponderList(0, nil)
+	if rev := l.Revision(); rev != 0 {
+		t.Fatalf("initial revision = %d", rev)
+	}
+	l.Observe("c")
+	l.Observe("a")
+	l.Observe("b")
+	got := l.Members()
+	want := []wire.Addr{"a", "b", "c"}
+	if len(got) != len(want) {
+		t.Fatalf("members = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("members not sorted: %v", got)
+		}
+	}
+	rev := l.Revision()
+	if rev != 3 {
+		t.Fatalf("revision after 3 joins = %d", rev)
+	}
+	// Suspicion does not change membership (no revision bump, still a
+	// member); eviction does.
+	for k := 0; k < 10; k++ {
+		l.Fail("b")
+	}
+	if !l.Suspected("b") {
+		t.Fatal("b not suspected")
+	}
+	if got := l.Members(); len(got) != 3 {
+		t.Fatalf("suspected peer dropped from members: %v", got)
+	}
+	if l.Revision() != rev {
+		t.Fatalf("suspicion changed revision: %d -> %d", rev, l.Revision())
+	}
+	l.Evict("b")
+	if got := l.Members(); len(got) != 2 {
+		t.Fatalf("members after evict = %v", got)
+	}
+	if l.Revision() <= rev {
+		t.Fatalf("revision did not advance on eviction")
+	}
+}

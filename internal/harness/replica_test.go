@@ -1,0 +1,18 @@
+package harness
+
+import "testing"
+
+// TestC5ReplicaSoak runs the C5 availability soak at Quick scale; the
+// acceptance invariants (zero tuples lost across origin kills including
+// a mid-seeding kill, effectively-once takes, replica-store drain, no
+// goroutine leaks) are asserted inside C5Replica itself and surface
+// here as an error.
+func TestC5ReplicaSoak(t *testing.T) {
+	tab, err := C5Replica(Quick)
+	if tab != nil {
+		render(t, tab)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+}

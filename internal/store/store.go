@@ -780,6 +780,8 @@ type hold struct {
 
 func (h *hold) Tuple() tuple.Tuple { return h.e.t }
 
+func (h *hold) ID() uint64 { return h.e.id }
+
 func (h *hold) Accept() {
 	h.mu.Lock()
 	defer h.mu.Unlock()

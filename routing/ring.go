@@ -1,0 +1,151 @@
+package routing
+
+import (
+	"sort"
+
+	"tiamat/wire"
+)
+
+// This file implements replica placement (DESIGN.md §13): a consistent-
+// hash ring over the current membership, keyed by a tuple's (leading
+// string tag, arity). The ring answers one question — "which R nodes
+// should hold a copy of tuples shaped like this?" — and answers it
+// identically on every node that holds the same membership snapshot,
+// which is what lets a requester compute a dead primary's successor
+// without any coordination round.
+//
+// Placement is soft state, like everything else here: the ring is
+// rebuilt from the responder list whenever membership changes, and the
+// anti-entropy sweeper (internal/core) walks tuples toward wherever the
+// current ring says they belong. Nothing depends on two nodes agreeing
+// at the same instant; disagreement just means a little extra repair
+// traffic.
+
+// DefaultVnodes is the number of ring points per unit of member weight.
+// 64 points per member keeps the expected placement share within a few
+// percent of fair for cluster sizes this system targets (single digits
+// to low hundreds) while keeping ring construction trivially cheap.
+const DefaultVnodes = 64
+
+// ringPoint is one virtual node: a hash position owned by a member.
+type ringPoint struct {
+	hash   uint64
+	member wire.Addr
+}
+
+// Ring is an immutable consistent-hash ring over a membership snapshot.
+// Build one with BuildRing; all methods are safe for concurrent use.
+type Ring struct {
+	points  []ringPoint
+	members int
+}
+
+// BuildRing constructs a ring from a membership snapshot. Members are
+// deduplicated and sorted first, so any permutation of the same set
+// yields a byte-identical ring — the cross-node determinism the failover
+// protocol rests on. weight biases placement toward well-connected nodes
+// (backbone weighting): a member with weight w gets w×DefaultVnodes ring
+// points. A nil weight, or any value below 1, means weight 1.
+func BuildRing(members []wire.Addr, weight func(wire.Addr) int) *Ring {
+	set := make(map[wire.Addr]bool, len(members))
+	uniq := make([]wire.Addr, 0, len(members))
+	for _, m := range members {
+		if m == "" || set[m] {
+			continue
+		}
+		set[m] = true
+		uniq = append(uniq, m)
+	}
+	sort.Slice(uniq, func(i, j int) bool { return uniq[i] < uniq[j] })
+
+	r := &Ring{members: len(uniq)}
+	var buf [8]byte
+	for _, m := range uniq {
+		w := 1
+		if weight != nil {
+			if ww := weight(m); ww > 1 {
+				w = ww
+			}
+		}
+		// Each vnode hashes the member address plus the vnode index, so a
+		// member's points scatter around the ring instead of clustering.
+		base := fnv1a(fnvOffset, []byte(m))
+		for v := 0; v < w*DefaultVnodes; v++ {
+			buf[0] = byte(v)
+			buf[1] = byte(v >> 8)
+			buf[2] = byte(v >> 16)
+			buf[3] = byte(v >> 24)
+			r.points = append(r.points, ringPoint{hash: fnv1a(base, buf[:4]), member: m})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].member < r.points[j].member
+	})
+	return r
+}
+
+// Members returns the number of distinct members on the ring.
+func (r *Ring) Members() int { return r.members }
+
+// Key hashes a (tag, arity) placement key. The tag is the tuple's leading
+// concrete string field (the idiomatic Linda discriminator); tuples with
+// no leading string hash under the empty tag, still spread by arity.
+func Key(tag string, arity int) uint64 {
+	var buf [4]byte
+	buf[0] = byte(arity)
+	buf[1] = byte(arity >> 8)
+	buf[2] = byte(arity >> 16)
+	buf[3] = byte(arity >> 24)
+	return fnv1a(fnv1a(fnvOffset, []byte(tag)), buf[:4])
+}
+
+// Place returns up to n distinct members ranked as holders for (tag,
+// arity): the owners of the first n distinct-member ring points at or
+// after the key's hash position, clockwise. The order is the failover
+// rank — when holder k is provably dead, holder k+1 is next in line.
+func (r *Ring) Place(tag string, arity int, n int) []wire.Addr {
+	return r.PlaceAppend(nil, tag, arity, n)
+}
+
+// PlaceAppend is Place appending into dst (allocation-free for callers
+// that recycle a scratch slice).
+func (r *Ring) PlaceAppend(dst []wire.Addr, tag string, arity int, n int) []wire.Addr {
+	if n <= 0 || len(r.points) == 0 {
+		return dst
+	}
+	if n > r.members {
+		n = r.members
+	}
+	h := Key(tag, arity)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	base := len(dst)
+	for i := 0; i < len(r.points) && len(dst)-base < n; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		dup := false
+		for _, m := range dst[base:] {
+			if m == p.member {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			dst = append(dst, p.member)
+		}
+	}
+	return dst
+}
+
+const fnvOffset = 14695981039346656037
+
+// fnv1a folds data into an FNV-1a state.
+func fnv1a(h uint64, data []byte) uint64 {
+	const prime = 1099511628211
+	for _, c := range data {
+		h ^= uint64(c)
+		h *= prime
+	}
+	return h
+}

@@ -1,0 +1,154 @@
+package routing
+
+import (
+	"fmt"
+	"testing"
+
+	"tiamat/wire"
+)
+
+func ringMembers(n int) []wire.Addr {
+	out := make([]wire.Addr, n)
+	for i := range out {
+		out[i] = wire.Addr(fmt.Sprintf("n%02d", i))
+	}
+	return out
+}
+
+// ringKeys is a spread of (tag, arity) placement keys: distinct tags at a
+// few arities, the way real workloads discriminate tuples.
+func ringKeys(n int) []struct {
+	tag   string
+	arity int
+} {
+	keys := make([]struct {
+		tag   string
+		arity int
+	}, n)
+	for i := range keys {
+		keys[i].tag = fmt.Sprintf("tag-%d", i)
+		keys[i].arity = 2 + i%4
+	}
+	return keys
+}
+
+// Placement must be a pure function of the membership set: any
+// permutation of the same snapshot yields identical holder ranks. This is
+// the property the failover protocol rests on — every node computes the
+// dead primary's successor locally and they all agree.
+func TestRingPlacementDeterministicAcrossNodes(t *testing.T) {
+	members := ringMembers(9)
+	a := BuildRing(members, nil)
+	// Reverse order, with duplicates: the snapshot as a different node
+	// might assemble it.
+	rev := make([]wire.Addr, 0, 2*len(members))
+	for i := len(members) - 1; i >= 0; i-- {
+		rev = append(rev, members[i], members[i])
+	}
+	b := BuildRing(rev, nil)
+	if a.Members() != 9 || b.Members() != 9 {
+		t.Fatalf("members: %d vs %d, want 9", a.Members(), b.Members())
+	}
+	for _, k := range ringKeys(500) {
+		pa := a.Place(k.tag, k.arity, 3)
+		pb := b.Place(k.tag, k.arity, 3)
+		if len(pa) != 3 || len(pb) != 3 {
+			t.Fatalf("place(%q,%d): %v vs %v", k.tag, k.arity, pa, pb)
+		}
+		for i := range pa {
+			if pa[i] != pb[i] {
+				t.Fatalf("place(%q,%d) diverged: %v vs %v", k.tag, k.arity, pa, pb)
+			}
+		}
+	}
+}
+
+func TestRingPlaceDistinctAndBounded(t *testing.T) {
+	r := BuildRing(ringMembers(4), nil)
+	for _, k := range ringKeys(100) {
+		got := r.Place(k.tag, k.arity, 8) // more than the membership
+		if len(got) != 4 {
+			t.Fatalf("place returned %d members, want all 4: %v", len(got), got)
+		}
+		seen := map[wire.Addr]bool{}
+		for _, m := range got {
+			if seen[m] {
+				t.Fatalf("duplicate member in placement: %v", got)
+			}
+			seen[m] = true
+		}
+	}
+	if got := BuildRing(nil, nil).Place("t", 2, 2); len(got) != 0 {
+		t.Fatalf("empty ring placed %v", got)
+	}
+}
+
+// Consistent hashing's point: removing one of N members must move only
+// about 1/N of placements (the removed member's own share), not reshuffle
+// the world. An add is the mirror image.
+func TestRingChurnMovesOnlyFractionOfPlacements(t *testing.T) {
+	const n, keys = 10, 2000
+	members := ringMembers(n)
+	before := BuildRing(members, nil)
+
+	primary := func(r *Ring, tag string, arity int) wire.Addr {
+		p := r.Place(tag, arity, 1)
+		if len(p) == 0 {
+			t.Fatal("empty placement")
+		}
+		return p[0]
+	}
+
+	check := func(name string, after *Ring, removed wire.Addr) {
+		moved := 0
+		for _, k := range ringKeys(keys) {
+			pb := primary(before, k.tag, k.arity)
+			pa := primary(after, k.tag, k.arity)
+			if pb == pa {
+				continue
+			}
+			moved++
+			if removed != "" && pb != removed {
+				t.Fatalf("%s: key (%q,%d) moved %s→%s though %s was the change",
+					name, k.tag, k.arity, pb, pa, removed)
+			}
+		}
+		// Expected share is keys/n; vnode variance keeps it well under
+		// double that in practice. The bound is deliberately loose — the
+		// property under test is "~1/N", not a tight estimator.
+		if limit := 2 * keys / n; moved > limit {
+			t.Fatalf("%s: %d of %d placements moved, want ≤ %d (~1/N)", name, moved, keys, limit)
+		}
+		if moved == 0 {
+			t.Fatalf("%s: no placements moved — churn had no effect?", name)
+		}
+	}
+
+	check("remove", BuildRing(members[:n-1], nil), members[n-1])
+	check("add", BuildRing(append(ringMembers(n), "n99"), nil), "")
+}
+
+// Backbone weighting: a member with weight w should own roughly w times
+// the placement share of an unweighted one.
+func TestRingWeightBiasesPlacement(t *testing.T) {
+	members := ringMembers(8)
+	heavy := members[0]
+	r := BuildRing(members, func(a wire.Addr) int {
+		if a == heavy {
+			return 4
+		}
+		return 1
+	})
+	const keys = 4000
+	count := 0
+	for _, k := range ringKeys(keys) {
+		if r.Place(k.tag, k.arity, 1)[0] == heavy {
+			count++
+		}
+	}
+	// Fair share would be keys/8 = 500; weight 4 targets 4/11 ≈ 1454.
+	// Accept anything clearly above double the fair share.
+	if count < 2*keys/8 {
+		t.Fatalf("heavy member got %d/%d placements, want a weighted share (> %d)", count, keys, 2*keys/8)
+	}
+}

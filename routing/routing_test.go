@@ -1,4 +1,4 @@
-package routing
+package routing_test
 
 import (
 	"context"
@@ -7,13 +7,14 @@ import (
 	"time"
 
 	"tiamat/internal/core"
+	"tiamat/routing"
 	"tiamat/transport/memnet"
 	"tiamat/tuple"
 	"tiamat/wire"
 )
 
 func TestBackboneSelectsPersistentHighDegree(t *testing.T) {
-	s := NewSelector(Config{VisWindow: 4, MinPersistence: 0.75, MinDegree: 2, MaxBackbone: 2})
+	s := routing.NewSelector(routing.Config{VisWindow: 4, MinPersistence: 0.75, MinDegree: 2, MaxBackbone: 2})
 	// hub is always visible with high degree; drifter comes and goes;
 	// leaf is persistent but poorly connected.
 	s.SetDegree("hub", 5)
@@ -30,7 +31,7 @@ func TestBackboneSelectsPersistentHighDegree(t *testing.T) {
 }
 
 func TestBackboneBounded(t *testing.T) {
-	s := NewSelector(Config{MaxBackbone: 2, MinDegree: 1, MinPersistence: 0.5})
+	s := routing.NewSelector(routing.Config{MaxBackbone: 2, MinDegree: 1, MinPersistence: 0.5})
 	for _, a := range []wire.Addr{"a", "b", "c", "d"} {
 		s.SetDegree(a, 3)
 	}
@@ -43,14 +44,14 @@ func TestBackboneBounded(t *testing.T) {
 }
 
 func TestBackboneEmptyWithoutObservations(t *testing.T) {
-	s := NewSelector(Config{})
+	s := routing.NewSelector(routing.Config{})
 	if bb := s.Backbone(); len(bb) != 0 {
 		t.Fatalf("backbone = %v, want empty", bb)
 	}
 }
 
 func TestBackboneTieBreaksByDegreeThenAddr(t *testing.T) {
-	s := NewSelector(Config{MinDegree: 1, MinPersistence: 0.5, MaxBackbone: 3})
+	s := routing.NewSelector(routing.Config{MinDegree: 1, MinPersistence: 0.5, MaxBackbone: 3})
 	s.SetDegree("low", 1)
 	s.SetDegree("high", 9)
 	s.SetDegree("also9", 9)
@@ -140,7 +141,7 @@ func TestSelectorFeedsInstanceRelays(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer a.Close()
-	s := NewSelector(Config{MinDegree: 1, MinPersistence: 0.5})
+	s := routing.NewSelector(routing.Config{MinDegree: 1, MinPersistence: 0.5})
 	s.SetDegree("B", 3)
 	s.Observe([]wire.Addr{"B"})
 	s.Observe([]wire.Addr{"B"})
@@ -155,7 +156,7 @@ func TestSelectorFeedsInstanceRelays(t *testing.T) {
 
 func TestPropBackboneSubsetOfObserved(t *testing.T) {
 	prop := func(rounds [][]uint8, degrees [8]uint8) bool {
-		s := NewSelector(Config{MinDegree: 1, MinPersistence: 0.1, MaxBackbone: 8})
+		s := routing.NewSelector(routing.Config{MinDegree: 1, MinPersistence: 0.1, MaxBackbone: 8})
 		observed := map[wire.Addr]bool{}
 		for a, d := range degrees {
 			s.SetDegree(wire.Addr('a'+rune(a)), int(d))

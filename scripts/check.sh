@@ -54,6 +54,16 @@ echo "==> gray-failure suite (-race)"
 go test -race -run 'Hedge|Limp|Demot|Slow|Stall|Degraded|Latency|Outlier|QueueDelay|Gray|C4' \
 	./internal/core/ ./internal/discovery/ ./transport/memnet/ ./space/persist/ ./monitor/ ./internal/harness/
 
+# The replica gate: ring placement and rebalance bounds, write-through
+# replication, failover takes (supersede proof, exactly-once under
+# racing takers), sibling invalidation and identity fencing, the
+# anti-entropy sweep with dead-origin adoption, and the C5 node-kill
+# soak with its zero-loss / exactly-once / repair-convergence /
+# goroutine-leak invariants — under the race detector.
+echo "==> replica suite (-race)"
+go test -race -run 'TestRing|WriteThrough|ReplicaServes|FailoverTake|FailoverRefused|TakeInvalidates|InvalidateFences|LocalReplica|RepairReplaces|Adoption|ReplicationOff|C5' \
+	./routing/ ./internal/core/ ./wire/ ./internal/harness/
+
 # Decoder fuzz smoke: a few seconds per target, seeds cover the optional
 # Busy/Budget trailing fields (mixed-version frame layouts).
 echo "==> fuzz smoke (wire, tuple)"

@@ -200,6 +200,8 @@ type hold struct {
 
 func (h *hold) Tuple() tuple.Tuple { return h.t }
 
+func (h *hold) ID() uint64 { return h.id }
+
 func (h *hold) Accept() { h.settle(true) }
 
 func (h *hold) Release() { h.settle(false) }

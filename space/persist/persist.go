@@ -703,6 +703,8 @@ type loggedHold struct {
 
 func (h *loggedHold) Tuple() tuple.Tuple { return h.inner.Tuple() }
 
+func (h *loggedHold) ID() uint64 { return h.inner.ID() }
+
 func (h *loggedHold) Accept() {
 	h.once.Do(func() {
 		h.s.opMu.RLock()

@@ -102,6 +102,10 @@ type Waiter interface {
 type Hold interface {
 	// Tuple returns the held tuple.
 	Tuple() tuple.Tuple
+	// ID returns the held entry's stable identifier within its space —
+	// the same id Remove accepts — or 0 when the hold is not backed by a
+	// space entry.
+	ID() uint64
 	// Accept finalises the removal. Idempotent; Accept after Release is
 	// a no-op.
 	Accept()

@@ -204,6 +204,18 @@ const (
 	// limp-mode ramp (gray-failure injection) was active on their path.
 	CtrChaosLimped = "chaos.limped"
 
+	// Replication counters (DESIGN.md §13): write-through replicates sent
+	// by an origin, destructive takes served from a replica store after
+	// the primary was proven dead, repair replicates sent by the
+	// anti-entropy sweeper, replicate frames refused because their
+	// identity was fenced by a failover take, and reads answered from a
+	// replica copy rather than the authoritative holder.
+	CtrReplWrites        = "repl.writes"
+	CtrReplFailoverTakes = "repl.failover_takes"
+	CtrReplRepairs       = "repl.repairs"
+	CtrReplFencedHolds   = "repl.fenced_holds"
+	CtrReplStaleReads    = "repl.stale_reads"
+
 	// Write-ahead log counters (space/persist durability path).
 	CtrWALAppends       = "wal.appends"
 	CtrWALSyncs         = "wal.syncs"

@@ -203,6 +203,33 @@ type Message struct {
 	// Func is the registered eval function name (TEval).
 	Func string
 
+	// Replication extension (DESIGN.md §13), riding existing frame types
+	// as optional trailing fields. ReplSeq != 0 marks the frame as part
+	// of the replica protocol and identifies a replicated tuple as
+	// (ReplOrigin, ReplSeq) — the address of the instance whose out
+	// created it plus that origin's write sequence number:
+	//
+	//   - TOut: a replicate/repair write-through — store a soft-state
+	//     replica copy under this identity instead of an authoritative
+	//     out. Acked like any remote out.
+	//   - TCancel: a replica invalidation — the identified tuple was
+	//     consumed (or its origin withdrew it); drop the copy and fence
+	//     the identity against late replicates.
+	//   - TResult: the found tuple is replicated under this identity, so
+	//     the taker can invalidate the surviving copies itself on accept.
+	//
+	// Absent fields mean the pre-replication protocol; R=1 nodes never
+	// set them, keeping their frames byte-identical. Old decoders reject
+	// extended frames as trailing garbage — they degrade to
+	// single-holder behaviour, never misread a replica frame.
+	ReplOrigin Addr
+	ReplSeq    uint64
+	// Failover marks a destructive TOp that may be served from the
+	// responder's replica store when the copy's origin is provably dead
+	// (the failover take, DESIGN.md §13). Optional trailing field with
+	// the same mixed-version contract as Budget.
+	Failover bool
+
 	// Target is the final destination of a TRelay frame.
 	Target Addr
 	// Payload is the encapsulated frame carried by TRelay.
@@ -297,8 +324,13 @@ func AppendEncode(dst []byte, m *Message) []byte {
 		// Peers running the previous code reject budget-carrying frames
 		// as trailing garbage and the requester fails over — degraded,
 		// never incorrect (see serve-side fallback note in core).
-		if m.Budget > 0 {
+		// When the failover marker follows, the budget is encoded even if
+		// zero so the decoder can tell the two optional fields apart.
+		if m.Budget > 0 || m.Failover {
 			b = binary.AppendUvarint(b, uint64(m.Budget/time.Millisecond))
+		}
+		if m.Failover {
+			b = appendBool(b, true)
 		}
 	case TResult:
 		b = appendBool(b, m.Found)
@@ -307,15 +339,35 @@ func AppendEncode(dst []byte, m *Message) []byte {
 			b = m.Tuple.AppendBinary(b)
 		}
 		// Optional trailing busy marker (admission refusal), same
-		// mixed-version contract as TOp's budget field.
-		if m.Busy {
-			b = appendBool(b, true)
+		// mixed-version contract as TOp's budget field. When the replica
+		// identity follows, busy is encoded even if false so the decoder
+		// can tell the optional fields apart.
+		if m.Busy || m.ReplSeq != 0 {
+			b = appendBool(b, m.Busy)
 		}
-	case TAccept, TRelease, TCancel:
+		if m.ReplSeq != 0 {
+			b = appendStr(b, string(m.ReplOrigin))
+			b = binary.AppendUvarint(b, m.ReplSeq)
+		}
+	case TAccept, TRelease:
 		b = binary.AppendUvarint(b, m.HoldID)
+	case TCancel:
+		b = binary.AppendUvarint(b, m.HoldID)
+		// Optional replica identity: a cancel carrying one is an
+		// invalidation of that replicated tuple, not an op withdrawal.
+		if m.ReplSeq != 0 {
+			b = appendStr(b, string(m.ReplOrigin))
+			b = binary.AppendUvarint(b, m.ReplSeq)
+		}
 	case TOut:
 		b = binary.AppendUvarint(b, uint64(m.TTL/time.Millisecond))
 		b = m.Tuple.AppendBinary(b)
+		// Optional replica identity: marks the frame as a replicate/repair
+		// write-through rather than an authoritative remote out.
+		if m.ReplSeq != 0 {
+			b = appendStr(b, string(m.ReplOrigin))
+			b = binary.AppendUvarint(b, m.ReplSeq)
+		}
 	case TEval:
 		b = appendStr(b, m.Func)
 		b = binary.AppendUvarint(b, uint64(m.TTL/time.Millisecond))
@@ -436,6 +488,12 @@ func decode(data []byte, alias bool) (*Message, error) {
 			}
 			m.Budget = time.Duration(budget) * time.Millisecond
 		}
+		// Optional failover marker: absent means an ordinary op.
+		if len(src) > 0 {
+			if m.Failover, src, err = readBool(src); err != nil {
+				return nil, fmt.Errorf("failover: %w", err)
+			}
+		}
 	case TResult:
 		if m.Found, src, err = readBool(src); err != nil {
 			return nil, err
@@ -454,9 +512,25 @@ func decode(data []byte, alias bool) (*Message, error) {
 				return nil, err
 			}
 		}
-	case TAccept, TRelease, TCancel:
+		// Optional replica identity: absent means a single-holder tuple.
+		if len(src) > 0 {
+			if m.ReplOrigin, m.ReplSeq, src, err = readRepl(src); err != nil {
+				return nil, err
+			}
+		}
+	case TAccept, TRelease:
 		if m.HoldID, src, err = readUvarint(src); err != nil {
 			return nil, err
+		}
+	case TCancel:
+		if m.HoldID, src, err = readUvarint(src); err != nil {
+			return nil, err
+		}
+		// Optional replica identity: present means an invalidation.
+		if len(src) > 0 {
+			if m.ReplOrigin, m.ReplSeq, src, err = readRepl(src); err != nil {
+				return nil, err
+			}
 		}
 	case TOut:
 		var ttl uint64
@@ -466,6 +540,13 @@ func decode(data []byte, alias bool) (*Message, error) {
 		m.TTL = time.Duration(ttl) * time.Millisecond
 		if m.Tuple, src, err = decodeTuple(src, alias); err != nil {
 			return nil, fmt.Errorf("tuple: %w", err)
+		}
+		// Optional replica identity: present means a replicate/repair
+		// write-through, not an authoritative remote out.
+		if len(src) > 0 {
+			if m.ReplOrigin, m.ReplSeq, src, err = readRepl(src); err != nil {
+				return nil, err
+			}
 		}
 	case TEval:
 		if m.Func, src, err = readStr(src); err != nil {
@@ -580,6 +661,25 @@ func readStr(src []byte) (string, []byte, error) {
 		return "", nil, ErrFrame
 	}
 	return string(src[:n]), src[n:], nil
+}
+
+// readRepl reads a replica identity (origin address + sequence). The
+// identity is only ever encoded with a nonzero sequence, so a zero here
+// is a malformed frame, not "no replication" — fail closed rather than
+// let a truncated or crafted trailer decode to a different meaning.
+func readRepl(src []byte) (Addr, uint64, []byte, error) {
+	origin, src, err := readStr(src)
+	if err != nil {
+		return "", 0, nil, fmt.Errorf("repl origin: %w", err)
+	}
+	seq, src, err := readUvarint(src)
+	if err != nil {
+		return "", 0, nil, fmt.Errorf("repl seq: %w", err)
+	}
+	if seq == 0 {
+		return "", 0, nil, fmt.Errorf("repl seq 0: %w", ErrFrame)
+	}
+	return Addr(origin), seq, src, nil
 }
 
 func readBool(src []byte) (bool, []byte, error) {

@@ -258,6 +258,17 @@ func FuzzDecode(f *testing.F) {
 	// A degraded announce: the gray-failure self-report rides the same
 	// optional-trailing-field contract on TAnnounce.
 	f.Add(Encode(&Message{Type: TAnnounce, ID: 6, From: "s", Persistent: true, Degraded: true}))
+	// Replication-protocol frames (DESIGN.md §13): a replicate/repair
+	// write-through, an invalidation, a result carrying a replica
+	// identity, and a failover take — the frames a pre-replication
+	// decoder never saw, pinning both the extended and truncated layouts.
+	f.Add(Encode(&Message{Type: TOut, ID: 7, From: "s", TTL: time.Minute,
+		Tuple: tuple.T(tuple.String("tok"), tuple.Int(1)), ReplOrigin: "s", ReplSeq: 2}))
+	f.Add(Encode(&Message{Type: TCancel, ID: 8, From: "s", ReplOrigin: "o", ReplSeq: 5}))
+	f.Add(Encode(&Message{Type: TResult, ID: 9, From: "s", Found: true, HoldID: 4,
+		Tuple: tuple.T(tuple.String("tok"), tuple.Int(1)), ReplOrigin: "o", ReplSeq: 5}))
+	f.Add(Encode(&Message{Type: TOp, ID: 10, From: "s", Op: OpInp, TTL: time.Second,
+		Template: tuple.Tmpl(tuple.Any()), Failover: true}))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		m, err := Decode(data)
 		if err != nil {

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench bench-json chaos crash soak fuzz mobility gray replica
+.PHONY: build test check bench bench-json chaos crash soak fuzz mobility gray replica upgrade
 
 build:
 	$(GO) build ./...
@@ -78,6 +78,16 @@ replica:
 	$(GO) test -race -run 'TestRing|WriteThrough|ReplicaServes|FailoverTake|FailoverRefused|TakeInvalidates|InvalidateFences|LocalReplica|RepairReplaces|Adoption|ReplicationOff|C5' \
 		./routing/ ./internal/core/ ./wire/ ./internal/harness/
 	$(GO) run ./cmd/tiamat-bench -quick C5
+
+# upgrade runs the rolling-upgrade suite under the race detector:
+# golden wire fixtures (byte-stability, round-trip, truncation sweeps),
+# capability learning/gating unit tests, the write-through refusal
+# regression, and the C6 mixed-version soak with its conservation /
+# at-most-once / zero-gated-violations / activation-bound invariants.
+upgrade:
+	$(GO) test -race -run 'Golden|Caps|Gated|Baseline|WriteThroughRefusal|SilentBackup|C6' \
+		./wire/ ./internal/core/ ./internal/discovery/ ./transport/memnet/ ./internal/harness/
+	$(GO) run ./cmd/tiamat-bench -quick C6
 
 # crash runs the storage fault-injection suite under the race detector:
 # WAL kill-point sweeps, torn writes, bit flips, failed syncs, and the

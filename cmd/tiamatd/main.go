@@ -10,6 +10,16 @@
 //	        [-fsync always|interval|never] [-stall-threshold 250ms]
 //	        [-stats 10s] [-pda]
 //	        [-max-peer-waits n] [-shed-watermark 0.75] [-rearm=true]
+//	        [-replicas 1] [-repair-interval 0] [-caps-mask 0x0]
+//
+// -caps-mask withholds capability bits (a hex or decimal bitmask of
+// wire.Cap* values) from both the node's announcements and its own
+// behaviour, making it act as an older build during rolling-upgrade
+// canary or rollback testing (DESIGN.md §14). The drain path prints a
+// one-line capability summary: the local capability set, how many peer
+// capability sets were learned, how many frames were stripped or
+// withheld toward pre-capability peers, and how many cached responders
+// still run a baseline build.
 //
 // -max-peer-waits and -shed-watermark tune the overload governor
 // (DESIGN.md §9): the per-peer bound on served blocking waits and the
@@ -45,6 +55,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -55,6 +66,7 @@ import (
 	"tiamat/space/persist"
 	"tiamat/transport/netudp"
 	"tiamat/tuple"
+	"tiamat/wire"
 )
 
 func main() {
@@ -72,10 +84,18 @@ func main() {
 	rearm := flag.Bool("rearm", true, "re-arm in-flight blocking ops when new peers become visible")
 	replicas := flag.Int("replicas", 1, "replica-set size R for leased replication (1 = off)")
 	repairInterval := flag.Duration("repair-interval", 0, "anti-entropy repair sweep interval (0 = library default; with -replicas > 1)")
+	capsMask := flag.String("caps-mask", "", "capability bits to withhold (hex or decimal bitmask of wire.Cap* values), simulating an older build for canary/rollback testing")
 	flag.Parse()
 
 	if *shedWatermark < 0 || *shedWatermark > 1 {
 		log.Fatalf("-shed-watermark %g out of range (0..1]", *shedWatermark)
+	}
+	var mask uint64
+	if *capsMask != "" {
+		var err error
+		if mask, err = strconv.ParseUint(*capsMask, 0, 64); err != nil {
+			log.Fatalf("-caps-mask %q: %v", *capsMask, err)
+		}
 	}
 
 	var staticPeers []string
@@ -98,6 +118,7 @@ func main() {
 		DisableRearm:        !*rearm,
 		Replicas:            *replicas,
 		RepairInterval:      *repairInterval,
+		CapsMask:            mask,
 		Governor: tiamat.GovernorConfig{
 			MaxPeerWaits:  *maxPeerWaits,
 			ShedWatermark: *shedWatermark,
@@ -184,6 +205,9 @@ func main() {
 			gr := inst.Gray()
 			fmt.Printf("gray: hedges=%d wins=%d suppressed=%d rtt-samples=%d degraded=%t\n",
 				gr.Hedges, gr.HedgeWins, gr.HedgeSuppressed, gr.RTTSamples, inst.Degraded())
+			c := inst.CapsSummary()
+			fmt.Printf("caps: local=%s learned=%d gated-sends=%d baseline-peers=%d\n",
+				wire.CapsString(c.Local), c.Learned, c.GatedSends, c.BaselinePeers)
 			if *replicas > 1 {
 				rp := inst.Replication()
 				fmt.Printf("repl: writes=%d failover-takes=%d repairs=%d fenced-holds=%d stale-reads=%d outs=%d copies=%d under-replicated=%d\n",

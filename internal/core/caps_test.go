@@ -1,0 +1,106 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"tiamat/trace"
+	"tiamat/wire"
+)
+
+// TestGatedSendStripsAdvisoryFields pins the per-destination gate
+// (DESIGN.md §14): toward a known-baseline peer an advisory field
+// (busy) is stripped — the frame arrives as its baseline form and the
+// in-memory message is restored for reuse — while a semantic field (a
+// replica identity) makes the send refuse outright. After the peer
+// upgrades, the same frames pass untouched.
+func TestGatedSendStripsAdvisoryFields(t *testing.T) {
+	r := newRig(t, []wire.Addr{"a"}, nil)
+	a := r.inst["a"]
+	b, err := r.net.Attach("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.net.ConnectAll()
+	bin := &inbox{ep: b}
+
+	a.list.ObserveAnnounce("b", 0, false) // caps-less announce: known baseline
+	m := &wire.Message{Type: wire.TResult, ID: 41, From: "a", Busy: true}
+	if err := a.send("b", m); err != nil {
+		t.Fatal(err)
+	}
+	if !m.Busy {
+		t.Fatal("stripped field must be restored after the send")
+	}
+	eventually(t, "stripped result delivered", func() bool { return bin.find(41) != nil })
+	if bin.find(41).Busy {
+		t.Fatal("busy marker crossed a gated link")
+	}
+	if r.met.Get(trace.CtrCapsGatedSends) == 0 {
+		t.Fatal("gated send not counted")
+	}
+
+	out := &wire.Message{Type: wire.TOut, ID: 42, From: "a", TTL: time.Hour,
+		Tuple: req(1), ReplOrigin: "a", ReplSeq: 3}
+	if err := a.send("b", out); !errors.Is(err, errCapsGated) {
+		t.Fatalf("identity-bearing out toward baseline peer: err=%v, want errCapsGated", err)
+	}
+	if bin.find(42) != nil {
+		t.Fatal("refused frame must not be delivered")
+	}
+
+	a.list.ObserveAnnounce("b", wire.CapsCurrent, false) // peer upgraded mid-flight
+	m2 := &wire.Message{Type: wire.TResult, ID: 43, From: "a", Busy: true}
+	if err := a.send("b", m2); err != nil {
+		t.Fatal(err)
+	}
+	eventually(t, "ungated result delivered", func() bool { return bin.find(43) != nil })
+	if !bin.find(43).Busy {
+		t.Fatal("busy marker lost toward a capable peer")
+	}
+	if err := a.send("b", out); err != nil {
+		t.Fatalf("identity-bearing out toward capable peer: %v", err)
+	}
+	eventually(t, "replicate delivered", func() bool { return bin.find(42) != nil })
+	if bin.find(42).ReplSeq != 3 {
+		t.Fatal("replica identity lost toward a capable peer")
+	}
+}
+
+// TestAnnounceCapsPolicy pins the one deliberate gating exception: an
+// announce toward a peer of unknown build carries the capability set as
+// an optimistic probe, while toward a known-baseline peer it is
+// stripped back to the byte-identical baseline frame.
+func TestAnnounceCapsPolicy(t *testing.T) {
+	r := newRig(t, []wire.Addr{"a"}, nil)
+	a := r.inst["a"]
+	b, err := r.net.Attach("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.net.ConnectAll()
+	bin := &inbox{ep: b}
+
+	probe := &wire.Message{Type: wire.TAnnounce, ID: 51, From: "a"}
+	a.stampAnnounce(probe)
+	if err := a.send("b", probe); err != nil { // build unknown: caps ride
+		t.Fatal(err)
+	}
+	eventually(t, "optimistic announce delivered", func() bool { return bin.find(51) != nil })
+	if bin.find(51).Caps != wire.CapsCurrent {
+		t.Fatalf("announce toward unknown peer carried caps %#x, want %#x",
+			bin.find(51).Caps, uint64(wire.CapsCurrent))
+	}
+
+	a.list.ObserveAnnounce("b", 0, false) // learned baseline: probing stops
+	again := &wire.Message{Type: wire.TAnnounce, ID: 52, From: "a"}
+	a.stampAnnounce(again)
+	if err := a.send("b", again); err != nil {
+		t.Fatal(err)
+	}
+	eventually(t, "gated announce delivered", func() bool { return bin.find(52) != nil })
+	if got := bin.find(52); got.Caps != 0 || got.Degraded {
+		t.Fatalf("announce toward baseline peer not stripped: caps=%#x degraded=%v", got.Caps, got.Degraded)
+	}
+}

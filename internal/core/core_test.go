@@ -50,6 +50,18 @@ func newRig(t *testing.T, addrs []wire.Addr, mutate func(*Config)) *rig {
 	return r
 }
 
+// seedCaps marks peer as a fully capable build at every instance,
+// standing in for the announce exchange the rig's raw test endpoints
+// never perform — without it the instances gate every versioned field
+// (busy markers, coalesced acks, replica identities) toward the peer,
+// which is exactly the conservative default the capability tests cover
+// separately.
+func (r *rig) seedCaps(peer wire.Addr) {
+	for _, inst := range r.inst {
+		inst.list.ObserveAnnounce(peer, wire.CapsCurrent, false)
+	}
+}
+
 func (r *rig) close() {
 	for _, i := range r.inst {
 		i.Close()
@@ -672,10 +684,13 @@ func TestResponderListLearnsAndEvicts(t *testing.T) {
 		t.Fatalf("rdp = %v %v", ok, err)
 	}
 	eventually(t, "list populated", func() bool { return len(a.ResponderList()) >= 1 })
-	// Departed nodes are evicted on the next send attempt.
+	// Departed nodes are evicted on the next send attempt. Re-attempt
+	// inside the poll: an announce b sent just before its isolation (a
+	// capability probe reply) may still be queued at a and re-add the
+	// entry after the first eviction — the next contact evicts it again.
 	r.net.Isolate("b")
-	a.Rdp(context.Background(), reqTmpl(), nil)
 	eventually(t, "b evicted", func() bool {
+		a.Rdp(context.Background(), reqTmpl(), nil)
 		for _, x := range a.ResponderList() {
 			if x == "b" {
 				return false

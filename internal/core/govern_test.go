@@ -110,6 +110,8 @@ func TestRemoteWaitFloodBounded(t *testing.T) {
 		t.Fatal(err)
 	}
 	r.net.ConnectAll()
+	r.seedCaps("z")
+	r.seedCaps("y")
 	zin, yin := &inbox{ep: z}, &inbox{ep: y}
 
 	const flood = 50
@@ -169,6 +171,7 @@ func TestDeadlinePropagationReleasesWaitEarly(t *testing.T) {
 		t.Fatal(err)
 	}
 	r.net.ConnectAll()
+	r.seedCaps("z")
 	zin := &inbox{ep: z}
 
 	m := opFrame("z", 1, wire.OpIn, time.Hour)
@@ -226,6 +229,7 @@ func TestShedOrderUnderPressure(t *testing.T) {
 		t.Fatal(err)
 	}
 	r.net.ConnectAll()
+	r.seedCaps("z")
 	box := &inbox{ep: z}
 	var id uint64
 
@@ -344,6 +348,7 @@ func TestRevokeOnlyAfterShrinkExhausted(t *testing.T) {
 		t.Fatal(err)
 	}
 	r.net.ConnectAll()
+	r.seedCaps("z")
 	box := &inbox{ep: z}
 
 	// A lease with slack: granted a fat byte budget, used little — the

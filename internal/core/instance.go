@@ -200,6 +200,17 @@ type Config struct {
 	// a dead origin are adopted by their surviving holders. Only
 	// meaningful when Replicas ≥ 2.
 	RepairInterval time.Duration
+	// CapsMask clears capability bits (wire.Cap*) from both this
+	// instance's advertised set and its locally produced wire features:
+	// a masked bit is never announced, and the optional fields it covers
+	// are never emitted — the node is byte-compatible with the build
+	// that predates the feature. Masking wire.CapReplicaIdentity also
+	// disables the replication machinery regardless of Replicas, since a
+	// node that may not emit replica frames cannot hold up its end of
+	// the protocol. Used for canarying rolling upgrades (tiamatd
+	// -caps-mask) and by the C6 mixed-version soak to simulate old
+	// binaries. Zero masks nothing (DESIGN.md §14).
+	CapsMask uint64
 	// RoutePolicy selects OutBack behaviour (default RouteLocal).
 	RoutePolicy RoutePolicy
 	// Persistent marks this space as persistent in announcements and in
@@ -306,17 +317,22 @@ type Instance struct {
 	local space.Space
 	list  *discovery.ResponderList
 
-	mu        sync.Mutex
-	closed    bool
-	nextOpID  uint64
-	ops       map[uint64]*opState     // outbound operations awaiting replies
-	holds     map[uint64]*pendingHold // tentative removals we are holding
-	nextHold  uint64
+	// caps is this instance's capability set: wire.CapsCurrent minus
+	// Config.CapsMask. Immutable after New; the per-destination feature
+	// gate is caps ∩ the peer's advertised set (linkCaps).
+	caps uint64
+
+	mu       sync.Mutex
+	closed   bool
+	nextOpID uint64
+	ops      map[uint64]*opState     // outbound operations awaiting replies
+	holds    map[uint64]*pendingHold // tentative removals we are holding
+	nextHold uint64
 	// pendAccepts are accept retransmissions awaiting the owner's ack,
 	// keyed by ack ID (ops.go: acceptHold).
 	pendAccepts map[uint64]*pendingAccept
-	waits     map[waitKey]*remoteWait   // blocking waiters we serve for peers
-	announces map[uint64]chan SpaceInfo // open Spaces() discovery rounds
+	waits       map[waitKey]*remoteWait   // blocking waiters we serve for peers
+	announces   map[uint64]chan SpaceInfo // open Spaces() discovery rounds
 	// served caches replies to already-handled remote requests, keyed by
 	// (requester, op ID). Retransmitted or duplicated frames are answered
 	// from the cache instead of re-executed: at-least-once delivery plus
@@ -372,6 +388,12 @@ type Instance struct {
 	// full OrphanGrace window. Guarded by mu.
 	suspect map[wire.Addr]time.Time
 
+	// capsProbes rate-limits capability probes: when a frame arrives
+	// from a peer whose capability set is still unknown, we unicast one
+	// TDiscover (its announce reply carries the peer's caps — or lacks
+	// them, marking it baseline) instead of guessing. Guarded by mu.
+	capsProbes map[wire.Addr]time.Time
+
 	// draining is set by Shutdown before any teardown happens: API entry
 	// points and new remote work are refused while in-flight state
 	// settles. It is atomic (not under mu) so the dispatch fast path can
@@ -401,27 +423,29 @@ func New(cfg Config) (*Instance, error) {
 	}
 	cfg.applyDefaults()
 	i := &Instance{
-		cfg: cfg,
-		ep:  cfg.Endpoint,
-		clk: cfg.Clock,
-		met: cfg.Metrics,
-		mgr: lease.NewManager(cfg.Leases, cfg.Clock),
+		cfg:  cfg,
+		ep:   cfg.Endpoint,
+		clk:  cfg.Clock,
+		met:  cfg.Metrics,
+		caps: wire.CapsCurrent &^ cfg.CapsMask,
+		mgr:  lease.NewManager(cfg.Leases, cfg.Clock),
 		list: discovery.NewResponderList(cfg.ResponderListMax, cfg.Metrics,
 			discovery.WithClock(cfg.Clock),
 			discovery.WithLatencyPolicy(cfg.DemoteFactor, 0, 0, 0, 0)),
 		ops:         make(map[uint64]*opState),
 		holds:       make(map[uint64]*pendingHold),
 		pendAccepts: make(map[uint64]*pendingAccept),
-		waits:      make(map[waitKey]*remoteWait),
-		announces:  make(map[uint64]chan SpaceInfo),
-		served:     make(map[waitKey]servedReply),
-		accepted:   make(map[acceptKey]bool),
-		outBySid:   make(map[uint64]*lease.Lease),
-		sidByLease: make(map[uint64]uint64),
-		evals:      make(map[string]EvalFunc),
-		relays:     append([]wire.Addr(nil), cfg.Relays...),
-		suspect:    make(map[wire.Addr]time.Time),
-		stopped:    make(chan struct{}),
+		waits:       make(map[waitKey]*remoteWait),
+		announces:   make(map[uint64]chan SpaceInfo),
+		served:      make(map[waitKey]servedReply),
+		accepted:    make(map[acceptKey]bool),
+		outBySid:    make(map[uint64]*lease.Lease),
+		sidByLease:  make(map[uint64]uint64),
+		evals:       make(map[string]EvalFunc),
+		relays:      append([]wire.Addr(nil), cfg.Relays...),
+		suspect:     make(map[wire.Addr]time.Time),
+		capsProbes:  make(map[wire.Addr]time.Time),
+		stopped:     make(chan struct{}),
 	}
 	i.seedRetryJitter()
 	i.defReq = lease.Flexible(cfg.DefaultTerms)
@@ -461,10 +485,27 @@ func New(cfg Config) (*Instance, error) {
 	go i.loop()
 	i.wg.Add(1)
 	go i.orphanLoop()
-	if cfg.Replicas >= 2 {
+	if cfg.Replicas >= 2 && i.caps&wire.CapReplicaIdentity != 0 {
 		i.repl = newReplicator(i)
 		i.wg.Add(1)
 		go i.repairLoop()
+	}
+	// Transports that coalesce pure acks accept a per-destination gate:
+	// acks are only folded into a multi-ID frame toward peers that
+	// advertised they can decode one (DESIGN.md §14). Ungated (or toward
+	// anyone else) each ack goes out as its own frame, byte-identical to
+	// the pre-batching protocol.
+	if g, ok := cfg.Endpoint.(interface{ SetAckGate(func(wire.Addr) bool) }); ok {
+		g.SetAckGate(func(to wire.Addr) bool {
+			if i.caps&wire.CapCoalescedAcks == 0 {
+				return false
+			}
+			if i.list.Caps(to)&wire.CapCoalescedAcks == 0 {
+				i.met.Inc(trace.CtrCapsGatedSends)
+				return false
+			}
+			return true
+		})
 	}
 	for w := 0; w < i.gov.cfg.Workers; w++ {
 		i.wg.Add(1)
@@ -476,9 +517,62 @@ func New(cfg Config) (*Instance, error) {
 	// is contactable again without waiting to be rediscovered. ID 0 is
 	// never used by a discovery round, so no open round mistakes it for
 	// a reply. Best-effort: a node that boots in isolation is found by
-	// ordinary discovery later.
-	_, _ = i.ep.Multicast(&wire.Message{Type: wire.TAnnounce, From: i.Addr(), Persistent: cfg.Persistent, Degraded: i.Degraded()})
+	// ordinary discovery later. The hello always carries this build's
+	// capability set (when any): peers must learn it before any gated
+	// feature can activate toward us, and a pre-capability listener
+	// rejecting the extended frame costs exactly one bounded decode
+	// failure per boot — it learns us through its own discover probe and
+	// our gated unicast reply instead.
+	hello := &wire.Message{Type: wire.TAnnounce, From: i.Addr(), Persistent: cfg.Persistent}
+	i.stampAnnounce(hello)
+	_, _ = i.ep.Multicast(hello)
 	return i, nil
+}
+
+// Caps returns this instance's capability set (wire.CapsCurrent minus
+// the configured mask).
+func (i *Instance) Caps() uint64 { return i.caps }
+
+// BaselinePeers reports how many cached responders are known to run a
+// pre-capability build, for the drain summary and canary monitoring.
+func (i *Instance) BaselinePeers() int { return i.list.BaselinePeers() }
+
+// PeerCaps reports the capability set learned for peer and whether its
+// build is known at all — false means we are still probing and every
+// versioned feature is conservatively off toward it.
+func (i *Instance) PeerCaps(peer wire.Addr) (uint64, bool) {
+	caps, st := i.list.CapsKnowledge(peer)
+	return caps, st != discovery.CapsUnknown
+}
+
+// CapsReport snapshots the capability-negotiation machinery (DESIGN.md
+// §14) for the drain summary and canary monitoring during a rolling
+// upgrade.
+type CapsReport struct {
+	Local         uint64 // this node's advertised capability set
+	Learned       int64  // announces that taught us a peer's capability set
+	GatedSends    int64  // frames stripped or withheld toward baseline peers
+	BaselinePeers int    // cached responders known to run pre-capability builds
+}
+
+// CapsSummary reports how capability negotiation went this run.
+func (i *Instance) CapsSummary() CapsReport {
+	return CapsReport{
+		Local:         i.caps,
+		Learned:       i.met.Get(trace.CtrCapsLearned),
+		GatedSends:    i.met.Get(trace.CtrCapsGatedSends),
+		BaselinePeers: i.list.BaselinePeers(),
+	}
+}
+
+// stampAnnounce fills the capability-bearing optional fields of an
+// outbound announce from local state: the advertised capability set and
+// the degraded self-report, both subject to the configured mask. The
+// per-destination gate (send) may still strip them toward a peer known
+// to run a pre-capability build.
+func (i *Instance) stampAnnounce(m *wire.Message) {
+	m.Caps = i.caps
+	m.Degraded = i.Degraded() && i.caps&wire.CapDegraded != 0
 }
 
 // Addr returns the instance's contact address.
@@ -547,8 +641,7 @@ func (i *Instance) Shutdown(ctx context.Context) error {
 	if i.isClosed() {
 		return nil
 	}
-	i.met.Inc(trace.CtrGoodbyes)
-	_, _ = i.ep.Multicast(&wire.Message{Type: wire.TGoodbye, ID: i.nextOp(), From: i.Addr()})
+	i.sendGoodbye()
 
 	// Settle peers' blocking waits with a definitive answer: their
 	// operations fail over to other responders instead of timing out
@@ -592,6 +685,32 @@ drain:
 	}
 	_ = i.Close()
 	return err
+}
+
+// sendGoodbye announces this node's departure. TGoodbye is a versioned
+// frame — pre-goodbye decoders reject the unknown type — so it is
+// multicast only when every cached responder advertises the capability;
+// otherwise it goes unicast to the capable members, and known-baseline
+// peers fall back to the pre-goodbye behaviour of discovering the
+// departure one failed contact at a time. A node masked below
+// CapGoodbye sends nothing, like the build it simulates.
+func (i *Instance) sendGoodbye() {
+	if i.caps&wire.CapGoodbye == 0 {
+		return
+	}
+	i.met.Inc(trace.CtrGoodbyes)
+	bye := &wire.Message{Type: wire.TGoodbye, ID: i.nextOp(), From: i.Addr()}
+	if i.list.AllHave(wire.CapGoodbye) {
+		_, _ = i.ep.Multicast(bye)
+		return
+	}
+	for _, a := range i.list.Members() {
+		if i.list.Caps(a)&wire.CapGoodbye != 0 {
+			_ = i.sendRaw(a, bye)
+		} else {
+			i.met.Inc(trace.CtrCapsGatedSends)
+		}
+	}
 }
 
 // Close stops the instance: the event loop exits, the local space closes,
@@ -669,14 +788,166 @@ func (i *Instance) LastPanic() string {
 	return s
 }
 
+// errCapsGated reports a frame withheld because its destination has not
+// advertised a capability the frame's encoding requires and the field
+// cannot be stripped without changing the frame's meaning.
+var errCapsGated = errors.New("tiamat: destination lacks required capability")
+
 // send transmits a message, evicting unreachable responders from the list
-// (paper §3.1.3: "removing any which do not respond").
+// (paper §3.1.3: "removing any which do not respond"). Before the frame
+// leaves, every versioned optional field is gated on the destination's
+// advertised capabilities (DESIGN.md §14): advisory fields (budget, busy,
+// failover, degraded, caps) are stripped so the frame decodes as its
+// baseline form, while semantic ones (a replica identity on TOut/TCancel)
+// make the frame undeliverable instead — stripping those would change
+// what the frame *means*, and the replica ring keeps such frames away
+// from incapable peers in the first place.
 func (i *Instance) send(to wire.Addr, m *wire.Message) error {
+	if wire.FeaturesOf(m) != 0 {
+		if err, gated := i.sendGated(to, m); gated {
+			return err
+		}
+	}
+	return i.sendRaw(to, m)
+}
+
+// sendRaw transmits without capability gating.
+func (i *Instance) sendRaw(to wire.Addr, m *wire.Message) error {
 	err := i.ep.Send(to, m)
 	if errors.Is(err, transport.ErrUnreachable) {
 		i.list.Evict(to)
 	}
 	return err
+}
+
+// linkCaps returns the feature set usable toward to: the intersection of
+// this instance's capabilities and what the peer has advertised. Unknown
+// and known-baseline peers yield zero — the conservative default.
+func (i *Instance) linkCaps(to wire.Addr) uint64 {
+	return i.caps & i.list.Caps(to)
+}
+
+// sendGated applies per-destination capability gating to a frame that
+// carries versioned features. It reports whether it handled the send;
+// false means nothing needed gating and the caller should transmit the
+// frame untouched. Stripped fields are restored after the transmit —
+// callers reuse one message across retries and multi-destination walks,
+// and the transports encode synchronously.
+func (i *Instance) sendGated(to wire.Addr, m *wire.Message) (error, bool) {
+	if m.Type == wire.TAnnounce {
+		// Announce policy: toward a peer known to run a pre-capability
+		// build, the announce must stay byte-identical to the baseline
+		// frame. Toward everyone else — including peers whose build is
+		// still unknown — the caps field rides as an optimistic probe: a
+		// new peer learns us immediately, an old one rejects the frame
+		// (bounded: its own caps-less announce marks it baseline here,
+		// and probing stops) and still learns us through its discover
+		// probes, which we answer gated.
+		if _, st := i.list.CapsKnowledge(to); st != discovery.CapsBaseline {
+			return nil, false
+		}
+		if !m.Degraded && m.Caps == 0 {
+			return nil, false
+		}
+		savedDeg, savedCaps := m.Degraded, m.Caps
+		m.Degraded, m.Caps = false, 0
+		err := i.sendRaw(to, m)
+		m.Degraded, m.Caps = savedDeg, savedCaps
+		i.met.Inc(trace.CtrCapsGatedSends)
+		return err, true
+	}
+	allowed := i.linkCaps(to)
+	if wire.FeaturesOf(m)&^allowed == 0 {
+		return nil, false
+	}
+	i.met.Inc(trace.CtrCapsGatedSends)
+	switch m.Type {
+	case wire.TOut, wire.TCancel:
+		// A replica identity is semantic: stripping it would turn a
+		// replicate into an authoritative out, or an invalidation into
+		// an op withdrawal. Refuse the send instead — the ring excludes
+		// incapable peers from placement, so reaching here means the
+		// peer's capability state changed mid-flight.
+		return errCapsGated, true
+	case wire.TGoodbye:
+		return errCapsGated, true
+	case wire.TOp:
+		savedBudget, savedFO := m.Budget, m.Failover
+		if allowed&wire.CapBudget == 0 {
+			m.Budget = 0
+		}
+		if allowed&(wire.CapBudget|wire.CapReplicaIdentity) != wire.CapBudget|wire.CapReplicaIdentity {
+			// The failover marker needs the replica protocol and forces
+			// the budget trailer; without both, the op rides as an
+			// ordinary take and the peer's authoritative space answers.
+			m.Failover = false
+		}
+		err := i.sendRaw(to, m)
+		m.Budget, m.Failover = savedBudget, savedFO
+		return err, true
+	case wire.TResult:
+		savedBusy, savedRO, savedRS := m.Busy, m.ReplOrigin, m.ReplSeq
+		if allowed&wire.CapBusy == 0 {
+			m.Busy = false
+		}
+		if allowed&(wire.CapBusy|wire.CapReplicaIdentity) != wire.CapBusy|wire.CapReplicaIdentity {
+			// The identity on a found reply is advisory — it lets the
+			// requester invalidate surviving copies itself. Without it
+			// the origin-side removal hook still invalidates on accept;
+			// only the origin-dies-after-replying window reopens, which
+			// is the pre-replication behaviour this peer runs anyway.
+			m.ReplOrigin, m.ReplSeq = "", 0
+		}
+		err := i.sendRaw(to, m)
+		m.Busy, m.ReplOrigin, m.ReplSeq = savedBusy, savedRO, savedRS
+		return err, true
+	case wire.TAck:
+		savedBusy, savedIDs := m.Busy, m.AckIDs
+		if allowed&wire.CapBusy == 0 {
+			m.Busy = false
+		}
+		if allowed&(wire.CapBusy|wire.CapCoalescedAcks) != wire.CapBusy|wire.CapCoalescedAcks {
+			m.AckIDs = nil
+		}
+		err := i.sendRaw(to, m)
+		m.Busy, m.AckIDs = savedBusy, savedIDs
+		return err, true
+	}
+	// No other type carries gateable features; FeaturesOf and this
+	// switch are maintained together.
+	return i.sendRaw(to, m), true
+}
+
+// capsProbeInterval bounds how often a still-unknown peer is re-probed;
+// one delivered probe settles the question, the interval only covers
+// frame loss.
+const capsProbeInterval = time.Second
+
+// maybeProbeCaps fires a unicast discovery probe toward a peer we are
+// hearing from but whose capability set is still unknown. The peer's
+// handleDiscover answers with an announce: a capability-bearing one
+// teaches us its full set, a bare one proves a pre-capability build
+// (handleAnnounce marks it baseline). Without the probe, capability
+// knowledge flows one way — discoverers learn responders from announce
+// replies, but a responder serving a never-announcing requester would
+// gate advisory features (busy replies, coalesced acks, …) toward it
+// forever.
+func (i *Instance) maybeProbeCaps(from wire.Addr) {
+	if from == i.Addr() || i.stopping() {
+		return
+	}
+	if _, st := i.list.CapsKnowledge(from); st != discovery.CapsUnknown {
+		return
+	}
+	now := i.clk.Now()
+	i.mu.Lock()
+	if last, ok := i.capsProbes[from]; ok && now.Sub(last) < capsProbeInterval {
+		i.mu.Unlock()
+		return
+	}
+	i.capsProbes[from] = now
+	i.mu.Unlock()
+	_ = i.send(from, &wire.Message{Type: wire.TDiscover, ID: i.nextOp(), From: i.Addr()})
 }
 
 func (i *Instance) nextOp() uint64 {

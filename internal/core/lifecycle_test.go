@@ -106,6 +106,7 @@ func TestGoodbyeReinstatesHeldTuples(t *testing.T) {
 		t.Fatal(err)
 	}
 	r.net.ConnectAll()
+	r.seedCaps("ghost")
 	a := r.inst["a"]
 	if err := a.Out(req(9), nil); err != nil {
 		t.Fatal(err)

@@ -133,8 +133,12 @@ func (i *Instance) sweepOrphans() {
 		i.mob.probes.Add(1)
 		// The probe is a plain unsolicited announce: peers of any version
 		// already treat it as useful knowledge (handleAnnounce), so mixed
-		// clusters need no new frame type.
-		err := i.send(a, &wire.Message{Type: wire.TAnnounce, From: i.Addr(), Persistent: i.cfg.Persistent})
+		// clusters need no new frame type. It carries our caps like every
+		// announce (send gates them per destination) so a capable peer
+		// never mistakes the probe for a baseline-build downgrade.
+		probe := &wire.Message{Type: wire.TAnnounce, From: i.Addr(), Persistent: i.cfg.Persistent}
+		i.stampAnnounce(probe)
+		err := i.send(a, probe)
 		i.mu.Lock()
 		if err == nil {
 			delete(i.suspect, a)

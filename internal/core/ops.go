@@ -577,11 +577,18 @@ func (i *Instance) propagate(ctx context.Context, code wire.OpCode, p tuple.Temp
 		}
 		// Multicasts reach every listener, including pre-replication
 		// decoders that would reject a Failover-extended frame outright —
-		// so the flag rides unicast contacts only.
-		prevFO := msg.Failover
+		// so the flag rides unicast contacts only. Budget is likewise
+		// suppressed unless every known responder advertises it; unlike
+		// Failover it is purely advisory, so it may still ride when the
+		// whole audience is capable.
+		prevFO, prevBudget := msg.Failover, msg.Budget
 		msg.Failover = false
+		if prevBudget > 0 && !i.list.AllHave(wire.CapBudget) {
+			msg.Budget = 0
+			i.met.Inc(trace.CtrCapsGatedSends)
+		}
 		n, err := i.ep.Multicast(msg)
-		msg.Failover = prevFO
+		msg.Failover, msg.Budget = prevFO, prevBudget
 		if err == nil {
 			if n < 0 {
 				unknownAudience = true

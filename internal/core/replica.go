@@ -76,13 +76,17 @@ type replOut struct {
 	tag    string
 	arity  int
 	// targets is the initial write-through set; done closes when every
-	// target acked, releasing a synchronous Out.
+	// target acked or definitively refused, releasing a synchronous Out.
 	targets []wire.Addr
 	done    chan struct{}
 	settled bool
-	// acked tracks which holders confirmed a copy; lastSend paces
-	// re-sends per holder so the sweeper never hammers a slow peer.
+	// acked tracks which holders confirmed a copy; refused tracks
+	// holders that answered with a definitive refusal (the copy does NOT
+	// exist there — a failed target, observable, that the sweeper keeps
+	// re-placing); lastSend paces re-sends per holder so the sweeper
+	// never hammers a slow peer.
 	acked    map[wire.Addr]bool
+	refused  map[wire.Addr]bool
 	lastSend map[wire.Addr]time.Time
 }
 
@@ -122,19 +126,20 @@ type replicator struct {
 	// nonzero, and derivable from a space.Hold with no side lookup — so a
 	// take served in the window before replWriteThrough registers its
 	// record still stamps the correct identity onto the reply.
-	mu     sync.Mutex
-	outs   map[uint64]*replOut // own replicated outs, by seq (== space id)
-	copies map[replKey]*replCopy
-	fences   map[replKey]time.Time // refused identities → fence expiry
-	pend     map[uint64]pendRepl   // replicate ack ID → flight info
-	ring     *routing.Ring
-	ringRev  uint64
+	mu      sync.Mutex
+	outs    map[uint64]*replOut // own replicated outs, by seq (== space id)
+	copies  map[replKey]*replCopy
+	fences  map[replKey]time.Time // refused identities → fence expiry
+	pend    map[uint64]pendRepl   // replicate ack ID → flight info
+	ring    *routing.Ring
+	ringRev uint64
 
 	writes        atomic.Uint64
 	failoverTakes atomic.Uint64
 	repairs       atomic.Uint64
 	fencedHolds   atomic.Uint64
 	staleReads    atomic.Uint64
+	writeRefusals atomic.Uint64
 }
 
 func newReplicator(i *Instance) *replicator {
@@ -156,6 +161,7 @@ type ReplicationReport struct {
 	Repairs       uint64 // anti-entropy re-sends (own outs + adopted copies)
 	FencedHolds   uint64 // replicates refused because their key was fenced
 	StaleReads    uint64 // reads answered from a replica copy
+	WriteRefusals uint64 // write-throughs a backup definitively refused
 	Outs          int    // live replicated outs this node originated
 	Copies        int    // replica copies held for other origins
 	Fences        int    // live fence records
@@ -178,6 +184,7 @@ func (i *Instance) Replication() ReplicationReport {
 		Repairs:       r.repairs.Load(),
 		FencedHolds:   r.fencedHolds.Load(),
 		StaleReads:    r.staleReads.Load(),
+		WriteRefusals: r.writeRefusals.Load(),
 	}
 	ring := r.ringNow()
 	r.mu.Lock()
@@ -237,8 +244,14 @@ func replTemplateKey(p tuple.Template) (string, int, bool) {
 
 // ringNow returns the placement ring for the current membership,
 // rebuilding it when the responder list's revision moved. Membership is
-// everyone the list knows — including suspected and demoted peers, who
-// still hold their replicas — plus this instance.
+// everyone the list knows that advertises the replica-identity
+// capability — including suspected and demoted peers, who still hold
+// their replicas — plus this instance. Peers that never announced the
+// capability (pre-replication builds, masked canaries, unknowns) are
+// excluded from placement outright: a write-through toward one would be
+// rejected as an undecodable frame, silently stranding the copy
+// (DESIGN.md §14). The list revision moves on capability transitions
+// too, so an upgraded peer enters placement within one announce round.
 func (r *replicator) ringNow() *routing.Ring {
 	rev := r.i.list.Revision()
 	r.mu.Lock()
@@ -248,7 +261,14 @@ func (r *replicator) ringNow() *routing.Ring {
 		return ring
 	}
 	r.mu.Unlock()
-	members := append(r.i.list.Members(), r.i.Addr())
+	all := r.i.list.Members()
+	members := make([]wire.Addr, 0, len(all)+1)
+	for _, a := range all {
+		if r.i.list.Caps(a)&wire.CapReplicaIdentity != 0 {
+			members = append(members, a)
+		}
+	}
+	members = append(members, r.i.Addr())
 	relays := make(map[wire.Addr]bool)
 	r.i.mu.Lock()
 	for _, a := range r.i.relays {
@@ -348,7 +368,8 @@ func (i *Instance) replWriteThrough(sid uint64, t tuple.Tuple, lse *lease.Lease)
 		seq: sid, sid: sid, t: t.Copy(), expiry: expiry,
 		tag: tag, arity: arity,
 		done:  make(chan struct{}),
-		acked: make(map[wire.Addr]bool), lastSend: make(map[wire.Addr]time.Time),
+		acked: make(map[wire.Addr]bool), refused: make(map[wire.Addr]bool),
+		lastSend: make(map[wire.Addr]time.Time),
 	}
 	r.outs[ro.seq] = ro
 	r.mu.Unlock()
@@ -410,20 +431,37 @@ func (i *Instance) replWriteThrough(sid uint64, t tuple.Tuple, lse *lease.Lease)
 	case <-done:
 		return nil
 	case <-wait.C():
+		// Only the wait is best-effort, not the write: a target silent
+		// through the whole window — a crashed peer, a lost frame, or a
+		// pre-replication decoder that rejected the frame without ever
+		// acking — is a *failed* write-through, counted here so the
+		// silence is observable instead of reading as success. The out
+		// stands and the sweeper keeps re-placing the copy; the ring's
+		// capability filter keeps undecodable targets out of placement
+		// in the first place (DESIGN.md §14).
+		r.mu.Lock()
+		for _, a := range ro.targets {
+			if !ro.acked[a] && !ro.refused[a] {
+				i.met.Inc(trace.CtrReplWriteUnacked)
+			}
+		}
+		r.mu.Unlock()
 		return nil // sweeper converges; the origin is still alive to run it
 	case <-i.stopped:
 		return ErrClosed
 	}
 }
 
-// settleLocked closes ro.done once every initial target acked. Caller
-// holds r.mu.
+// settleLocked closes ro.done once every initial target acked or
+// definitively refused — a refusal is an answer, so a synchronous Out
+// must not run out the clock waiting for an ack that can never arrive.
+// Caller holds r.mu.
 func (r *replicator) settleLocked(ro *replOut) {
 	if ro.settled || ro.done == nil {
 		return
 	}
 	for _, a := range ro.targets {
-		if !ro.acked[a] {
+		if !ro.acked[a] && !ro.refused[a] {
 			return
 		}
 	}
@@ -432,7 +470,12 @@ func (r *replicator) settleLocked(ro *replOut) {
 }
 
 // replFinishAck settles a replicate-frame ack, reporting whether id
-// belonged to one. Mirrors finishAccept in the handleResult path.
+// belonged to one. Mirrors finishAccept in the handleResult path. A
+// not-OK ack ("replication disabled", "fenced", "replica store full",
+// "expired") is a definitive refusal: the copy does not exist at that
+// backup. It is recorded as a failed target — counted, settling the
+// synchronous wait, and leaving the target unacked so the sweeper keeps
+// re-placing it — never dropped as if the write had quietly succeeded.
 func (i *Instance) replFinishAck(id uint64, m *wire.Message) bool {
 	r := i.repl
 	if r == nil {
@@ -442,11 +485,16 @@ func (i *Instance) replFinishAck(id uint64, m *wire.Message) bool {
 	p, ok := r.pend[id]
 	if ok {
 		delete(r.pend, id)
-		if m.OK {
-			if ro := r.outs[p.seq]; ro != nil {
+		if ro := r.outs[p.seq]; ro != nil {
+			if m.OK {
 				ro.acked[p.to] = true
-				r.settleLocked(ro)
+				delete(ro.refused, p.to)
+			} else {
+				ro.refused[p.to] = true
+				i.met.Inc(trace.CtrReplWriteRefused)
+				r.writeRefusals.Add(1)
 			}
+			r.settleLocked(ro)
 		}
 	}
 	r.mu.Unlock()
@@ -545,9 +593,15 @@ func (i *Instance) replInvalidateSiblings(m *wire.Message) {
 	// have spread them further. Views diverge around exactly the failures
 	// that trigger failover, so finish with a multicast: every visible
 	// holder drops and fences the identity, and nodes that never held it
-	// fence pre-emptively against late repair sends. (Replicated-cancel
-	// frames only exist at R>=2, where every peer decodes them.)
-	_, _ = i.ep.Multicast(inval)
+	// fence pre-emptively against late repair sends. The multicast is
+	// withheld on a mixed cluster — a pre-replication decoder rejects a
+	// replicated cancel as garbage — and the ring-derived unicasts above
+	// (which reach only capable peers) carry the whole load there.
+	if i.list.AllHave(wire.CapReplicaIdentity) {
+		_, _ = i.ep.Multicast(inval)
+	} else {
+		i.met.Inc(trace.CtrCapsGatedSends)
+	}
 }
 
 // --- holder side: copies, reads, failover takes, fences -----------------
@@ -862,7 +916,12 @@ func (i *Instance) replPeerDead(a wire.Addr) bool {
 	if i.list.Suspected(a) {
 		return true
 	}
-	err := i.send(a, &wire.Message{Type: wire.TAnnounce, From: i.Addr(), Persistent: i.cfg.Persistent})
+	// The probe is an announce like any other: it must carry our caps
+	// (send gates them per destination) or a capable peer would read the
+	// bare frame as evidence we downgraded to a baseline build.
+	probe := &wire.Message{Type: wire.TAnnounce, From: i.Addr(), Persistent: i.cfg.Persistent}
+	i.stampAnnounce(probe)
+	err := i.send(a, probe)
 	return errors.Is(err, transport.ErrUnreachable)
 }
 

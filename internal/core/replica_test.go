@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"tiamat/lease"
+	"tiamat/trace"
 	"tiamat/tuple"
 	"tiamat/wire"
 )
@@ -38,11 +39,13 @@ func replRig(t *testing.T, mutate func(*Config), addrs ...wire.Addr) *rig {
 	r.net.ConnectAll()
 	// Boot announces fire before the rig connects visibility, so seed the
 	// responder lists directly — deterministic membership means
-	// deterministic ring placement.
+	// deterministic ring placement. Seeding goes through ObserveAnnounce
+	// with the full capability set: the ring only places copies on peers
+	// that advertised the replica protocol (DESIGN.md §14).
 	for _, a := range addrs {
 		for _, b := range addrs {
 			if a != b {
-				r.inst[a].list.Observe(b)
+				r.inst[a].list.ObserveAnnounce(b, wire.CapsCurrent, false)
 			}
 		}
 	}
@@ -380,5 +383,93 @@ func TestReplicationOffIsInert(t *testing.T) {
 	}
 	if a.ReplicaCopies(reqTmpl()) != 0 {
 		t.Fatal("replica store active at R=1")
+	}
+}
+
+// TestWriteThroughRefusalCountsAsFailed pins the write-through ack
+// accounting: a backup that answers the replicate frame with a NOT-OK
+// ack has definitively refused the copy. The refusal must settle the
+// synchronous wait at once (the rig's virtual clock never advances, so
+// if Out returned by timeout this test would hang) and be counted as a
+// failed target — never absorbed as if the copy had been placed.
+func TestWriteThroughRefusalCountsAsFailed(t *testing.T) {
+	r := newRig(t, []wire.Addr{"a"}, func(c *Config) { c.Replicas = 2 })
+	a := r.inst["a"]
+	b, err := r.net.Attach("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.net.ConnectAll()
+	r.seedCaps("b") // advertises the replica capability: ring-eligible
+	go func() {
+		for m := range b.Recv() {
+			if m.Type == wire.TOut && m.ReplSeq != 0 {
+				_ = b.Send("a", &wire.Message{
+					Type: wire.TAck, ID: m.ID, From: "b", OK: false, Err: "replica store full",
+				})
+			}
+		}
+	}()
+	done := make(chan error, 1)
+	go func() { done <- a.Out(req(1), outLease()) }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Out never settled on the backup's refusal")
+	}
+	rep := a.Replication()
+	if rep.WriteRefusals != 1 {
+		t.Fatalf("write refusals = %d, want 1", rep.WriteRefusals)
+	}
+	if got := r.met.Get(trace.CtrReplWriteRefused); got != 1 {
+		t.Fatalf("%s = %d, want 1", trace.CtrReplWriteRefused, got)
+	}
+	if a.ReplicaCopies(reqTmpl()) != 0 {
+		t.Fatal("refused copy counted as placed")
+	}
+}
+
+// TestWriteThroughSilentBackupCountsUnacked pins the other failure
+// shape: a backup that never acks at all — a crashed peer, or a
+// pre-replication decoder that rejected the frame with ErrFrame and
+// said nothing. When the write-through window closes, the silent target
+// must be counted as a failed write, not read as success.
+func TestWriteThroughSilentBackupCountsUnacked(t *testing.T) {
+	r := newRig(t, []wire.Addr{"a"}, func(c *Config) {
+		c.Replicas = 2
+		c.ContactTimeout = 50 * time.Millisecond
+	})
+	a := r.inst["a"]
+	b, err := r.net.Attach("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.net.ConnectAll()
+	r.seedCaps("b")
+	go func() {
+		for range b.Recv() {
+			// Silence: the simulated backup drops everything.
+		}
+	}()
+	done := make(chan error, 1)
+	go func() { done <- a.Out(req(1), outLease()) }()
+	// The wait timer runs on the virtual clock; advance until it fires.
+	for {
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := r.met.Get(trace.CtrReplWriteUnacked); got != 1 {
+				t.Fatalf("%s = %d, want 1", trace.CtrReplWriteUnacked, got)
+			}
+			return
+		default:
+			r.clk.Advance(10 * time.Millisecond)
+			time.Sleep(time.Millisecond)
+		}
 	}
 }

@@ -129,22 +129,27 @@ func (w *remoteWait) stop() { w.stopOnce.Do(func() { close(w.stopc) }) }
 // never learn it exists) and join-event re-arming never fires here.
 func (i *Instance) handleDiscover(m *wire.Message) {
 	i.list.Observe(m.From)
-	_ = i.send(m.From, &wire.Message{
+	reply := &wire.Message{
 		Type: wire.TAnnounce, ID: m.ID, From: i.Addr(), Persistent: i.cfg.Persistent,
-		Degraded: i.Degraded(),
-	})
+	}
+	i.stampAnnounce(reply)
+	_ = i.send(m.From, reply)
 }
 
 // handleAnnounce routes an announce to the discovery round that asked.
-// Either way the frame's self-reported health lands in the responder
-// list, so a peer that flags itself degraded is deprioritized before
-// this node ever times out on it.
+// Either way the frame's self-reported health and capability set land in
+// the responder list: a peer that flags itself degraded is deprioritized
+// before this node ever times out on it, and a caps-less announce marks
+// the peer known-baseline — every versioned feature stays off toward it
+// until a later announce says otherwise (DESIGN.md §14).
 func (i *Instance) handleAnnounce(m *wire.Message) {
 	i.mu.Lock()
 	ch, ok := i.announces[m.ID]
 	i.mu.Unlock()
-	i.list.Observe(m.From) // solicited or not, the announcer is alive
-	i.list.ObserveDegraded(m.From, m.Degraded)
+	// Solicited or not, the announcer is alive; one critical section
+	// records presence + caps + health so the join event a first
+	// announce emits is never processed ahead of the capability state.
+	i.list.ObserveAnnounce(m.From, m.Caps, m.Degraded)
 	if !ok {
 		return
 	}
@@ -726,6 +731,11 @@ func (i *Instance) dispatch(m *wire.Message) {
 		case wire.TDiscover:
 			return // do not advertise a space that is leaving
 		}
+	}
+	// Any frame from a peer whose build we don't know yet triggers a
+	// capability probe (announces answer the question themselves).
+	if m.Type != wire.TAnnounce && m.From != "" {
+		i.maybeProbeCaps(m.From)
 	}
 	switch m.Type {
 	case wire.TDiscover:

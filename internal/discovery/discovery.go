@@ -91,6 +91,30 @@ const (
 	devShift  = 2
 )
 
+// CapsState classifies what the list knows about a peer's wire
+// capabilities (DESIGN.md §14). The distinction between "unknown" and
+// "known baseline" matters on the announce path: toward an unknown peer
+// the instance keeps probing with caps-bearing announces (an old
+// decoder rejects them, boundedly, until its own caps-less announce
+// proves it baseline), while toward a known-baseline peer every frame —
+// announces included — must stay byte-identical to the pre-capability
+// protocol.
+type CapsState uint8
+
+// Capability-knowledge states.
+const (
+	// CapsUnknown: no announce from this peer has settled the question.
+	// Feature gates treat it as baseline (conservative); the announce
+	// path still probes it with caps.
+	CapsUnknown CapsState = iota
+	// CapsBaseline: the peer announced without a caps field — it runs a
+	// pre-capability build. All versioned features stay off toward it.
+	CapsBaseline
+	// CapsAware: the peer announced a capability set; the stored bits
+	// are authoritative until the next announce revises them.
+	CapsAware
+)
+
 // entry is one cached responder plus its health state.
 type entry struct {
 	addr         wire.Addr
@@ -107,6 +131,10 @@ type entry struct {
 	demotedUntil   time.Time     // zero when not demoted
 	demoteCooldown time.Duration // next demotion length
 	degradedUntil  time.Time     // self-reported degradation TTL
+
+	// Capability state (DESIGN.md §14), learned from announces.
+	caps      uint64
+	capsState CapsState
 }
 
 // EventKind classifies a visibility event.
@@ -184,6 +212,12 @@ type ResponderList struct {
 	nextSub uint64
 	joins   uint64
 	leaves  uint64
+
+	// capsRev counts capability-state transitions. It feeds Revision()
+	// so consumers that derive state from capabilities — the replica
+	// ring excludes peers that never advertised replica-identity —
+	// rebuild within one announce round of a peer upgrading.
+	capsRev uint64
 }
 
 // Option configures a ResponderList.
@@ -292,14 +326,15 @@ func (l *ResponderList) EventCounts() (joins, leaves uint64) {
 }
 
 // Revision returns a monotonic membership revision: it advances on every
-// join and leave. Consumers that derive state from the membership set —
-// the replica placement ring (DESIGN.md §13) rebuilds from Members() —
-// use it as a cheap change detector, and the Subscribe event stream as
-// the push-side signal that replica ranks shifted.
+// join, leave, and capability-state transition. Consumers that derive
+// state from the membership set — the replica placement ring (DESIGN.md
+// §13) rebuilds from Members() filtered by Caps — use it as a cheap
+// change detector, and the Subscribe event stream as the push-side
+// signal that replica ranks shifted.
 func (l *ResponderList) Revision() uint64 {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	return l.joins + l.leaves
+	return l.joins + l.leaves + l.capsRev
 }
 
 // Members returns the current membership in sorted order: every known
@@ -550,6 +585,12 @@ func (l *ResponderList) ObserveDegraded(addr wire.Addr, degraded bool) {
 	if e == nil {
 		return
 	}
+	l.observeDegradedLocked(e, degraded)
+}
+
+// observeDegradedLocked applies an announce's degradation self-report to
+// e. Caller holds l.mu.
+func (l *ResponderList) observeDegradedLocked(e *entry, degraded bool) {
 	now := l.clk.Now()
 	if !degraded {
 		e.degradedUntil = time.Time{}
@@ -559,6 +600,143 @@ func (l *ResponderList) ObserveDegraded(addr wire.Addr, degraded bool) {
 		l.met.Inc(trace.CtrPeerDegraded)
 	}
 	e.degradedUntil = now.Add(l.degradedTTL)
+}
+
+// ObserveCaps records what an announce frame from addr revealed about
+// its capabilities (DESIGN.md §14). caps != 0 marks the peer
+// capability-aware with exactly those bits; caps == 0 means the
+// announce carried no caps field — the peer runs a pre-capability
+// build (or deliberately masks everything), so it is marked known
+// baseline. Every announce re-learns: an upgraded peer's first
+// caps-bearing announce flips it from baseline to aware mid-flight,
+// and a rollback's caps-less announce flips it back. Transitions bump
+// the membership revision so ring-derived state rebuilds promptly.
+func (l *ResponderList) ObserveCaps(addr wire.Addr, caps uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	e := l.index[addr]
+	if e == nil {
+		return
+	}
+	l.observeCapsLocked(e, caps)
+}
+
+// observeCapsLocked applies an announce's capability evidence to e.
+// Caller holds l.mu.
+func (l *ResponderList) observeCapsLocked(e *entry, caps uint64) {
+	state := CapsBaseline
+	if caps != 0 {
+		state = CapsAware
+	}
+	if e.capsState == state && e.caps == caps {
+		return
+	}
+	e.capsState = state
+	e.caps = caps
+	l.capsRev++
+	l.met.Inc(trace.CtrCapsLearned)
+	l.met.Set(trace.CtrCapsBaselinePeers, l.baselineCountLocked())
+}
+
+// ObserveAnnounce records an announce from addr — presence, capability
+// set, and degradation self-report — in one critical section. Folding
+// the three observations keeps an important ordering property: the join
+// event a first announce emits is never deliverable before the entry's
+// capability state is set, so event-driven machinery (fence
+// reconciliation in the replicator) reads the announced capabilities,
+// not a transient unknown.
+func (l *ResponderList) ObserveAnnounce(addr wire.Addr, caps uint64, degraded bool) {
+	if addr == "" {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	e := l.index[addr]
+	isNew := e == nil
+	if isNew {
+		if l.max > 0 && len(l.addrs) >= l.max {
+			victim := l.addrs[len(l.addrs)-1]
+			l.addrs = l.addrs[:len(l.addrs)-1]
+			delete(l.index, victim.addr)
+			l.met.Inc(trace.CtrListEvictions)
+			if victim.capsState == CapsBaseline {
+				l.met.Set(trace.CtrCapsBaselinePeers, l.baselineCountLocked())
+			}
+			l.leaveLocked(victim.addr)
+		}
+		e = &entry{addr: addr, cooldown: l.cooldown, demoteCooldown: l.demoteCooldown}
+		l.addrs = append(l.addrs, e)
+		l.index[addr] = e
+	} else {
+		l.restoreLocked(e)
+	}
+	l.observeCapsLocked(e, caps)
+	l.observeDegradedLocked(e, degraded)
+	if isNew {
+		l.joinLocked(addr)
+	}
+}
+
+// AllHave reports whether every cached responder is capability-aware and
+// advertises all the given bits — the gate for multicasting frames that
+// carry a versioned feature. An empty list reports true (a multicast
+// into the void reaches nobody to confuse).
+func (l *ResponderList) AllHave(bits uint64) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, e := range l.addrs {
+		if e.capsState != CapsAware || e.caps&bits != bits {
+			return false
+		}
+	}
+	return true
+}
+
+// Caps returns addr's advertised capability set, or zero when the peer
+// is unknown, known baseline, or has never announced capabilities —
+// the conservative default every feature gate relies on.
+func (l *ResponderList) Caps(addr wire.Addr) uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if e := l.index[addr]; e != nil && e.capsState == CapsAware {
+		return e.caps
+	}
+	return 0
+}
+
+// CapsKnowledge returns what the list knows about addr's capabilities:
+// the advertised set (zero unless aware) and the knowledge state.
+// Unknown peers are reported CapsUnknown, as are addresses not on the
+// list at all.
+func (l *ResponderList) CapsKnowledge(addr wire.Addr) (uint64, CapsState) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if e := l.index[addr]; e != nil {
+		if e.capsState == CapsAware {
+			return e.caps, CapsAware
+		}
+		return 0, e.capsState
+	}
+	return 0, CapsUnknown
+}
+
+// BaselinePeers returns how many cached responders are known to run a
+// pre-capability build (announced without a caps field).
+func (l *ResponderList) BaselinePeers() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return int(l.baselineCountLocked())
+}
+
+// baselineCountLocked counts known-baseline entries. Caller holds l.mu.
+func (l *ResponderList) baselineCountLocked() int64 {
+	var n int64
+	for _, e := range l.addrs {
+		if e.capsState == CapsBaseline {
+			n++
+		}
+	}
+	return n
 }
 
 // Len returns the number of cached responders.
@@ -728,15 +906,19 @@ func (l *ResponderList) Depart(addr wire.Addr) {
 // removeLocked deletes addr from the list, reporting whether it was
 // present. Caller holds l.mu.
 func (l *ResponderList) removeLocked(addr wire.Addr) bool {
-	if l.index[addr] == nil {
+	e := l.index[addr]
+	if e == nil {
 		return false
 	}
 	delete(l.index, addr)
-	for i, e := range l.addrs {
-		if e.addr == addr {
+	for i, x := range l.addrs {
+		if x.addr == addr {
 			l.addrs = append(l.addrs[:i], l.addrs[i+1:]...)
 			break
 		}
+	}
+	if e.capsState == CapsBaseline {
+		l.met.Set(trace.CtrCapsBaselinePeers, l.baselineCountLocked())
 	}
 	return true
 }
@@ -752,6 +934,7 @@ func (l *ResponderList) Clear() {
 	}
 	l.addrs = l.addrs[:0]
 	l.index = make(map[wire.Addr]*entry)
+	l.met.Set(trace.CtrCapsBaselinePeers, 0)
 	for _, a := range gone {
 		l.leaveLocked(a)
 	}

@@ -103,6 +103,18 @@ func C2Overload(scale Scale) (*Table, error) {
 	defer c.close()
 	c.net.ConnectAll()
 
+	// One discovery round per instance settles membership and capability
+	// knowledge up front, so the shed == busy-reply equality asserted
+	// below starts from a converged cluster instead of racing the
+	// first-contact capability probes (a frame shed before the probe's
+	// announce lands goes out without the busy marker, exactly as it
+	// would toward a pre-capability peer).
+	sctx, scancel := context.WithTimeout(context.Background(), 2*time.Second)
+	for _, inst := range c.inst {
+		_, _ = inst.Spaces(sctx)
+	}
+	scancel()
+
 	governed := c.inst[0]
 	compliant := c.inst[1]
 	greedy := c.inst[2:]

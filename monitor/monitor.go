@@ -41,6 +41,7 @@ type Monitor struct {
 
 	mob  MobilityCounters
 	gray GrayCounters
+	caps CapsCounters
 }
 
 // MobilityCounters accumulates the mobility-path activity the monitor has
@@ -70,6 +71,17 @@ type GrayCounters struct {
 	SlowStrikes  uint64 // measurable replies that needed retransmissions
 	Demotions    uint64 // peers demoted by the latency outlier detector
 	DegradedSeen uint64 // announce frames carrying a degraded self-report
+}
+
+// CapsCounters accumulates capability-negotiation activity (DESIGN.md
+// §14). Learned and GatedSends are monotonic totals; BaselinePeers is a
+// gauge — the current count of cached responders known to run a
+// pre-capability build, the number an operator watches go to zero as a
+// rolling upgrade completes.
+type CapsCounters struct {
+	Learned       uint64 // announces that taught us a peer's capability set
+	GatedSends    uint64 // frames stripped or withheld toward baseline peers
+	BaselinePeers int    // cached responders on known pre-capability builds
 }
 
 // New returns a Monitor with the given sliding-window lengths (samples
@@ -296,6 +308,36 @@ func (m *Monitor) Gray() GrayCounters {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return m.gray
+}
+
+// ObserveCapsLearned records an announce that taught us a peer's
+// capability set (including re-learning on upgrade or rollback).
+func (m *Monitor) ObserveCapsLearned() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.caps.Learned++
+}
+
+// ObserveGatedSend records a frame stripped of versioned fields or
+// withheld entirely because its destination runs a baseline build.
+func (m *Monitor) ObserveGatedSend() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.caps.GatedSends++
+}
+
+// SetBaselinePeers updates the known-baseline-peer gauge.
+func (m *Monitor) SetBaselinePeers(n int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.caps.BaselinePeers = n
+}
+
+// Caps returns the accumulated capability-negotiation counters.
+func (m *Monitor) Caps() CapsCounters {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.caps
 }
 
 // ObserveOp records one operation outcome (challenge §5.4: modelling

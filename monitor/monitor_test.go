@@ -287,3 +287,22 @@ func TestGrayCountersAccumulate(t *testing.T) {
 		t.Fatalf("gray = %+v, want %+v", got, want)
 	}
 }
+
+func TestCapsCountersAccumulate(t *testing.T) {
+	m := New(0, 0)
+	if m.Caps() != (CapsCounters{}) {
+		t.Fatalf("fresh monitor has counters: %+v", m.Caps())
+	}
+	m.ObserveCapsLearned()
+	m.ObserveCapsLearned()
+	m.ObserveGatedSend()
+	m.ObserveGatedSend()
+	m.ObserveGatedSend()
+	m.SetBaselinePeers(4)
+	m.SetBaselinePeers(2) // gauge: latest wins
+	got := m.Caps()
+	want := CapsCounters{Learned: 2, GatedSends: 3, BaselinePeers: 2}
+	if got != want {
+		t.Fatalf("caps = %+v, want %+v", got, want)
+	}
+}

@@ -64,8 +64,18 @@ echo "==> replica suite (-race)"
 go test -race -run 'TestRing|WriteThrough|ReplicaServes|FailoverTake|FailoverRefused|TakeInvalidates|InvalidateFences|LocalReplica|RepairReplaces|Adoption|ReplicationOff|C5' \
 	./routing/ ./internal/core/ ./wire/ ./internal/harness/
 
+# The upgrade gate: golden wire fixtures (byte-stability, round-trip,
+# and truncation sweeps over every message type × optional-field
+# combination), capability learning and per-destination gating, the
+# write-through refusal regression, and the C6 mixed-version soak with
+# its conservation / at-most-once / zero-gated-violations /
+# activation-bound invariants — under the race detector.
+echo "==> upgrade suite (-race)"
+go test -race -run 'Golden|Caps|Gated|Baseline|WriteThroughRefusal|SilentBackup|C6' \
+	./wire/ ./internal/core/ ./internal/discovery/ ./transport/memnet/ ./internal/harness/
+
 # Decoder fuzz smoke: a few seconds per target, seeds cover the optional
-# Busy/Budget trailing fields (mixed-version frame layouts).
+# Busy/Budget/Caps trailing fields (mixed-version frame layouts).
 echo "==> fuzz smoke (wire, tuple)"
 go test -run '^$' -fuzz FuzzDecode -fuzztime "${FUZZTIME:-10s}" ./wire/
 go test -run '^$' -fuzz FuzzDecodeTuple -fuzztime "${FUZZTIME:-10s}" ./tuple/

@@ -215,6 +215,30 @@ const (
 	CtrReplRepairs       = "repl.repairs"
 	CtrReplFencedHolds   = "repl.fenced_holds"
 	CtrReplStaleReads    = "repl.stale_reads"
+	// Write-through acks that came back explicitly NOT-OK (the backup
+	// refused the copy) versus targets that never acked before the
+	// write-through window closed. A refusal settles the write
+	// immediately — an old binary that rejects the frame outright sends
+	// nothing and lands in the unacked count instead.
+	CtrReplWriteRefused = "repl.write_refused"
+	CtrReplWriteUnacked = "repl.write_unacked"
+
+	// Capability-negotiation counters (DESIGN.md §14): sends where a
+	// versioned field was stripped (or a coalesced/multicast path
+	// suppressed) because the destination had not advertised the
+	// feature; capability sets learned or re-learned from announces;
+	// and a gauge of known-baseline peers on the responder list.
+	// The last two are the mixed-version soak's activation signals.
+	CtrCapsGatedSends    = "caps.gated_sends"
+	CtrCapsLearned       = "caps.learned"
+	CtrCapsBaselinePeers = "caps.baseline_peers"
+	// Old-decoder simulation counters (memnet only): frames a simulated
+	// baseline decoder rejected. Announce rejections are the bounded,
+	// expected cost of capability probing; any other type rejected is a
+	// per-destination gating violation — the C6 soak asserts it stays
+	// zero.
+	CtrCapsSimAnnounceRejects = "caps.sim_announce_rejects"
+	CtrCapsSimViolations      = "caps.sim_violations"
 
 	// Write-ahead log counters (space/persist durability path).
 	CtrWALAppends       = "wal.appends"

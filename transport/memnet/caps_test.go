@@ -1,0 +1,63 @@
+package memnet
+
+import (
+	"testing"
+
+	"tiamat/trace"
+	"tiamat/wire"
+)
+
+// TestDecodeCapsSimulatesOldDecoder pins the mixed-version simulation
+// the C6 soak is built on: a node configured with SetDecodeCaps rejects
+// exactly the frames whose encoding exercises capabilities it lacks —
+// counted as bounded announce rejects for capability probes and as
+// violations for everything else — while baseline frames pass, and
+// ClearDecodeCaps restores the real decoder as an in-place upgrade
+// would.
+func TestDecodeCapsSimulatesOldDecoder(t *testing.T) {
+	met := &trace.Metrics{}
+	n := New(WithMetrics(met))
+	defer n.Close()
+	a, _ := n.Attach("a")
+	b, _ := n.Attach("b")
+	n.ConnectAll()
+	n.SetDecodeCaps("b", 0)
+
+	if err := a.Send("b", disc("a", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if m := recvOne(t, b); m.ID != 1 {
+		t.Fatalf("baseline frame: got %+v", m)
+	}
+
+	// Versioned frames vanish at the simulated decoder: a busy result
+	// counts as a gating violation, a capability-bearing announce as a
+	// bounded probe reject. The following baseline frame arriving next
+	// proves both were dropped, not reordered.
+	if err := a.Send("b", &wire.Message{Type: wire.TResult, ID: 2, From: "a", Busy: true}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send("b", &wire.Message{Type: wire.TAnnounce, ID: 3, From: "a", Caps: wire.CapsCurrent}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send("b", disc("a", 4)); err != nil {
+		t.Fatal(err)
+	}
+	if m := recvOne(t, b); m.ID != 4 {
+		t.Fatalf("after drops: got %+v, want the second baseline frame", m)
+	}
+	if got := met.Get(trace.CtrCapsSimViolations); got != 1 {
+		t.Fatalf("sim violations = %d, want 1", got)
+	}
+	if got := met.Get(trace.CtrCapsSimAnnounceRejects); got != 1 {
+		t.Fatalf("sim announce rejects = %d, want 1", got)
+	}
+
+	n.ClearDecodeCaps("b") // the in-place upgrade
+	if err := a.Send("b", &wire.Message{Type: wire.TResult, ID: 5, From: "a", Busy: true}); err != nil {
+		t.Fatal(err)
+	}
+	if m := recvOne(t, b); m.ID != 5 || !m.Busy {
+		t.Fatalf("after upgrade: got %+v, want the busy result intact", m)
+	}
+}

@@ -110,6 +110,11 @@ type Network struct {
 	edgeFaults map[edge]Faults
 	nodeLimps  map[wire.Addr]limpState
 	edgeLimps  map[edge]limpState
+	// decodeCaps simulates pre-capability decoders: an address present
+	// here rejects any delivered frame whose encoding requires features
+	// outside its value, exactly where a real old binary's fail-closed
+	// Decode would error (see SetDecodeCaps).
+	decodeCaps map[wire.Addr]uint64
 	closed     bool
 }
 
@@ -142,6 +147,13 @@ type node struct {
 	// ackArmed marks destinations with a flush already scheduled.
 	pendAcks map[wire.Addr][]uint64
 	ackArmed map[wire.Addr]bool
+
+	// ackGate, when set, is consulted before a pure ack is queued for
+	// coalescing; a false verdict sends the ack as its own frame,
+	// byte-identical to the pre-batching encoding. The core installs a
+	// gate that checks the destination advertised CapCoalescedAcks
+	// (DESIGN.md §14). Guarded by net.mu.
+	ackGate func(wire.Addr) bool
 }
 
 // heldFrame is a frame parked by reorder injection. The source address
@@ -199,6 +211,52 @@ func New(opts ...Option) *Network {
 
 // Metrics returns the network's metrics registry.
 func (n *Network) Metrics() *trace.Metrics { return n.met }
+
+// SetDecodeCaps makes addr behave like a build whose decoder only
+// understands the given capability set: any delivered frame whose
+// encoding requires features outside caps (wire.FeaturesOf) is rejected
+// at the receiving edge and dropped, exactly where a real old binary
+// would fail closed with ErrFrame. Rejected announces count as
+// trace.CtrCapsSimAnnounceRejects — the bounded, expected cost of
+// capability probing; any other rejected type counts as
+// trace.CtrCapsSimViolations, a per-destination gating bug the C6
+// mixed-version soak asserts never happens. Pass wire.CapsCurrent (or
+// call ClearDecodeCaps) to restore the real decoder, as an in-place
+// binary upgrade would.
+func (n *Network) SetDecodeCaps(addr wire.Addr, caps uint64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.decodeCaps == nil {
+		n.decodeCaps = make(map[wire.Addr]uint64)
+	}
+	n.decodeCaps[addr] = caps
+}
+
+// ClearDecodeCaps removes the simulated decoder limit for addr.
+func (n *Network) ClearDecodeCaps(addr wire.Addr) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.decodeCaps, addr)
+}
+
+// simReject applies the simulated old decoder for dst, if one is
+// configured: it reports true (and counts the rejection) when the frame
+// carries features the simulated build cannot parse.
+func (n *Network) simReject(dst wire.Addr, msg *wire.Message) bool {
+	n.mu.Lock()
+	caps, ok := n.decodeCaps[dst]
+	n.mu.Unlock()
+	if !ok || wire.FeaturesOf(msg)&^caps == 0 {
+		return false
+	}
+	if msg.Type == wire.TAnnounce {
+		n.met.Inc(trace.CtrCapsSimAnnounceRejects)
+	} else {
+		n.met.Inc(trace.CtrCapsSimViolations)
+	}
+	n.met.Inc(trace.CtrMsgsDropped)
+	return true
+}
 
 // Attach creates an endpoint with the given address. Attaching an address
 // twice is an error (the first endpoint must Close first).
@@ -583,12 +641,30 @@ func pureAck(m *wire.Message) bool {
 	return m.Type == wire.TAck && m.OK && m.Err == "" && !m.Busy && len(m.AckIDs) == 0
 }
 
+// SetAckGate installs a per-destination coalescing predicate; nil (the
+// default) coalesces pure acks toward every peer, as before capability
+// negotiation existed. A gated ack still flows — it just keeps its own
+// frame, so a destination that never advertised CapCoalescedAcks sees
+// only the baseline single-ack encoding.
+func (nd *node) SetAckGate(gate func(wire.Addr) bool) {
+	nd.net.mu.Lock()
+	nd.ackGate = gate
+	nd.net.mu.Unlock()
+}
+
+func (nd *node) ackAllowed(to wire.Addr) bool {
+	nd.net.mu.Lock()
+	g := nd.ackGate
+	nd.net.mu.Unlock()
+	return g == nil || g(to)
+}
+
 // Send implements transport.Endpoint. Pure successful acks are queued
 // and coalesced per destination (see queueAck); everything else flushes
 // any queued acks to that peer first — the ack was logically sent
 // earlier — and then transmits immediately.
 func (nd *node) Send(to wire.Addr, m *wire.Message) error {
-	if pureAck(m) {
+	if pureAck(m) && nd.ackAllowed(to) {
 		return nd.queueAck(to, m.ID)
 	}
 	nd.flushAcks(to)
@@ -824,6 +900,9 @@ func (n *Network) deliver(from wire.Addr, dst *node, data []byte, lat time.Durat
 	if err != nil {
 		n.met.Inc(trace.CtrCorruptFrames)
 		n.met.Inc(trace.CtrMsgsDropped)
+		return
+	}
+	if n.simReject(dst.addr, msg) {
 		return
 	}
 	if lat <= 0 {

@@ -85,7 +85,29 @@ type Transport struct {
 	closed   bool
 	sessions map[wire.Addr]*session
 	accepted map[net.Conn]struct{}
-	wg       sync.WaitGroup
+	// ackGate, when set, is consulted before a pure ack joins a
+	// coalesced TAck frame; a false verdict gives the ack its own frame,
+	// byte-identical to the pre-batching encoding. The core installs a
+	// gate that checks the destination advertised CapCoalescedAcks
+	// (DESIGN.md §14).
+	ackGate func(wire.Addr) bool
+	wg      sync.WaitGroup
+}
+
+// SetAckGate installs the per-destination ack-coalescing predicate; nil
+// (the default) coalesces toward every peer.
+func (t *Transport) SetAckGate(gate func(wire.Addr) bool) {
+	t.mu.Lock()
+	t.ackGate = gate
+	t.mu.Unlock()
+}
+
+// ackAllowed reports whether pure acks toward to may coalesce.
+func (t *Transport) ackAllowed(to wire.Addr) bool {
+	t.mu.Lock()
+	g := t.ackGate
+	t.mu.Unlock()
+	return g == nil || g(to)
 }
 
 var _ transport.Endpoint = (*Transport)(nil)

@@ -96,7 +96,7 @@ func (s *session) send(m *wire.Message) error {
 		return transport.ErrClosed
 	}
 	ch := make(chan error, 1)
-	if pureAck(m) {
+	if pureAck(m) && s.t.ackAllowed(s.to) {
 		s.ackIDs = append(s.ackIDs, m.ID)
 		s.ackWtrs = append(s.ackWtrs, ch)
 	} else {

@@ -24,6 +24,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
+	"strings"
 	"sync"
 	"time"
 
@@ -119,6 +120,126 @@ const (
 	OpInp
 )
 
+// Capability bits advertised by an instance on its announces (the
+// optional trailing Caps field of TAnnounce). Each bit names a wire
+// feature added after the version-2 baseline: a peer that does not
+// advertise the bit runs a decoder that rejects frames carrying the
+// feature as trailing garbage (ErrFrame). Senders therefore gate every
+// versioned field per destination on the peer's advertised set — see
+// FeaturesOf for the field→bit mapping. The zero set is the baseline-v2
+// protocol: no optional trailing fields at all.
+const (
+	// CapBudget: optional TOp budget trailer (requester lease budget).
+	CapBudget uint64 = 1 << iota
+	// CapBusy: optional busy marker on TResult/TAck (governor refusals).
+	CapBusy
+	// CapCoalescedAcks: optional AckIDs list on TAck (batched ack path).
+	CapCoalescedAcks
+	// CapDegraded: optional degraded marker on TAnnounce (gray health).
+	CapDegraded
+	// CapGoodbye: the TGoodbye departure announcement.
+	CapGoodbye
+	// CapReplicaIdentity: optional replica identity on TOut/TCancel/
+	// TResult and the failover marker on TOp (replication protocol).
+	CapReplicaIdentity
+	// CapCapsExchange: the optional Caps trailer on TAnnounce itself —
+	// the peer understands capability announcements.
+	CapCapsExchange
+)
+
+// CapsCurrent is the full capability set of this build: every feature
+// bit the local codec can encode and decode.
+const CapsCurrent = CapBudget | CapBusy | CapCoalescedAcks | CapDegraded |
+	CapGoodbye | CapReplicaIdentity | CapCapsExchange
+
+// CapsString renders a capability set for logs ("budget|busy|…", or
+// "baseline" for the empty set).
+func CapsString(caps uint64) string {
+	if caps == 0 {
+		return "baseline"
+	}
+	names := []struct {
+		bit  uint64
+		name string
+	}{
+		{CapBudget, "budget"},
+		{CapBusy, "busy"},
+		{CapCoalescedAcks, "coalesced-acks"},
+		{CapDegraded, "degraded"},
+		{CapGoodbye, "goodbye"},
+		{CapReplicaIdentity, "replica-identity"},
+		{CapCapsExchange, "caps-exchange"},
+	}
+	var b strings.Builder
+	for _, n := range names {
+		if caps&n.bit == 0 {
+			continue
+		}
+		if b.Len() > 0 {
+			b.WriteByte('|')
+		}
+		b.WriteString(n.name)
+		caps &^= n.bit
+	}
+	if caps != 0 {
+		if b.Len() > 0 {
+			b.WriteByte('|')
+		}
+		fmt.Fprintf(&b, "unknown(%#x)", caps)
+	}
+	return b.String()
+}
+
+// FeaturesOf reports the capability bits a message's encoding would
+// require of its receiver: the set of post-baseline features whose
+// optional fields the frame carries. A baseline-v2 decoder accepts the
+// frame iff FeaturesOf(m) == 0; more generally, a peer advertising caps
+// decodes the frame iff FeaturesOf(m) &^ caps == 0. Senders use this to
+// verify (and transports to enforce) that nothing undecodable is ever
+// put on the wire toward a known-baseline peer.
+func FeaturesOf(m *Message) uint64 {
+	var f uint64
+	switch m.Type {
+	case TOp:
+		if m.Budget > 0 {
+			f |= CapBudget
+		}
+		if m.Failover {
+			// The failover marker forces the budget trailer too.
+			f |= CapBudget | CapReplicaIdentity
+		}
+	case TResult:
+		if m.Busy {
+			f |= CapBusy
+		}
+		if m.ReplSeq != 0 {
+			// The identity forces the busy byte to be encoded.
+			f |= CapBusy | CapReplicaIdentity
+		}
+	case TAck:
+		if m.Busy {
+			f |= CapBusy
+		}
+		if len(m.AckIDs) > 0 {
+			f |= CapBusy | CapCoalescedAcks
+		}
+	case TAnnounce:
+		if m.Degraded {
+			f |= CapDegraded
+		}
+		if m.Caps != 0 {
+			f |= CapDegraded | CapCapsExchange
+		}
+	case TCancel, TOut:
+		if m.ReplSeq != 0 {
+			f |= CapReplicaIdentity
+		}
+	case TGoodbye:
+		f |= CapGoodbye
+	}
+	return f
+}
+
 // Removes reports whether the operation removes its match.
 func (o OpCode) Removes() bool { return o == OpIn || o == OpInp }
 
@@ -199,6 +320,14 @@ type Message struct {
 	// governor queue delay), so requesters should deprioritize it. Only
 	// encoded when true; absent means healthy for pre-Degraded peers.
 	Degraded bool
+	// Caps is the announcer's capability set (TAnnounce): the Cap* bits
+	// naming which post-baseline wire features its decoder accepts.
+	// Optional trailing field; zero is never encoded, so a caps-less
+	// announce stays byte-identical to the pre-capability revision and
+	// an absent field means "capabilities unknown" — receivers must
+	// assume the conservative baseline until a caps-bearing announce
+	// arrives (internal/discovery tracks this per peer).
+	Caps uint64
 
 	// Func is the registered eval function name (TEval).
 	Func string
@@ -311,9 +440,18 @@ func AppendEncode(dst []byte, m *Message) []byte {
 		// as TOp's budget field: a healthy announce is byte-identical to
 		// the pre-Degraded revision, and peers running the previous code
 		// reject degraded announces as trailing garbage — they merely
-		// fail to learn the hint, never act on a misread one.
-		if m.Degraded {
-			b = appendBool(b, true)
+		// fail to learn the hint, never act on a misread one. When the
+		// capability set follows, degraded is encoded even if false so
+		// the decoder can tell the two optional fields apart.
+		if m.Degraded || m.Caps != 0 {
+			b = appendBool(b, m.Degraded)
+		}
+		// Optional capability set: the announcer's Cap* bits. Absent
+		// means capabilities unknown (assume baseline); zero is never
+		// encoded, keeping caps-less announces byte-identical to the
+		// pre-capability revision.
+		if m.Caps != 0 {
+			b = binary.AppendUvarint(b, m.Caps)
 		}
 	case TOp:
 		b = append(b, byte(m.Op), m.Hops)
@@ -452,9 +590,27 @@ func decode(data []byte, alias bool) (*Message, error) {
 			return nil, err
 		}
 		// Optional degraded marker: absent means a healthy announcer.
+		// The encoder omits a false marker unless a caps field follows,
+		// so a bare explicit false is malformed — rejecting it keeps
+		// every frame's canonical encoding unique.
 		if len(src) > 0 {
 			if m.Degraded, src, err = readBool(src); err != nil {
 				return nil, err
+			}
+			if !m.Degraded && len(src) == 0 {
+				return nil, fmt.Errorf("non-canonical degraded marker: %w", ErrFrame)
+			}
+		}
+		// Optional capability set: absent means capabilities unknown
+		// (assume baseline). A zero value is never encoded, so decode
+		// it as malformed rather than let a truncated trailer alias the
+		// "unknown" state.
+		if len(src) > 0 {
+			if m.Caps, src, err = readUvarint(src); err != nil {
+				return nil, fmt.Errorf("caps: %w", err)
+			}
+			if m.Caps == 0 {
+				return nil, fmt.Errorf("caps 0: %w", ErrFrame)
 			}
 		}
 	case TOp:
@@ -487,11 +643,20 @@ func decode(data []byte, alias bool) (*Message, error) {
 				return nil, fmt.Errorf("budget: %w", err)
 			}
 			m.Budget = time.Duration(budget) * time.Millisecond
+			// A zero budget is only encoded as filler ahead of a failover
+			// marker; bare it is malformed (absent means budget==TTL).
+			if m.Budget == 0 && len(src) == 0 {
+				return nil, fmt.Errorf("non-canonical budget: %w", ErrFrame)
+			}
 		}
-		// Optional failover marker: absent means an ordinary op.
+		// Optional failover marker: absent means an ordinary op, and an
+		// explicit false is never encoded.
 		if len(src) > 0 {
 			if m.Failover, src, err = readBool(src); err != nil {
 				return nil, fmt.Errorf("failover: %w", err)
+			}
+			if !m.Failover {
+				return nil, fmt.Errorf("non-canonical failover marker: %w", ErrFrame)
 			}
 		}
 	case TResult:
@@ -506,10 +671,14 @@ func decode(data []byte, alias bool) (*Message, error) {
 				return nil, fmt.Errorf("tuple: %w", err)
 			}
 		}
-		// Optional busy marker: absent means a normal result.
+		// Optional busy marker: absent means a normal result. A false
+		// marker is only encoded as filler ahead of a replica identity.
 		if len(src) > 0 {
 			if m.Busy, src, err = readBool(src); err != nil {
 				return nil, err
+			}
+			if !m.Busy && len(src) == 0 {
+				return nil, fmt.Errorf("non-canonical busy marker: %w", ErrFrame)
 			}
 		}
 		// Optional replica identity: absent means a single-holder tuple.
@@ -567,10 +736,14 @@ func decode(data []byte, alias bool) (*Message, error) {
 		if m.Err, src, err = readStr(src); err != nil {
 			return nil, err
 		}
-		// Optional busy marker: absent means a normal ack.
+		// Optional busy marker: absent means a normal ack. A false
+		// marker is only encoded as filler ahead of a coalesced ID list.
 		if len(src) > 0 {
 			if m.Busy, src, err = readBool(src); err != nil {
 				return nil, err
+			}
+			if !m.Busy && len(src) == 0 {
+				return nil, fmt.Errorf("non-canonical busy marker: %w", ErrFrame)
 			}
 		}
 		// Optional coalesced-ack ID list: absent means the ack covers

@@ -1,7 +1,9 @@
 package wire
 
 import (
+	"encoding/binary"
 	"errors"
+	"hash/crc32"
 	"math/rand"
 	"reflect"
 	"testing"
@@ -10,6 +12,18 @@ import (
 
 	"tiamat/tuple"
 )
+
+// truncated strips the CRC and drops n trailing body bytes.
+func truncated(frame []byte, n int) []byte {
+	body := frame[:len(frame)-4]
+	return append([]byte(nil), body[:len(body)-n]...)
+}
+
+// reframe appends a fresh checksum so only the body mutation, not a CRC
+// mismatch, is what the decoder sees.
+func reframe(body []byte) []byte {
+	return binary.LittleEndian.AppendUint32(body, crc32.ChecksumIEEE(body))
+}
 
 func roundTrip(t *testing.T, m *Message) *Message {
 	t.Helper()
@@ -182,6 +196,9 @@ func (randMsg) Generate(r *rand.Rand, _ int) reflect.Value {
 	case TAnnounce:
 		m.Persistent = r.Intn(2) == 0
 		m.Degraded = r.Intn(2) == 0
+		if r.Intn(2) == 0 {
+			m.Caps = 1 + r.Uint64()%uint64(2*CapsCurrent)
+		}
 	case TOp:
 		m.Op = OpCode(1 + r.Intn(4))
 		m.TTL = time.Duration(r.Intn(10000)) * time.Millisecond
@@ -243,6 +260,33 @@ func TestPropRoundTrip(t *testing.T) {
 	}
 }
 
+// TestCapsTruncationFailsClosed covers the capability-field damage an
+// old or cut-short sender could produce: a caps varint chopped mid-value
+// must not decode at all, and chopping the whole field must not leave a
+// frame that aliases a different capability statement.
+func TestCapsTruncationFailsClosed(t *testing.T) {
+	wide := Encode(&Message{Type: TAnnounce, ID: 13, From: "s", Caps: 1 << 40})
+	if _, err := Decode(reframe(truncated(wide, 1))); !errors.Is(err, ErrFrame) {
+		t.Fatalf("mid-varint caps truncation: got %v, want ErrFrame", err)
+	}
+	// Chopping the entire caps field off a degraded announce leaves a
+	// valid (shorter) degraded announce with caps reverting to unknown.
+	deg := Encode(&Message{Type: TAnnounce, ID: 13, From: "s", Degraded: true, Caps: CapsCurrent})
+	m, err := Decode(reframe(truncated(deg, 1)))
+	if err != nil {
+		t.Fatalf("caps field chop: %v", err)
+	}
+	if !m.Degraded || m.Caps != 0 {
+		t.Fatalf("caps field chop: got degraded=%v caps=%#x, want degraded with unknown caps", m.Degraded, m.Caps)
+	}
+	// On a healthy announce the same chop strands an explicit false
+	// degraded marker, which is non-canonical and must be rejected.
+	healthy := Encode(&Message{Type: TAnnounce, ID: 13, From: "s", Caps: CapsCurrent})
+	if _, err := Decode(reframe(truncated(healthy, 1))); !errors.Is(err, ErrFrame) {
+		t.Fatalf("stranded degraded filler: got %v, want ErrFrame", err)
+	}
+}
+
 func FuzzDecode(f *testing.F) {
 	f.Add(Encode(&Message{Type: TDiscover, ID: 1, From: "seed"}))
 	f.Add(Encode(&Message{Type: TOp, ID: 2, From: "s", Op: OpIn, TTL: time.Second,
@@ -269,6 +313,15 @@ func FuzzDecode(f *testing.F) {
 		Tuple: tuple.T(tuple.String("tok"), tuple.Int(1)), ReplOrigin: "o", ReplSeq: 5}))
 	f.Add(Encode(&Message{Type: TOp, ID: 10, From: "s", Op: OpInp, TTL: time.Second,
 		Template: tuple.Tmpl(tuple.Any()), Failover: true}))
+	// Capability-bearing announces (DESIGN.md §14): the newest optional
+	// trailing field, in both healthy and degraded form.
+	f.Add(Encode(&Message{Type: TAnnounce, ID: 11, From: "s", Persistent: true, Caps: CapsCurrent}))
+	f.Add(Encode(&Message{Type: TAnnounce, ID: 12, From: "s", Degraded: true, Caps: CapBudget | CapBusy}))
+	// Truncated-capability frames with recomputed checksums: a caps
+	// varint chopped mid-value and an explicit zero caps field. Both are
+	// frames no encoder produces; the corpus pins the fail-closed paths.
+	f.Add(reframe(truncated(Encode(&Message{Type: TAnnounce, ID: 13, From: "s", Caps: 1 << 40}), 1)))
+	f.Add(reframe(append(truncated(Encode(&Message{Type: TAnnounce, ID: 14, From: "s", Caps: 1}), 1), 0)))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		m, err := Decode(data)
 		if err != nil {
